@@ -1,0 +1,63 @@
+// Ablation: router pipeline organization (Fig 6a vs 6b).
+//
+// The paper's evaluation uses the optimized 3-stage pipeline (lookahead
+// routing + speculative switch allocation). This bench shows what the
+// conservative 5-stage organization costs and that VIX's benefit is
+// orthogonal to pipeline depth.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/network_sim.hpp"
+
+using namespace vixnoc;
+
+namespace {
+
+NetworkSimResult Run(AllocScheme scheme, int stages, double rate) {
+  NetworkSimConfig c;
+  c.scheme = scheme;
+  c.pipeline_stages = stages;
+  c.injection_rate = rate;
+  c.warmup = 4'000;
+  c.measure = 12'000;
+  c.drain = 2'000;
+  return RunNetworkSim(c);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation",
+                "3-stage (speculative, lookahead) vs 5-stage router "
+                "pipeline, mesh");
+
+  TablePrinter table({"Scheme", "stages", "zero-load latency",
+                      "latency @0.08", "throughput @sat"});
+  double gain[2] = {};
+  for (int stages : {3, 5}) {
+    for (AllocScheme scheme : {AllocScheme::kInputFirst, AllocScheme::kVix}) {
+      const auto lo = Run(scheme, stages, 0.01);
+      const auto mid = Run(scheme, stages, 0.08);
+      const auto sat = Run(scheme, stages, 0.25);
+      table.AddRow({ToString(scheme),
+                    TablePrinter::Fmt(std::int64_t{stages}),
+                    TablePrinter::Fmt(lo.avg_latency, 1),
+                    TablePrinter::Fmt(mid.avg_latency, 1),
+                    TablePrinter::Fmt(sat.accepted_ppc, 4)});
+      if (scheme == AllocScheme::kVix) {
+        const auto base = Run(AllocScheme::kInputFirst, stages, 0.25);
+        gain[stages == 5] = bench::PctGain(sat.accepted_ppc,
+                                           base.accepted_ppc);
+      }
+    }
+  }
+  table.Print();
+
+  bench::Claim("VIX gain with 3-stage pipeline", 0.16, gain[0]);
+  bench::Claim("VIX gain with 5-stage pipeline", 0.16, gain[1]);
+  bench::Note("pipelining depth moves the latency floor but not the "
+              "allocation bottleneck: VIX's throughput gain survives both "
+              "organizations (speculation, per Peh & Dally, is what makes "
+              "the 3-stage feasible).");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: fine-grained virtual-input sweep (extends Fig 12 / §4.6).
+//
+// The paper evaluates 1 (baseline), 2 (practical VIX), and v (ideal)
+// virtual inputs; this bench fills in the intermediate point (1:3 for a
+// 6-VC router) and shows the diminishing returns that justify stopping at
+// two — alongside the crossbar delay each point costs (Table 1 model).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/network_sim.hpp"
+#include "timing/delay_model.hpp"
+
+using namespace vixnoc;
+
+int main() {
+  bench::Banner("Ablation",
+                "Virtual inputs per port: throughput vs crossbar cost "
+                "(mesh, 6 VCs)");
+
+  TablePrinter table({"virtual inputs", "xbar size", "xbar delay [ps]",
+                      "throughput @sat", "gain over k=1",
+                      "xbar delay vs cycle"});
+  double base = 0.0, k2_gain = 0.0, k6_gain = 0.0;
+  for (int k : {1, 2, 3, 6}) {
+    NetworkSimConfig c;
+    c.scheme = k == 1 ? AllocScheme::kInputFirst : AllocScheme::kVix;
+    c.vix_virtual_inputs = k;
+    c.injection_rate = c.MaxInjectionRate();
+    c.warmup = 4'000;
+    c.measure = 12'000;
+    c.drain = 1'000;
+    const double tput = RunNetworkSim(c).accepted_ppc;
+    if (k == 1) base = tput;
+    if (k == 2) k2_gain = bench::PctGain(tput, base);
+    if (k == 6) k6_gain = bench::PctGain(tput, base);
+
+    const double xbar = timing::XbarDelayPs(5 * k, 5);
+    const double cycle = timing::RouterCyclePs(5, 6, 1);
+    char size[16];
+    std::snprintf(size, sizeof size, "%d x 5", 5 * k);
+    table.AddRow({TablePrinter::Fmt(std::int64_t{k}), size,
+                  TablePrinter::Fmt(xbar, 0), TablePrinter::Fmt(tput, 4),
+                  TablePrinter::Pct(bench::PctGain(tput, base)),
+                  TablePrinter::Fmt(xbar / cycle, 2)});
+  }
+  table.Print();
+
+  bench::Claim("k=2 captures most of the k=6 (ideal) gain", 1.0,
+               k6_gain > 0 ? k2_gain / k6_gain : 0.0);
+  bench::Note("two virtual inputs buy nearly all the throughput while the "
+              "crossbar still fits comfortably in the cycle; the k=6 "
+              "crossbar (30x5) would dominate the critical path — the "
+              "paper's rationale for 1:2 VIX (§1, §4.6).");
+  return 0;
+}

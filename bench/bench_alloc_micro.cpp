@@ -1,0 +1,81 @@
+// Google-benchmark microbenchmarks of the allocator kernels themselves:
+// simulation-host cost per Allocate() call for each scheme. (The *circuit*
+// delay comparison lives in bench_table3_allocator_delay; this bench makes
+// the software cost of each algorithm visible, e.g. AP's augmentation work
+// versus the separable allocators.)
+#include <benchmark/benchmark.h>
+
+#include "alloc/switch_allocator.hpp"
+#include "common/rng.hpp"
+
+namespace vixnoc {
+namespace {
+
+void RunAllocator(benchmark::State& state, AllocScheme scheme, int radix,
+                  int vcs) {
+  SwitchGeometry geom;
+  geom.num_inports = radix;
+  geom.num_outports = radix;
+  geom.num_vcs = vcs;
+  geom.num_vins = VirtualInputsForScheme(scheme, vcs);
+  auto alloc = MakeSwitchAllocator(scheme, geom);
+
+  // Pre-generate a pool of saturated request matrices.
+  Rng rng(17);
+  constexpr int kPool = 64;
+  std::vector<std::vector<SaRequest>> pool(kPool);
+  for (auto& reqs : pool) {
+    for (PortId in = 0; in < radix; ++in) {
+      for (VcId vc = 0; vc < vcs; ++vc) {
+        if (rng.NextBool(0.7)) {
+          reqs.push_back({in, vc, static_cast<PortId>(rng.NextBounded(radix))});
+        }
+      }
+    }
+  }
+
+  std::vector<SaGrant> grants;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    alloc->Allocate(pool[i++ % kPool], &grants);
+    benchmark::DoNotOptimize(grants.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InputFirst(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kInputFirst, static_cast<int>(s.range(0)), 6);
+}
+void BM_Vix(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kVix, static_cast<int>(s.range(0)), 6);
+}
+void BM_VixIdeal(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kVixIdeal, static_cast<int>(s.range(0)), 6);
+}
+void BM_Wavefront(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kWavefront, static_cast<int>(s.range(0)), 6);
+}
+void BM_AugmentingPath(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kAugmentingPath, static_cast<int>(s.range(0)),
+               6);
+}
+void BM_PacketChaining(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kPacketChaining, static_cast<int>(s.range(0)),
+               6);
+}
+void BM_Islip(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kIslip, static_cast<int>(s.range(0)), 6);
+}
+
+BENCHMARK(BM_InputFirst)->Arg(5)->Arg(8)->Arg(10);
+BENCHMARK(BM_Vix)->Arg(5)->Arg(8)->Arg(10);
+BENCHMARK(BM_VixIdeal)->Arg(5)->Arg(8)->Arg(10);
+BENCHMARK(BM_Wavefront)->Arg(5)->Arg(8)->Arg(10);
+BENCHMARK(BM_AugmentingPath)->Arg(5)->Arg(8)->Arg(10);
+BENCHMARK(BM_PacketChaining)->Arg(5)->Arg(8)->Arg(10);
+BENCHMARK(BM_Islip)->Arg(5)->Arg(8)->Arg(10);
+
+}  // namespace
+}  // namespace vixnoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Extension: VIX on a torus with dateline VC classes.
+//
+// The torus halves average hop count versus the mesh but its dateline
+// deadlock avoidance splits each VC partition in two, which interacts with
+// VIX's sub-group partitioning (each dateline class maps onto one virtual
+// input for the 6-VC 1:2 configuration). This bench quantifies how much of
+// VIX's mesh gain survives.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/network_sim.hpp"
+#include "topology/topology.hpp"
+
+using namespace vixnoc;
+
+namespace {
+
+NetworkSimResult Run(TopologyKind kind, AllocScheme scheme, double rate,
+                     bool interleaved = false) {
+  NetworkSimConfig c;
+  c.topology = kind;
+  c.scheme = scheme;
+  c.injection_rate = rate;
+  c.interleaved_vins = interleaved;
+  c.warmup = 4'000;
+  c.measure = 12'000;
+  c.drain = 1'000;
+  return RunNetworkSim(c);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Extension",
+                "Torus (dateline VC classes) vs mesh, 64 nodes, uniform "
+                "random");
+
+  TablePrinter table({"topology", "scheme", "zero-load latency",
+                      "throughput @sat", "VIX gain"});
+  double gains[2] = {};
+  int i = 0;
+  for (TopologyKind kind : {TopologyKind::kMesh, TopologyKind::kTorus}) {
+    const auto base_lo = Run(kind, AllocScheme::kInputFirst, 0.01);
+    const auto base_sat = Run(kind, AllocScheme::kInputFirst, 0.25);
+    const auto vix_sat = Run(kind, AllocScheme::kVix, 0.25);
+    gains[i] = bench::PctGain(vix_sat.accepted_ppc, base_sat.accepted_ppc);
+    table.AddRow({ToString(kind), "IF",
+                  TablePrinter::Fmt(base_lo.avg_latency, 1),
+                  TablePrinter::Fmt(base_sat.accepted_ppc, 4), "--"});
+    table.AddRow({ToString(kind), "VIX", "--",
+                  TablePrinter::Fmt(vix_sat.accepted_ppc, 4),
+                  TablePrinter::Pct(gains[i])});
+    const auto vix_il = Run(kind, AllocScheme::kVix, 0.25, true);
+    table.AddRow({ToString(kind), "VIX (interleaved)", "--",
+                  TablePrinter::Fmt(vix_il.accepted_ppc, 4),
+                  TablePrinter::Pct(bench::PctGain(vix_il.accepted_ppc,
+                                                   base_sat.accepted_ppc))});
+    ++i;
+  }
+  table.Print();
+
+  bench::Claim("VIX gain on mesh", 0.153, gains[0]);
+  bench::Claim("VIX gain on torus (contiguous wiring)", 0.153, gains[1]);
+  bench::Note("wrap links cut zero-load latency, but dateline deadlock "
+              "avoidance confines every packet to half the VC partition "
+              "and most hops are pre-dateline, so the baseline torus "
+              "under-utilizes its upper VC half (the classic dateline "
+              "cost). VIX helps more than on the mesh even with the "
+              "paper's contiguous wiring (the two dateline classes land "
+              "on different virtual inputs), and the interleaved vc%k "
+              "wiring — which keeps BOTH virtual inputs reachable inside "
+              "each dateline class — roughly doubles the gain again. On "
+              "the mesh the two wirings are equivalent.");
+  return 0;
+}

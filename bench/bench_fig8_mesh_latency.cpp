@@ -1,0 +1,112 @@
+// Reproduces Figure 8: average packet latency and accepted network
+// throughput vs injection rate on the 8x8 mesh with uniform random traffic
+// (4-flit packets, 6 VCs), for IF / WF / AP / VIX.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "sim/network_sim.hpp"
+
+using namespace vixnoc;
+
+int main() {
+  bench::Banner("Figure 8",
+                "Mesh latency & throughput vs injection rate (64 nodes, "
+                "uniform random, 4-flit packets)");
+
+  const AllocScheme schemes[] = {
+      AllocScheme::kInputFirst, AllocScheme::kWavefront,
+      AllocScheme::kAugmentingPath, AllocScheme::kVix};
+  const std::vector<double> rates = {0.02, 0.04, 0.06, 0.08, 0.09,
+                                     0.10, 0.105, 0.11, 0.115, 0.12};
+
+  std::map<std::pair<double, AllocScheme>, NetworkSimResult> results;
+  for (AllocScheme scheme : schemes) {
+    for (double rate : rates) {
+      NetworkSimConfig c;
+      c.scheme = scheme;
+      c.injection_rate = rate;
+      c.warmup = 5'000;
+      c.measure = 20'000;
+      c.drain = 3'000;
+      results[{rate, scheme}] = RunNetworkSim(c);
+    }
+  }
+
+  std::printf("\n(a) average packet latency [cycles]\n");
+  TablePrinter lat({"inj rate", "IF", "WF", "AP", "VIX"});
+  for (double rate : rates) {
+    std::vector<std::string> row{TablePrinter::Fmt(rate, 3)};
+    for (AllocScheme scheme : schemes) {
+      row.push_back(TablePrinter::Fmt(results[{rate, scheme}].avg_latency, 1));
+    }
+    lat.AddRow(std::move(row));
+  }
+  lat.Print();
+
+  std::printf("\n(b) accepted throughput [packets/cycle/node]\n");
+  TablePrinter thr({"inj rate", "IF", "WF", "AP", "VIX"});
+  for (double rate : rates) {
+    std::vector<std::string> row{TablePrinter::Fmt(rate, 3)};
+    for (AllocScheme scheme : schemes) {
+      row.push_back(
+          TablePrinter::Fmt(results[{rate, scheme}].accepted_ppc, 4));
+    }
+    thr.AddRow(std::move(row));
+  }
+  thr.Print();
+
+  // Render the two curves the paper plots.
+  const char kMarkers[] = {'i', 'w', 'a', 'V'};
+  std::printf("\nlatency vs offered load (y clipped at 300 cycles):\n");
+  AsciiPlot lat_plot(64, 16, "offered packets/cycle/node",
+                     "avg packet latency [cycles]");
+  lat_plot.SetYLimit(300.0);
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::vector<std::pair<double, double>> pts;
+    for (double rate : rates) {
+      pts.emplace_back(rate, results[{rate, schemes[s]}].avg_latency);
+    }
+    lat_plot.AddSeries(ToString(schemes[s]), kMarkers[s], std::move(pts));
+  }
+  lat_plot.Print();
+
+  std::printf("\naccepted vs offered load:\n");
+  AsciiPlot thr_plot(64, 12, "offered packets/cycle/node",
+                     "accepted packets/cycle/node");
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::vector<std::pair<double, double>> pts;
+    for (double rate : rates) {
+      pts.emplace_back(rate, results[{rate, schemes[s]}].accepted_ppc);
+    }
+    thr_plot.AddSeries(ToString(schemes[s]), kMarkers[s], std::move(pts));
+  }
+  thr_plot.Print();
+
+  const double kHigh = 0.12;  // high-injection operating point
+  const double t_if = results[{kHigh, AllocScheme::kInputFirst}].accepted_ppc;
+  const double t_wf = results[{kHigh, AllocScheme::kWavefront}].accepted_ppc;
+  const double t_ap =
+      results[{kHigh, AllocScheme::kAugmentingPath}].accepted_ppc;
+  const double t_vix = results[{kHigh, AllocScheme::kVix}].accepted_ppc;
+  const double l_if = results[{kHigh, AllocScheme::kInputFirst}].avg_latency;
+  const double l_vix = results[{kHigh, AllocScheme::kVix}].avg_latency;
+
+  bench::Claim("VIX throughput gain over IF at high load", 0.162,
+               bench::PctGain(t_vix, t_if));
+  bench::Claim("VIX throughput gain over AP", 0.159,
+               bench::PctGain(t_vix, t_ap));
+  bench::Claim("VIX throughput gain over WF", 0.15,
+               bench::PctGain(t_vix, t_wf));
+  bench::Claim("VIX latency reduction vs IF at high load", 0.36,
+               1.0 - l_vix / l_if);
+  bench::Claim("AP throughput gain over IF (paper: ~0.3%)", 0.003,
+               bench::PctGain(t_ap, t_if));
+  bench::Note("divergence: our AP retains a network-level gain over IF "
+              "(~+10%) instead of collapsing to +0.3%; its unfairness "
+              "(Fig 9 bench) reproduces, but not the aggregate-throughput "
+              "collapse. See EXPERIMENTS.md.");
+  return 0;
+}

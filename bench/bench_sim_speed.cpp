@@ -1,0 +1,83 @@
+// Google-benchmark measurement of the simulator itself: router-cycles per
+// second of host time per topology and allocator. A practical number for
+// anyone planning larger parameter sweeps on this code base.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "network/network.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+namespace {
+
+void RunNetwork(benchmark::State& state, TopologyKind kind,
+                AllocScheme scheme) {
+  std::shared_ptr<Topology> topo = MakeTopology64(kind);
+  NetworkParams params;
+  params.router.radix = topo->Radix();
+  params.router.num_vcs = 6;
+  params.router.buffer_depth = 5;
+  params.router.scheme = scheme;
+  params.router.vc_policy = RouterConfig::DefaultPolicyFor(scheme);
+  Network net(topo, params);
+  const int num_routers = net.NumRouters();
+
+  Rng rng(1);
+  // Pre-load to a realistic operating point.
+  for (Cycle t = 0; t < 2'000; ++t) {
+    for (NodeId n = 0; n < net.NumNodes(); ++n) {
+      if (rng.NextBool(0.08)) {
+        net.EnqueuePacket(n, static_cast<NodeId>(
+                                 rng.NextBounded(net.NumNodes())), 4);
+      }
+    }
+    net.Step();
+  }
+
+  for (auto _ : state) {
+    for (NodeId n = 0; n < net.NumNodes(); ++n) {
+      if (rng.NextBool(0.08)) {
+        net.EnqueuePacket(n, static_cast<NodeId>(
+                                 rng.NextBounded(net.NumNodes())), 4);
+      }
+    }
+    net.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * num_routers);
+  state.counters["router_cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * num_routers,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Mesh_IF(benchmark::State& s) {
+  RunNetwork(s, TopologyKind::kMesh, AllocScheme::kInputFirst);
+}
+void BM_Mesh_VIX(benchmark::State& s) {
+  RunNetwork(s, TopologyKind::kMesh, AllocScheme::kVix);
+}
+void BM_Mesh_WF(benchmark::State& s) {
+  RunNetwork(s, TopologyKind::kMesh, AllocScheme::kWavefront);
+}
+void BM_Mesh_AP(benchmark::State& s) {
+  RunNetwork(s, TopologyKind::kMesh, AllocScheme::kAugmentingPath);
+}
+void BM_CMesh_VIX(benchmark::State& s) {
+  RunNetwork(s, TopologyKind::kCMesh, AllocScheme::kVix);
+}
+void BM_FBfly_VIX(benchmark::State& s) {
+  RunNetwork(s, TopologyKind::kFBfly, AllocScheme::kVix);
+}
+
+BENCHMARK(BM_Mesh_IF);
+BENCHMARK(BM_Mesh_VIX);
+BENCHMARK(BM_Mesh_WF);
+BENCHMARK(BM_Mesh_AP);
+BENCHMARK(BM_CMesh_VIX);
+BENCHMARK(BM_FBfly_VIX);
+
+}  // namespace
+}  // namespace vixnoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table 3: delay of the switch-allocation schemes (separable,
+// wavefront, augmenting path) for the radix-5 mesh router.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "timing/delay_model.hpp"
+
+using namespace vixnoc;
+
+int main() {
+  bench::Banner("Table 3", "Delay of different switch allocation schemes");
+
+  constexpr int kRadix = 5, kVcs = 6;
+  const double separable = timing::SaDelayPs(kRadix, kVcs, 1);
+  const double vix = timing::SaDelayPs(kRadix, kVcs, 2);
+  const double wavefront = timing::WavefrontDelayPs(kRadix, kVcs);
+  const double ap = timing::AugmentingPathDelayPs(kRadix, kVcs);
+  const double cycle = timing::RouterCyclePs(kRadix, kVcs, 1);
+
+  TablePrinter table({"Scheme", "Delay", "Feasible in router cycle?",
+                      "paper"});
+  auto feas = [&](double d) {
+    return timing::AllocatorFeasible(d, kRadix, kVcs) ? "yes" : "no";
+  };
+  table.AddRow({"Separable (IF)", TablePrinter::Fmt(separable, 0) + " ps",
+                feas(separable), "280 ps"});
+  table.AddRow({"Separable + VIX", TablePrinter::Fmt(vix, 0) + " ps",
+                feas(vix), "290 ps (Table 1)"});
+  table.AddRow({"Wavefront", TablePrinter::Fmt(wavefront, 0) + " ps",
+                feas(wavefront), "390 ps"});
+  table.AddRow({"Augmented Path", TablePrinter::Fmt(ap, 0) + " ps", feas(ap),
+                "Infeasible"});
+  table.Print();
+
+  bench::Claim("Wavefront delay vs separable (+39%)", 1.39,
+               wavefront / separable);
+  bench::Claim("VIX allocation delay overhead (x)", 290.0 / 280.0,
+               vix / separable);
+  std::printf("  router cycle time (VA-limited): %.0f ps\n", cycle);
+  bench::Note("AP needs up to P sequential augmentation phases -> far beyond "
+              "a cycle; the paper calls it infeasible for NoC routers.");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints (a) the experiment's configuration, (b) a table in the
+// shape of the paper's table/figure, and (c) a paper-vs-measured summary of
+// the headline claim(s) it reproduces. EXPERIMENTS.md archives the output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace vixnoc::bench {
+
+inline void Banner(const std::string& experiment, const std::string& what) {
+  std::printf("\n=================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("=================================================================\n");
+}
+
+inline void Claim(const std::string& description, double paper,
+                  double measured, const std::string& unit = "") {
+  std::printf("  claim: %-52s paper: %8.3f%s  measured: %8.3f%s\n",
+              description.c_str(), paper, unit.c_str(), measured,
+              unit.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+inline double PctGain(double a, double b) { return a / b - 1.0; }
+
+}  // namespace vixnoc::bench

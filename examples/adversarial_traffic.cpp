@@ -1,0 +1,61 @@
+// Adversarial-traffic study of the VIX VC-assignment policies (paper §2.3:
+// "load balancing the input requests in combination with dimension
+// information ... will help improve performance in adversarial traffic
+// patterns").
+//
+//   $ ./build/examples/adversarial_traffic
+//
+// Runs VIX under every statistical pattern with the three VC-assignment
+// policies and shows where dimension-aware steering matters.
+#include <cstdio>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+
+using namespace vixnoc;
+
+int main() {
+  const std::vector<PatternKind> patterns = {
+      PatternKind::kUniform, PatternKind::kTranspose,
+      PatternKind::kBitComplement, PatternKind::kBitReverse,
+      PatternKind::kTornado};
+  const std::vector<std::pair<const char*, VcAssignPolicy>> policies = {
+      {"max-credits", VcAssignPolicy::kMaxCredits},
+      {"balance", VcAssignPolicy::kVixBalance},
+      {"dimension", VcAssignPolicy::kVixDimension}};
+
+  std::printf("VIX saturation throughput [packets/cycle/node] on the mesh\n"
+              "per traffic pattern and VC-assignment policy; baseline IF "
+              "for reference\n\n");
+  std::printf("%-10s %10s", "pattern", "IF");
+  for (const auto& [name, policy] : policies) std::printf(" %12s", name);
+  std::printf("\n");
+
+  for (PatternKind pattern : patterns) {
+    NetworkSimConfig c;
+    c.pattern = pattern;
+    c.injection_rate = c.MaxInjectionRate();
+    c.warmup = 4'000;
+    c.measure = 12'000;
+    c.drain = 1'000;
+
+    c.scheme = AllocScheme::kInputFirst;
+    const double base = RunNetworkSim(c).accepted_ppc;
+    std::printf("%-10s %10.4f", MakePattern(pattern)->Name().c_str(), base);
+
+    c.scheme = AllocScheme::kVix;
+    for (const auto& [name, policy] : policies) {
+      c.vc_policy = policy;
+      std::printf(" %12.4f", RunNetworkSim(c).accepted_ppc);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ndimension steering assigns packets to virtual-input "
+              "sub-groups by their\nnext-hop direction so requests to "
+              "different outputs arrive on different\ncrossbar inputs; "
+              "balance-only ignores direction. Patterns with strong\n"
+              "directional structure (transpose, tornado) are where the "
+              "difference shows.\n");
+  return 0;
+}

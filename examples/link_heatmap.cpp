@@ -1,0 +1,84 @@
+// Link-utilization heatmap: visualize where traffic concentrates in the
+// mesh, using the per-output-port flit counters.
+//
+//   $ ./build/examples/link_heatmap [uniform|transpose|tornado] [if|vix]
+//
+// Prints an 8x8 grid of per-router crossbar activity (flits/cycle) plus
+// the horizontal (East+West) link loads per row — making bisection
+// pressure and the center-vs-edge contention that drives saturation
+// fairness directly visible.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "network/network.hpp"
+#include "topology/topology.hpp"
+#include "traffic/patterns.hpp"
+
+using namespace vixnoc;
+
+int main(int argc, char** argv) {
+  PatternKind pattern = PatternKind::kUniform;
+  if (argc > 1) {
+    if (!ParsePatternKind(argv[1], &pattern)) {
+      std::fprintf(stderr, "unknown pattern '%s'\n", argv[1]);
+      return 2;
+    }
+  }
+  AllocScheme scheme = AllocScheme::kInputFirst;
+  if (argc > 2 && !ParseAllocScheme(argv[2], &scheme)) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", argv[2]);
+    return 2;
+  }
+
+  std::shared_ptr<Topology> topo = MakeTopology64(TopologyKind::kMesh);
+  NetworkParams params;
+  params.router.radix = topo->Radix();
+  params.router.num_vcs = 6;
+  params.router.buffer_depth = 5;
+  params.router.scheme = scheme;
+  params.router.vc_policy = RouterConfig::DefaultPolicyFor(scheme);
+  Network net(topo, params);
+
+  auto pat = MakePattern(pattern);
+  Rng rng(1);
+  constexpr Cycle kWarmup = 3'000, kMeasure = 10'000;
+  const double rate = 0.25;  // saturating load
+
+  for (Cycle t = 0; t < kWarmup + kMeasure; ++t) {
+    if (t == kWarmup) net.ClearActivity();
+    for (NodeId n = 0; n < 64; ++n) {
+      if (rng.NextBool(rate)) net.EnqueuePacket(n, pat->Dest(n, 64, rng), 4);
+    }
+    net.Step();
+  }
+
+  std::printf("crossbar activity per router [flits/cycle], pattern=%s "
+              "scheme=%s @ saturating load\n\n",
+              pat->Name().c_str(), ToString(scheme).c_str());
+  for (int row = 7; row >= 0; --row) {
+    for (int col = 0; col < 8; ++col) {
+      const auto& a = net.router(row * 8 + col).activity();
+      std::printf("%5.2f ",
+                  static_cast<double>(a.xbar_traversals) / kMeasure);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nEast-link load per router [flits/cycle] "
+              "(bisection pressure):\n\n");
+  for (int row = 7; row >= 0; --row) {
+    for (int col = 0; col < 8; ++col) {
+      std::printf("%5.2f ",
+                  static_cast<double>(
+                      net.router(row * 8 + col).FlitsSentOn(0)) /
+                      kMeasure);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(center columns carry the most East-West traffic under "
+              "uniform random\n — the physical reason center nodes starve "
+              "first at deep saturation.)\n");
+  return 0;
+}

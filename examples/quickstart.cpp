@@ -1,0 +1,49 @@
+// Quickstart: build a 64-node mesh, compare the baseline separable
+// allocator against VIX at one operating point, and print what changed.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the smallest end-to-end use of the library: pick a topology and
+// an allocation scheme, run a statistical-traffic simulation, read the
+// results. See mesh_latency_study.cpp for sweeps and app_workload.cpp for
+// the full-system model.
+#include <cstdio>
+
+#include "sim/network_sim.hpp"
+
+using namespace vixnoc;
+
+int main() {
+  std::printf("vixnoc quickstart: 8x8 mesh, uniform random traffic, "
+              "4-flit packets, 6 VCs/port\n\n");
+
+  // A high-load operating point, just past the baseline's saturation knee.
+  const double kInjectionRate = 0.12;  // packets/cycle/node
+
+  for (AllocScheme scheme : {AllocScheme::kInputFirst, AllocScheme::kVix}) {
+    NetworkSimConfig config;
+    config.topology = TopologyKind::kMesh;
+    config.scheme = scheme;               // the only knob that changes
+    config.injection_rate = kInjectionRate;
+    config.warmup = 5'000;
+    config.measure = 15'000;
+    config.drain = 2'000;
+
+    const NetworkSimResult result = RunNetworkSim(config);
+    std::printf("%-4s: accepted %.4f packets/cycle/node  "
+                "(%.1f flits/cycle network-wide)\n",
+                ToString(scheme).c_str(), result.accepted_ppc,
+                result.accepted_fpc);
+    std::printf("      avg packet latency %.1f cycles, "
+                "p99 %.0f cycles, fairness max/min %.2f\n\n",
+                result.avg_latency, result.p99_latency,
+                result.max_min_ratio);
+  }
+
+  std::printf("VIX connects two virtual channels per input port to the "
+              "crossbar,\nso one input port can feed two different output "
+              "ports in a cycle\nand output arbiters see twice as many "
+              "requests - which is where the\nthroughput and latency gap "
+              "above comes from.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Trace workflow: record a packet trace once, replay it under several
+// allocators, and show that the comparison is free of injection noise.
+//
+//   $ ./build/examples/trace_workflow [trace-file]
+//
+// Without an argument a fresh uniform-random trace is generated, saved to
+// a temp file, reloaded (exercising the on-disk format), and replayed.
+// Passing a path replays an externally produced trace instead (format:
+// `cycle src dst size_flits` per line, '#' comments).
+#include <cstdio>
+#include <string>
+
+#include "sim/trace_sim.hpp"
+
+using namespace vixnoc;
+
+int main(int argc, char** argv) {
+  PacketTrace trace;
+  if (argc > 1) {
+    trace = PacketTrace::Load(argv[1], /*num_nodes=*/64);
+    std::printf("loaded %zu packets from %s (last cycle %llu)\n\n",
+                trace.size(), argv[1],
+                static_cast<unsigned long long>(trace.LastCycle()));
+  } else {
+    trace = GeneratePatternTrace(PatternKind::kUniform, /*rate=*/0.11,
+                                 /*num_nodes=*/64, /*cycles=*/20'000,
+                                 /*packet_size=*/4, /*seed=*/42);
+    const std::string path = "/tmp/vixnoc_example_trace.txt";
+    trace.Save(path);
+    trace = PacketTrace::Load(path, 64);  // round-trip through the format
+    std::printf("generated and saved %zu packets to %s\n\n", trace.size(),
+                path.c_str());
+  }
+
+  NetworkSimConfig config;
+  config.warmup = 4'000;
+  config.measure = 12'000;
+  config.drain = 4'000;
+
+  std::printf("%-6s %12s %12s %10s\n", "scheme", "accepted", "latency",
+              "max/min");
+  for (AllocScheme scheme :
+       {AllocScheme::kInputFirst, AllocScheme::kWavefront,
+        AllocScheme::kAugmentingPath, AllocScheme::kPacketChaining,
+        AllocScheme::kVix}) {
+    config.scheme = scheme;
+    const NetworkSimResult r = RunTraceSim(config, trace);
+    std::printf("%-6s %12.4f %12.1f %10.2f\n", ToString(scheme).c_str(),
+                r.accepted_ppc, r.avg_latency, r.max_min_ratio);
+  }
+  std::printf("\nevery scheme saw the *identical* packet schedule: any "
+              "difference above is\npurely the allocator, with zero "
+              "injection-process noise.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "alloc/augmenting_path.hpp"
+
+#include <algorithm>
+
+namespace vixnoc {
+
+AugmentingPathAllocator::AugmentingPathAllocator(const SwitchGeometry& g,
+                                                 bool rotate_vcs)
+    : SwitchAllocator(g), rotate_vcs_(rotate_vcs) {
+  VIXNOC_CHECK(g.num_vins == 1);
+  request_.assign(
+      static_cast<std::size_t>(g.num_inports) * g.num_outports, false);
+  match_of_out_.assign(g.num_outports, -1);
+  match_of_in_.assign(g.num_inports, -1);
+  vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
+  cell_vcs_.resize(static_cast<std::size_t>(g.num_inports) * g.num_outports);
+}
+
+bool AugmentingPathAllocator::TryAugment(int in, std::vector<bool>* visited) {
+  for (int out = 0; out < geom_.num_outports; ++out) {
+    if (!request_[static_cast<std::size_t>(in) * geom_.num_outports + out] ||
+        (*visited)[out]) {
+      continue;
+    }
+    (*visited)[out] = true;
+    ++last_iterations_;
+    if (match_of_out_[out] == -1 ||
+        TryAugment(match_of_out_[out], visited)) {
+      match_of_out_[out] = in;
+      match_of_in_[in] = out;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AugmentingPathAllocator::Allocate(const std::vector<SaRequest>& requests,
+                                       std::vector<SaGrant>* grants) {
+  grants->clear();
+  last_iterations_ = 0;
+  std::fill(request_.begin(), request_.end(), false);
+  std::fill(match_of_out_.begin(), match_of_out_.end(), -1);
+  std::fill(match_of_in_.begin(), match_of_in_.end(), -1);
+  for (auto& v : cell_vcs_) v.clear();
+
+  for (const SaRequest& r : requests) {
+    const std::size_t cell =
+        static_cast<std::size_t>(r.in_port) * geom_.num_outports + r.out_port;
+    request_[cell] = true;
+    cell_vcs_[cell].push_back(r.vc);
+  }
+
+  // Kuhn's algorithm: process inputs in fixed ascending order.
+  std::vector<bool> visited(static_cast<std::size_t>(geom_.num_outports));
+  for (int in = 0; in < geom_.num_inports; ++in) {
+    std::fill(visited.begin(), visited.end(), false);
+    TryAugment(in, &visited);
+  }
+
+  for (int in = 0; in < geom_.num_inports; ++in) {
+    const int out = match_of_in_[in];
+    if (out == -1) continue;
+    const std::size_t cell =
+        static_cast<std::size_t>(in) * geom_.num_outports + out;
+    const auto& vcs = cell_vcs_[cell];
+    VIXNOC_DCHECK(!vcs.empty());
+    int& ptr = vc_rr_[cell];
+    VcId best = kInvalidVc;
+    if (rotate_vcs_) {
+      for (VcId vc : vcs) {
+        if (vc >= ptr && (best == kInvalidVc || vc < best)) best = vc;
+      }
+    }
+    if (best == kInvalidVc) {
+      for (VcId vc : vcs) {
+        if (best == kInvalidVc || vc < best) best = vc;
+      }
+    }
+    ptr = (best + 1) % geom_.num_vcs;
+    grants->push_back(SaGrant{in, 0, best, out});
+  }
+}
+
+void AugmentingPathAllocator::Reset() {
+  std::fill(vc_rr_.begin(), vc_rr_.end(), 0);
+  last_iterations_ = 0;
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,56 @@
+// Maximum-matching switch allocator via augmenting paths (paper's "AP"
+// scheme; Ford & Fulkerson [8]).
+//
+// The port-level request matrix defines a bipartite graph between input and
+// output ports. Kuhn's algorithm seeds a greedy matching in fixed input-port
+// order and then augments it with DFS paths until no augmenting path exists,
+// which yields a matching of maximum cardinality — the paper's definition of
+// optimal *matching* (but not optimal *allocation*: the one-crossbar-input-
+// per-port constraint still applies).
+//
+// Determinism is intentional and faithful: the paper attributes AP's poor
+// network-level behaviour (Fig 8, Fig 9) to its locally-greedy decisions
+// causing severe unfairness; a fixed exploration order is exactly what a
+// combinational maximum-matching circuit would commit to every cycle.
+// VC selection within a matched pair uses per-pair round-robin so VCs of a
+// port cannot starve each other.
+#pragma once
+
+#include "alloc/switch_allocator.hpp"
+
+namespace vixnoc {
+
+class AugmentingPathAllocator final : public SwitchAllocator {
+ public:
+  /// `rotate_vcs`: when true, VC selection within a matched (input, output)
+  /// pair round-robins so VCs of a port cannot starve each other; when
+  /// false the allocator is fully combinational-deterministic (lowest VC
+  /// wins), matching a hardware maximum-matching circuit with no fairness
+  /// state at all.
+  explicit AugmentingPathAllocator(const SwitchGeometry& g,
+                                   bool rotate_vcs = true);
+
+  void Allocate(const std::vector<SaRequest>& requests,
+                std::vector<SaGrant>* grants) override;
+  void Reset() override;
+  std::string Name() const override { return "augmenting-path"; }
+
+  /// Number of augmenting-path iterations executed on the last Allocate
+  /// call; exposed for the timing model (AP delay grows with iterations).
+  int last_iterations() const { return last_iterations_; }
+
+ private:
+  bool TryAugment(int in, std::vector<bool>* visited);
+
+  bool rotate_vcs_;
+
+  // request_[in][out] = true if any VC at `in` requests `out` this cycle.
+  std::vector<bool> request_;
+  std::vector<int> match_of_out_;  // output -> matched input (-1 free)
+  std::vector<int> match_of_in_;   // input -> matched output (-1 free)
+  std::vector<int> vc_rr_;         // per (in,out) vc round-robin pointer
+  std::vector<std::vector<VcId>> cell_vcs_;
+  int last_iterations_ = 0;
+};
+
+}  // namespace vixnoc

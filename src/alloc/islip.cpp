@@ -1,0 +1,99 @@
+#include "alloc/islip.hpp"
+
+#include <algorithm>
+
+namespace vixnoc {
+
+IslipAllocator::IslipAllocator(const SwitchGeometry& g, int iterations)
+    : SwitchAllocator(g), iterations_(iterations) {
+  VIXNOC_CHECK(g.num_vins == 1);
+  VIXNOC_CHECK(iterations >= 1);
+  grant_ptr_.assign(g.num_outports, 0);
+  accept_ptr_.assign(g.num_inports, 0);
+  vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
+  cell_vcs_.resize(static_cast<std::size_t>(g.num_inports) * g.num_outports);
+}
+
+void IslipAllocator::Allocate(const std::vector<SaRequest>& requests,
+                              std::vector<SaGrant>* grants) {
+  grants->clear();
+  for (auto& v : cell_vcs_) v.clear();
+  for (const SaRequest& r : requests) {
+    cell_vcs_[static_cast<std::size_t>(r.in_port) * geom_.num_outports +
+              r.out_port]
+        .push_back(r.vc);
+  }
+
+  std::vector<int> match_in(static_cast<std::size_t>(geom_.num_inports), -1);
+  std::vector<int> match_out(static_cast<std::size_t>(geom_.num_outports),
+                             -1);
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    // Grant phase: each free output picks a requesting free input.
+    std::vector<int> granted_to(
+        static_cast<std::size_t>(geom_.num_outports), -1);
+    for (int out = 0; out < geom_.num_outports; ++out) {
+      if (match_out[out] != -1) continue;
+      for (int off = 0; off < geom_.num_inports; ++off) {
+        const int in = (grant_ptr_[out] + off) % geom_.num_inports;
+        if (match_in[in] != -1) continue;
+        if (cell_vcs_[static_cast<std::size_t>(in) * geom_.num_outports + out]
+                .empty()) {
+          continue;
+        }
+        granted_to[out] = in;
+        break;
+      }
+    }
+    // Accept phase: each free input picks one granting output.
+    bool progress = false;
+    for (int in = 0; in < geom_.num_inports; ++in) {
+      if (match_in[in] != -1) continue;
+      int chosen = -1;
+      for (int off = 0; off < geom_.num_outports; ++off) {
+        const int out = (accept_ptr_[in] + off) % geom_.num_outports;
+        if (granted_to[out] == in) {
+          chosen = out;
+          break;
+        }
+      }
+      if (chosen == -1) continue;
+      match_in[in] = chosen;
+      match_out[chosen] = in;
+      progress = true;
+      if (iter == 0) {
+        grant_ptr_[chosen] = (in + 1) % geom_.num_inports;
+        accept_ptr_[in] = (chosen + 1) % geom_.num_outports;
+      }
+    }
+    if (!progress) break;
+  }
+
+  for (int in = 0; in < geom_.num_inports; ++in) {
+    const int out = match_in[in];
+    if (out == -1) continue;
+    const std::size_t cell =
+        static_cast<std::size_t>(in) * geom_.num_outports + out;
+    const auto& vcs = cell_vcs_[cell];
+    int& ptr = vc_rr_[cell];
+    VcId best = kInvalidVc;
+    for (VcId vc : vcs) {
+      if (vc >= ptr && (best == kInvalidVc || vc < best)) best = vc;
+    }
+    if (best == kInvalidVc) {
+      for (VcId vc : vcs) {
+        if (best == kInvalidVc || vc < best) best = vc;
+      }
+    }
+    ptr = (best + 1) % geom_.num_vcs;
+    grants->push_back(SaGrant{in, 0, best, out});
+  }
+}
+
+void IslipAllocator::Reset() {
+  std::fill(grant_ptr_.begin(), grant_ptr_.end(), 0);
+  std::fill(accept_ptr_.begin(), accept_ptr_.end(), 0);
+  std::fill(vc_rr_.begin(), vc_rr_.end(), 0);
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,35 @@
+// Iterative SLIP allocator (McKeown [14]) — extension beyond the paper's
+// four headline schemes; the paper cites iSLIP as the canonical iterative
+// improver of separable allocation, so we provide it for ablations.
+//
+// Each iteration runs request -> grant -> accept over the *unmatched* ports:
+//   grant:  every free output picks one requesting free input (rotating ptr);
+//   accept: every free input picks one granting output (rotating ptr).
+// Pointers advance only when a grant is accepted in the FIRST iteration,
+// which is the published starvation-freedom rule.
+#pragma once
+
+#include "alloc/switch_allocator.hpp"
+
+namespace vixnoc {
+
+class IslipAllocator final : public SwitchAllocator {
+ public:
+  IslipAllocator(const SwitchGeometry& g, int iterations = 2);
+
+  void Allocate(const std::vector<SaRequest>& requests,
+                std::vector<SaGrant>* grants) override;
+  void Reset() override;
+  std::string Name() const override {
+    return "islip-" + std::to_string(iterations_);
+  }
+
+ private:
+  int iterations_;
+  std::vector<int> grant_ptr_;   // per output
+  std::vector<int> accept_ptr_;  // per input
+  std::vector<int> vc_rr_;       // per (in,out)
+  std::vector<std::vector<VcId>> cell_vcs_;
+};
+
+}  // namespace vixnoc

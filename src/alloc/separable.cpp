@@ -1,0 +1,105 @@
+#include "alloc/separable.hpp"
+
+namespace vixnoc {
+
+SeparableInputFirstAllocator::SeparableInputFirstAllocator(
+    const SwitchGeometry& g, ArbiterKind kind, bool update_on_grant_only)
+    : SwitchAllocator(g), update_on_grant_only_(update_on_grant_only) {
+  input_arbiters_.reserve(g.NumCrossbarInputs());
+  for (int i = 0; i < g.NumCrossbarInputs(); ++i) {
+    input_arbiters_.push_back(MakeArbiter(kind, g.VcsPerVin()));
+  }
+  output_arbiters_.reserve(g.num_outports);
+  for (int o = 0; o < g.num_outports; ++o) {
+    output_arbiters_.push_back(MakeArbiter(kind, g.NumCrossbarInputs()));
+  }
+  vc_request_scratch_.resize(g.VcsPerVin());
+  phase1_vc_.resize(g.NumCrossbarInputs());
+  phase1_out_.resize(g.NumCrossbarInputs());
+  out_request_scratch_.resize(g.NumCrossbarInputs());
+}
+
+void SeparableInputFirstAllocator::Allocate(
+    const std::vector<SaRequest>& requests, std::vector<SaGrant>* grants) {
+  grants->clear();
+  const int xin_count = geom_.NumCrossbarInputs();
+  const int vpv = geom_.VcsPerVin();
+
+  // Index requests by (crossbar input, vc-within-vin) for phase 1.
+  // out_port_of[xin * vpv + sub_vc] = requested output, or kInvalidPort.
+  // A flat scratch sized P*k*vpv = P*v.
+  static thread_local std::vector<PortId> out_port_of;
+  out_port_of.assign(static_cast<std::size_t>(xin_count) * vpv, kInvalidPort);
+  for (const SaRequest& r : requests) {
+    VIXNOC_DCHECK(r.in_port >= 0 && r.in_port < geom_.num_inports);
+    VIXNOC_DCHECK(r.vc >= 0 && r.vc < geom_.num_vcs);
+    VIXNOC_DCHECK(r.out_port >= 0 && r.out_port < geom_.num_outports);
+    const VinId vin = geom_.VinOfVc(r.vc);
+    const int xin = r.in_port * geom_.num_vins + vin;
+    const int sub = geom_.SubIndexOfVc(r.vc);
+    VIXNOC_DCHECK(out_port_of[static_cast<std::size_t>(xin) * vpv + sub] ==
+                  kInvalidPort);
+    out_port_of[static_cast<std::size_t>(xin) * vpv + sub] = r.out_port;
+  }
+
+  // Phase 1: each crossbar input's arbiter picks one requesting VC.
+  for (int xin = 0; xin < xin_count; ++xin) {
+    bool any = false;
+    for (int sub = 0; sub < vpv; ++sub) {
+      const bool req =
+          out_port_of[static_cast<std::size_t>(xin) * vpv + sub] !=
+          kInvalidPort;
+      vc_request_scratch_[sub] = req;
+      any |= req;
+    }
+    if (!any) {
+      phase1_vc_[xin] = -1;
+      continue;
+    }
+    const int sub = input_arbiters_[xin]->Pick(vc_request_scratch_);
+    VIXNOC_DCHECK(sub >= 0);
+    phase1_vc_[xin] = sub;
+    phase1_out_[xin] = out_port_of[static_cast<std::size_t>(xin) * vpv + sub];
+    if (!update_on_grant_only_) {
+      input_arbiters_[xin]->Commit(sub);
+    }
+  }
+
+  // Phase 2: each output arbiter picks one crossbar input among phase-1
+  // winners requesting it.
+  for (PortId o = 0; o < geom_.num_outports; ++o) {
+    bool any = false;
+    for (int xin = 0; xin < xin_count; ++xin) {
+      const bool req = phase1_vc_[xin] >= 0 && phase1_out_[xin] == o;
+      out_request_scratch_[xin] = req;
+      any |= req;
+    }
+    if (!any) continue;
+    const int xin = output_arbiters_[o]->Pick(out_request_scratch_);
+    VIXNOC_DCHECK(xin >= 0);
+    output_arbiters_[o]->Commit(xin);
+    const int sub = phase1_vc_[xin];
+    if (update_on_grant_only_) {
+      input_arbiters_[xin]->Commit(sub);
+    }
+    SaGrant grant;
+    grant.in_port = xin / geom_.num_vins;
+    grant.vin = xin % geom_.num_vins;
+    grant.vc = geom_.VcOf(grant.vin, sub);
+    grant.out_port = o;
+    grants->push_back(grant);
+  }
+}
+
+void SeparableInputFirstAllocator::Reset() {
+  for (auto& a : input_arbiters_) a->Reset();
+  for (auto& a : output_arbiters_) a->Reset();
+}
+
+std::string SeparableInputFirstAllocator::Name() const {
+  if (geom_.num_vins == 1) return "separable-input-first";
+  if (geom_.num_vins == geom_.num_vcs) return "separable-vix-ideal";
+  return "separable-vix-" + std::to_string(geom_.num_vins);
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,47 @@
+// Input-first separable switch allocator (paper §2.2, Fig 3).
+//
+// Phase 1: one input arbiter per crossbar input (per (port, virtual input)
+// pair) selects a winning VC among the sub-group's requesting VCs.
+// Phase 2: one output arbiter per output port selects a winning crossbar
+// input among those whose phase-1 winner requests it.
+//
+// With num_vins == 1 this is the paper's baseline IF allocator (P input
+// arbiters of size v:1, P output arbiters of size P:1). With num_vins == 2
+// it is the VIX allocator (2P input arbiters of size v/2:1, P output
+// arbiters of size 2P:1). With num_vins == v it degenerates to pure output
+// arbitration, the paper's "ideal" allocator.
+#pragma once
+
+#include "alloc/switch_allocator.hpp"
+
+namespace vixnoc {
+
+class SeparableInputFirstAllocator final : public SwitchAllocator {
+ public:
+  /// `update_on_grant_only`: when true (default), an arbiter's rotating
+  /// priority advances only if its pick was ultimately granted, the
+  /// starvation-free pointer-update rule from iSLIP that NoC separable
+  /// allocators commonly adopt. When false, pointers advance on every pick.
+  SeparableInputFirstAllocator(const SwitchGeometry& g, ArbiterKind kind,
+                               bool update_on_grant_only = true);
+
+  void Allocate(const std::vector<SaRequest>& requests,
+                std::vector<SaGrant>* grants) override;
+  void Reset() override;
+  std::string Name() const override;
+
+ private:
+  bool update_on_grant_only_;
+  // Indexed by crossbar input = in_port * num_vins + vin.
+  std::vector<std::unique_ptr<Arbiter>> input_arbiters_;
+  // Indexed by output port.
+  std::vector<std::unique_ptr<Arbiter>> output_arbiters_;
+
+  // Scratch, reused across cycles to avoid per-cycle allocation.
+  std::vector<bool> vc_request_scratch_;
+  std::vector<int> phase1_vc_;        // winning vc per crossbar input (-1 none)
+  std::vector<PortId> phase1_out_;    // requested out port per crossbar input
+  std::vector<bool> out_request_scratch_;
+};
+
+}  // namespace vixnoc

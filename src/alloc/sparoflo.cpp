@@ -1,0 +1,120 @@
+#include "alloc/sparoflo.hpp"
+
+#include <algorithm>
+
+namespace vixnoc {
+
+SparofloAllocator::SparofloAllocator(const SwitchGeometry& g,
+                                     ArbiterKind kind, int max_exposed)
+    : SwitchAllocator(g), max_exposed_(max_exposed) {
+  VIXNOC_CHECK(g.num_vins == 1);
+  VIXNOC_CHECK(max_exposed >= 1);
+  for (int p = 0; p < g.num_inports; ++p) {
+    input_arbiters_.push_back(MakeArbiter(kind, g.num_vcs));
+    conflict_arbiters_.push_back(MakeArbiter(kind, g.num_outports));
+  }
+  for (int o = 0; o < g.num_outports; ++o) {
+    output_arbiters_.push_back(MakeArbiter(kind, g.num_inports * g.num_vcs));
+  }
+}
+
+void SparofloAllocator::Allocate(const std::vector<SaRequest>& requests,
+                                 std::vector<SaGrant>* grants) {
+  grants->clear();
+  last_killed_grants_ = 0;
+  const int ports = geom_.num_inports;
+  const int vcs = geom_.num_vcs;
+
+  // Index requests: out_of[port*vcs + vc] = requested output.
+  std::vector<PortId> out_of(static_cast<std::size_t>(ports) * vcs,
+                             kInvalidPort);
+  for (const SaRequest& r : requests) {
+    out_of[static_cast<std::size_t>(r.in_port) * vcs + r.vc] = r.out_port;
+  }
+
+  // Phase 1: each input port exposes up to max_exposed_ VCs requesting
+  // *distinct* outputs, chosen by repeated rotating arbitration.
+  std::vector<bool> exposed(static_cast<std::size_t>(ports) * vcs, false);
+  for (PortId p = 0; p < ports; ++p) {
+    std::vector<bool> candidate(vcs);
+    std::vector<bool> out_taken(static_cast<std::size_t>(geom_.num_outports),
+                                false);
+    for (int round = 0; round < max_exposed_; ++round) {
+      bool any = false;
+      for (VcId c = 0; c < vcs; ++c) {
+        const PortId out = out_of[static_cast<std::size_t>(p) * vcs + c];
+        candidate[c] = out != kInvalidPort && !exposed[p * vcs + c] &&
+                       !out_taken[out];
+        any |= candidate[c];
+      }
+      if (!any) break;
+      const int winner = input_arbiters_[p]->Pick(candidate);
+      VIXNOC_DCHECK(winner >= 0);
+      input_arbiters_[p]->Commit(winner);
+      exposed[static_cast<std::size_t>(p) * vcs + winner] = true;
+      out_taken[out_of[static_cast<std::size_t>(p) * vcs + winner]] = true;
+    }
+  }
+
+  // Phase 2: output arbitration over all exposed requests.
+  struct Tentative {
+    PortId in_port;
+    VcId vc;
+    PortId out_port;
+  };
+  std::vector<Tentative> tentative;
+  std::vector<bool> req_scratch(static_cast<std::size_t>(ports) * vcs);
+  for (PortId o = 0; o < geom_.num_outports; ++o) {
+    bool any = false;
+    for (PortId p = 0; p < ports; ++p) {
+      for (VcId c = 0; c < vcs; ++c) {
+        const std::size_t idx = static_cast<std::size_t>(p) * vcs + c;
+        req_scratch[idx] = exposed[idx] && out_of[idx] == o;
+        any |= req_scratch[idx];
+      }
+    }
+    if (!any) continue;
+    const int winner = output_arbiters_[o]->Pick(req_scratch);
+    VIXNOC_DCHECK(winner >= 0);
+    output_arbiters_[o]->Commit(winner);
+    tentative.push_back(
+        Tentative{static_cast<PortId>(winner / vcs),
+                  static_cast<VcId>(winner % vcs), o});
+  }
+
+  // Phase 3: conflict detection. A port that won several outputs can use
+  // only one crossbar input; the conflict arbiter keeps one grant and the
+  // rest are killed (their outputs stay idle this cycle).
+  std::vector<std::vector<Tentative>> by_port(ports);
+  for (const Tentative& t : tentative) by_port[t.in_port].push_back(t);
+  for (PortId p = 0; p < ports; ++p) {
+    auto& wins = by_port[p];
+    if (wins.empty()) continue;
+    if (wins.size() == 1) {
+      grants->push_back(SaGrant{p, 0, wins[0].vc, wins[0].out_port});
+      continue;
+    }
+    std::vector<bool> outs(static_cast<std::size_t>(geom_.num_outports),
+                           false);
+    for (const Tentative& t : wins) outs[t.out_port] = true;
+    const int keep_out = conflict_arbiters_[p]->Pick(outs);
+    VIXNOC_DCHECK(keep_out >= 0);
+    conflict_arbiters_[p]->Commit(keep_out);
+    for (const Tentative& t : wins) {
+      if (t.out_port == keep_out) {
+        grants->push_back(SaGrant{p, 0, t.vc, t.out_port});
+      } else {
+        ++last_killed_grants_;
+      }
+    }
+  }
+}
+
+void SparofloAllocator::Reset() {
+  for (auto& a : input_arbiters_) a->Reset();
+  for (auto& a : output_arbiters_) a->Reset();
+  for (auto& a : conflict_arbiters_) a->Reset();
+  last_killed_grants_ = 0;
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,123 @@
+// Switch-allocator interface.
+//
+// Every cycle the router presents the *request matrix*: for each input VC
+// whose head-of-line flit is ready (route computed, output VC assigned,
+// downstream credit available), one request naming its output port. The
+// allocator returns a set of grants subject to the crossbar's structural
+// constraints:
+//
+//   * at most one grant per output port, and
+//   * at most one grant per crossbar input, where a crossbar input is a
+//     (input port, virtual input) pair.
+//
+// The baseline crossbar has one virtual input per port; a 1:2 VIX crossbar
+// has two; the "ideal VIX" crossbar has one per VC. VCs are statically
+// partitioned across virtual inputs in contiguous sub-groups (paper §2.1):
+// vc's virtual input is vc / (num_vcs / num_vins).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arbiter/arbiter.hpp"
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace vixnoc {
+
+/// Static shape of one router's switch.
+struct SwitchGeometry {
+  int num_inports = 0;   ///< physical input ports (P)
+  int num_outports = 0;  ///< physical output ports (P)
+  int num_vcs = 0;       ///< virtual channels per input port (v)
+  int num_vins = 1;      ///< virtual inputs (crossbar inputs) per port (k)
+  /// VC -> virtual-input mapping: contiguous blocks (vc / (v/k), the
+  /// paper's Fig 2 wiring) or interleaved (vc % k). Interleaving keeps
+  /// every virtual input reachable from within any contiguous VC subset,
+  /// which matters when VCs are also partitioned by message class or
+  /// dateline state.
+  bool interleaved_vins = false;
+
+  int VcsPerVin() const { return num_vcs / num_vins; }
+  VinId VinOfVc(VcId vc) const {
+    return interleaved_vins ? vc % num_vins : vc / VcsPerVin();
+  }
+  /// Position of `vc` within its virtual input's sub-group.
+  int SubIndexOfVc(VcId vc) const {
+    return interleaved_vins ? vc / num_vins : vc % VcsPerVin();
+  }
+  /// Inverse of (VinOfVc, SubIndexOfVc).
+  VcId VcOf(VinId vin, int sub) const {
+    return interleaved_vins ? sub * num_vins + vin : vin * VcsPerVin() + sub;
+  }
+  int NumCrossbarInputs() const { return num_inports * num_vins; }
+
+  bool Valid() const {
+    return num_inports > 0 && num_outports > 0 && num_vcs > 0 &&
+           num_vins > 0 && num_vins <= num_vcs &&
+           num_vcs % num_vins == 0;
+  }
+};
+
+/// One input VC's request for an output port. At most one request per
+/// (in_port, vc) pair may be presented per cycle.
+struct SaRequest {
+  PortId in_port = kInvalidPort;
+  VcId vc = kInvalidVc;
+  PortId out_port = kInvalidPort;
+};
+
+/// A granted crossbar connection for this cycle.
+struct SaGrant {
+  PortId in_port = kInvalidPort;
+  VinId vin = 0;
+  VcId vc = kInvalidVc;
+  PortId out_port = kInvalidPort;
+};
+
+/// Abstract switch allocator. Implementations are stateful (rotating
+/// priorities, chains); Reset() restores the post-construction state.
+class SwitchAllocator {
+ public:
+  explicit SwitchAllocator(const SwitchGeometry& g) : geom_(g) {
+    VIXNOC_CHECK(g.Valid());
+  }
+  virtual ~SwitchAllocator() = default;
+
+  SwitchAllocator(const SwitchAllocator&) = delete;
+  SwitchAllocator& operator=(const SwitchAllocator&) = delete;
+
+  const SwitchGeometry& geometry() const { return geom_; }
+
+  /// Compute this cycle's grants. `grants` is cleared first.
+  virtual void Allocate(const std::vector<SaRequest>& requests,
+                        std::vector<SaGrant>* grants) = 0;
+
+  virtual void Reset() = 0;
+
+  virtual std::string Name() const = 0;
+
+ protected:
+  SwitchGeometry geom_;
+};
+
+/// Returns true iff `grants` is structurally legal for `geom` against
+/// `requests`: every grant matches a presented request, no output port is
+/// granted twice, and no (in_port, vin) crossbar input is granted twice.
+/// Used by tests and by the router's debug checks.
+bool GrantsAreLegal(const SwitchGeometry& geom,
+                    const std::vector<SaRequest>& requests,
+                    const std::vector<SaGrant>& grants);
+
+/// Factory covering every scheme in the paper's evaluation (§4.1).
+/// The geometry's num_vins must agree with the scheme (1 for IF/WF/AP/PC/
+/// iSLIP, 2 for kVix, num_vcs for kVixIdeal).
+std::unique_ptr<SwitchAllocator> MakeSwitchAllocator(
+    AllocScheme scheme, const SwitchGeometry& geom,
+    ArbiterKind arbiter_kind = ArbiterKind::kRoundRobin);
+
+/// Number of virtual inputs the scheme requires per physical port.
+int VirtualInputsForScheme(AllocScheme scheme, int num_vcs);
+
+}  // namespace vixnoc

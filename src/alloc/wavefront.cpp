@@ -1,0 +1,66 @@
+#include "alloc/wavefront.hpp"
+
+#include <algorithm>
+
+namespace vixnoc {
+
+WavefrontAllocator::WavefrontAllocator(const SwitchGeometry& g)
+    : SwitchAllocator(g), n_(std::max(g.num_inports, g.num_outports)) {
+  VIXNOC_CHECK(g.num_vins == 1);
+  vc_rr_.assign(static_cast<std::size_t>(geom_.num_inports) *
+                    geom_.num_outports,
+                0);
+  cell_vcs_.resize(static_cast<std::size_t>(geom_.num_inports) *
+                   geom_.num_outports);
+}
+
+void WavefrontAllocator::Allocate(const std::vector<SaRequest>& requests,
+                                  std::vector<SaGrant>* grants) {
+  grants->clear();
+  for (auto& v : cell_vcs_) v.clear();
+  for (const SaRequest& r : requests) {
+    cell_vcs_[static_cast<std::size_t>(r.in_port) * geom_.num_outports +
+              r.out_port]
+        .push_back(r.vc);
+  }
+
+  std::vector<bool> row_free(static_cast<std::size_t>(n_), true);
+  std::vector<bool> col_free(static_cast<std::size_t>(n_), true);
+
+  // Sweep all n diagonals starting at the rotating priority diagonal.
+  for (int d = 0; d < n_; ++d) {
+    const int diag = (priority_diagonal_ + d) % n_;
+    for (int i = 0; i < n_; ++i) {
+      const int j = (diag + i) % n_;
+      if (i >= geom_.num_inports || j >= geom_.num_outports) continue;
+      if (!row_free[i] || !col_free[j]) continue;
+      const std::size_t cell =
+          static_cast<std::size_t>(i) * geom_.num_outports + j;
+      const auto& vcs = cell_vcs_[cell];
+      if (vcs.empty()) continue;
+      row_free[i] = false;
+      col_free[j] = false;
+      // Round-robin VC pick: smallest requesting vc >= pointer, wrapping.
+      int& ptr = vc_rr_[cell];
+      VcId best = kInvalidVc;
+      for (VcId vc : vcs) {
+        if (vc >= ptr && (best == kInvalidVc || vc < best)) best = vc;
+      }
+      if (best == kInvalidVc) {
+        for (VcId vc : vcs) {
+          if (best == kInvalidVc || vc < best) best = vc;
+        }
+      }
+      ptr = (best + 1) % geom_.num_vcs;
+      grants->push_back(SaGrant{i, 0, best, j});
+    }
+  }
+  priority_diagonal_ = (priority_diagonal_ + 1) % n_;
+}
+
+void WavefrontAllocator::Reset() {
+  priority_diagonal_ = 0;
+  std::fill(vc_rr_.begin(), vc_rr_.end(), 0);
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,78 @@
+// Trace-driven-equivalent manycore model (paper §3, Table 2; results in
+// Table 4).
+//
+// 64 cores (one per network node) execute synthetic instruction streams
+// characterized by each benchmark's network MPKI. A core retires one
+// instruction per cycle until its next L1 miss falls due; misses issue a
+// one-flit request to an address-interleaved shared L2 bank and return a
+// five-flit data reply (64B block + header on a 128-bit datapath). L2
+// misses add a round trip to one of eight memory controllers (80ns plus
+// queuing under a bandwidth cap). A core stalls when its memory-level
+// parallelism window (outstanding misses) is full — the mechanism through
+// which network latency translates into lost IPC, and hence through which
+// a better switch allocator produces application speedup.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "app/benchmarks.hpp"
+#include "arbiter/arbiter.hpp"
+#include "common/types.hpp"
+#include "router/vc_assign.hpp"
+
+namespace vixnoc::app {
+
+struct AppSimConfig {
+  AllocScheme scheme = AllocScheme::kInputFirst;
+  TopologyKind topology = TopologyKind::kMesh;
+  int num_vcs = 6;
+  int buffer_depth = 5;
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+  std::optional<VcAssignPolicy> vc_policy;
+  std::uint64_t seed = 1;
+  Cycle warmup = 20'000;
+  Cycle measure = 60'000;
+
+  int mlp_limit = 16;      ///< Table 2: up to 16 outstanding requests/core
+  /// Reorder-buffer headroom: the core retires at most this many
+  /// instructions past its oldest outstanding miss before stalling (the
+  /// first-order model of a 2-way out-of-order core, Table 2). Miss
+  /// latency beyond the window is exposed as lost cycles — the channel
+  /// through which network latency becomes application slowdown.
+  int rob_window = 64;
+  int l2_latency = 6;      ///< Table 2: 6-cycle L2 bank access
+  int mc_latency = 160;    ///< Table 2: 80ns at 2 GHz
+  int mc_service_interval = 2;  ///< cycles per 64B block (4ch x 16GB/s)
+  int request_flits = 1;   ///< address/control packet
+  int data_flits = 5;      ///< 64B block + header on a 128-bit datapath
+  int num_mcs = 8;         ///< Table 2: 8 on-chip memory controllers
+  /// Probability a miss evicts a dirty block, generating writeback traffic
+  /// (a data packet core->L2 on L1 misses, L2->MC on L2 misses) with no
+  /// reply. Raises network load the way real cache-miss traffic does.
+  double writeback_prob = 0.3;
+  /// 2 = separate request/reply virtual networks (VCs split between the
+  /// two message classes); 1 = the paper's single-network configuration
+  /// (protocol deadlock is impossible here regardless, because NIs sink
+  /// ejected packets unconditionally).
+  int num_message_classes = 1;
+};
+
+struct AppSimResult {
+  std::vector<double> core_ipc;   ///< per-core IPC over the measured window
+  double aggregate_ipc = 0.0;     ///< sum of core IPCs
+  double avg_mpki = 0.0;          ///< measured misses per kilo-instruction
+  double avg_miss_latency = 0.0;  ///< issue -> data-back, cycles
+  std::uint64_t total_requests = 0;
+};
+
+/// Weighted speedup of `b` over `a` (same workload, same seed): the
+/// arithmetic mean of per-core IPC ratios — the standard multiprogrammed
+/// metric, robust to one core dominating the aggregate.
+double WeightedSpeedup(const AppSimResult& a, const AppSimResult& b);
+
+/// Run one workload (one profile per core) under one allocator scheme.
+AppSimResult RunAppSim(const AppSimConfig& config,
+                       const std::vector<BenchmarkProfile>& core_profiles);
+
+}  // namespace vixnoc::app

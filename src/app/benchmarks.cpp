@@ -1,0 +1,147 @@
+#include "app/benchmarks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace vixnoc::app {
+
+namespace {
+
+double L2MissRateFor(double mpki) {
+  // Heavier network users tend to be memory-bound: correlate the L2 miss
+  // ratio with MPKI, clamped to a plausible 45nm-era CMP range.
+  return std::clamp(0.15 + mpki / 250.0, 0.15, 0.65);
+}
+
+BenchmarkProfile Make(const char* name, double mpki) {
+  return BenchmarkProfile{name, mpki, L2MissRateFor(mpki)};
+}
+
+}  // namespace
+
+const std::vector<BenchmarkProfile>& BenchmarkCatalogue() {
+  static const std::vector<BenchmarkProfile> catalogue = {
+      // Benchmarks appearing in Table 4's mixes; MPKI solved to reproduce
+      // the published per-mix averages exactly (see header comment).
+      Make("milc", 16.0),
+      Make("applu", 13.0),
+      Make("astar", 21.6),
+      Make("sjeng", 0.3),
+      Make("tonto", 7.5),
+      Make("hmmer", 33.8),
+      Make("sjas", 42.0),
+      Make("gcc", 0.3),
+      Make("sjbb", 38.0),
+      Make("gromacs", 0.3),
+      Make("xalan", 47.4),
+      Make("libquantum", 32.7),
+      Make("barnes", 38.5),
+      Make("tpcw", 58.2),
+      Make("povray", 32.7),
+      Make("swim", 53.7),
+      Make("leslie", 33.7),
+      Make("omnet", 51.1),
+      Make("art", 29.0),
+      Make("lbm", 40.2),
+      Make("Gems", 81.1),
+      Make("mcf", 107.7),
+      Make("ocean", 33.8),
+      Make("deal", 34.6),
+      Make("sap", 90.3),
+      Make("namd", 49.7),
+      // Remaining benchmarks of the 35-application suite (§3); MPKI values
+      // are representative, they do not constrain Table 4.
+      Make("bzip2", 6.2),
+      Make("h264ref", 2.1),
+      Make("perlbench", 3.4),
+      Make("gobmk", 4.0),
+      Make("soplex", 26.9),
+      Make("calculix", 1.6),
+      Make("wrf", 8.1),
+      Make("zeusmp", 11.4),
+      Make("cactusADM", 14.9),
+  };
+  return catalogue;
+}
+
+const BenchmarkProfile& FindBenchmark(const std::string& name) {
+  const auto& catalogue = BenchmarkCatalogue();
+  const auto it =
+      std::find_if(catalogue.begin(), catalogue.end(),
+                   [&](const BenchmarkProfile& b) { return b.name == name; });
+  VIXNOC_CHECK(it != catalogue.end());
+  return *it;
+}
+
+const std::vector<WorkloadMix>& PaperMixes() {
+  static const std::vector<WorkloadMix> mixes = {
+      {"Mix1",
+       {{"milc", 11}, {"applu", 11}, {"astar", 10}, {"sjeng", 11},
+        {"tonto", 11}, {"hmmer", 10}},
+       15.0,
+       1.03},
+      {"Mix2",
+       {{"sjas", 11}, {"gcc", 11}, {"sjbb", 11}, {"gromacs", 11},
+        {"sjeng", 10}, {"xalan", 10}},
+       21.3,
+       1.03},
+      {"Mix3",
+       {{"milc", 11}, {"libquantum", 10}, {"astar", 11}, {"barnes", 11},
+        {"tpcw", 11}, {"povray", 10}},
+       33.3,
+       1.04},
+      {"Mix4",
+       {{"astar", 11}, {"swim", 11}, {"leslie", 10}, {"omnet", 10},
+        {"sjas", 11}, {"art", 11}},
+       38.4,
+       1.05},
+      {"Mix5",
+       {{"applu", 11}, {"lbm", 11}, {"Gems", 11}, {"barnes", 10},
+        {"xalan", 11}, {"leslie", 10}},
+       42.5,
+       1.05},
+      {"Mix6",
+       {{"mcf", 11}, {"ocean", 10}, {"gromacs", 10}, {"lbm", 11},
+        {"deal", 11}, {"sap", 11}},
+       52.2,
+       1.05},
+      {"Mix7",
+       {{"mcf", 10}, {"namd", 11}, {"hmmer", 11}, {"tpcw", 11},
+        {"omnet", 10}, {"swim", 11}},
+       58.4,
+       1.06},
+      // Mix8 is published with counts summing to 63; sap padded to 11.
+      {"Mix8",
+       {{"Gems", 10}, {"sjbb", 11}, {"sjas", 11}, {"mcf", 10}, {"xalan", 11},
+        {"sap", 11}},
+       66.9,
+       1.07},
+  };
+  return mixes;
+}
+
+std::vector<BenchmarkProfile> ExpandMix(const WorkloadMix& mix,
+                                        int num_cores) {
+  std::vector<BenchmarkProfile> cores;
+  cores.reserve(num_cores);
+  for (const auto& [name, count] : mix.apps) {
+    const BenchmarkProfile& profile = FindBenchmark(name);
+    for (int i = 0; i < count; ++i) cores.push_back(profile);
+  }
+  VIXNOC_CHECK(static_cast<int>(cores.size()) == num_cores);
+  return cores;
+}
+
+double MixAverageMpki(const WorkloadMix& mix) {
+  double sum = 0.0;
+  int total = 0;
+  for (const auto& [name, count] : mix.apps) {
+    sum += FindBenchmark(name).network_mpki * count;
+    total += count;
+  }
+  return sum / total;
+}
+
+}  // namespace vixnoc::app

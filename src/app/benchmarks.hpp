@@ -1,0 +1,56 @@
+// Benchmark profiles and the paper's multiprogrammed workload mixes
+// (Table 4).
+//
+// The paper drives a trace-driven 64-core simulator with SPEC CPU2006 and
+// commercial traces. The traces are proprietary, so each benchmark is
+// represented by a synthetic profile: its network MPKI (L1-MPKI + L2-MPKI,
+// the quantity Table 4 reports) and its L2 miss ratio. Per-benchmark MPKI
+// values were solved (least squares, exact) so that every mix's
+// instance-weighted average MPKI reproduces Table 4's "avg. MPKI" column.
+// Values at the 0.3 floor (gcc, gromacs, sjeng) are artifacts of fitting
+// the published averages exactly, not measurements.
+//
+// Note: Table 4's Mix8 instance counts sum to 63; we pad sap to 11
+// instances to fill the 64-core processor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vixnoc::app {
+
+struct BenchmarkProfile {
+  std::string name;
+  double network_mpki = 0.0;  ///< L1-MPKI + L2-MPKI per core (Table 4 note)
+  double l2_miss_rate = 0.0;  ///< fraction of L2 accesses going to memory
+};
+
+/// All 35 benchmarks the paper draws from (§3): SPEC CPU2006, scientific
+/// and desktop applications, plus the four commercial traces.
+const std::vector<BenchmarkProfile>& BenchmarkCatalogue();
+
+/// Catalogue lookup by name; checks the benchmark exists.
+const BenchmarkProfile& FindBenchmark(const std::string& name);
+
+struct WorkloadMix {
+  std::string name;
+  /// (benchmark, instance count); counts sum to 64.
+  std::vector<std::pair<std::string, int>> apps;
+  double paper_avg_mpki = 0.0;     ///< Table 4 "avg. MPKI" column
+  double paper_vix_speedup = 0.0;  ///< Table 4 "Speedup" column
+};
+
+/// Table 4's Mix1..Mix8.
+const std::vector<WorkloadMix>& PaperMixes();
+
+/// Expand a mix into one profile per core (64 entries), assigning instances
+/// to consecutive cores in catalogue order.
+std::vector<BenchmarkProfile> ExpandMix(const WorkloadMix& mix,
+                                        int num_cores = 64);
+
+/// Instance-weighted average network MPKI of a mix.
+double MixAverageMpki(const WorkloadMix& mix);
+
+}  // namespace vixnoc::app

@@ -1,0 +1,72 @@
+#include "arbiter/arbiter.hpp"
+
+namespace vixnoc {
+
+int RoundRobinArbiter::Pick(const std::vector<bool>& requests) const {
+  VIXNOC_DCHECK(static_cast<int>(requests.size()) == n_);
+  for (int off = 0; off < n_; ++off) {
+    const int i = (next_priority_ + off) % n_;
+    if (requests[i]) return i;
+  }
+  return -1;
+}
+
+void RoundRobinArbiter::Commit(int winner) {
+  VIXNOC_DCHECK(winner >= 0 && winner < n_);
+  next_priority_ = (winner + 1) % n_;
+}
+
+MatrixArbiter::MatrixArbiter(int num_requesters)
+    : Arbiter(num_requesters), pri_(static_cast<std::size_t>(n_) * n_) {
+  Reset();
+}
+
+void MatrixArbiter::Reset() {
+  // Initial total order: lower index beats higher index.
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      pri_[static_cast<std::size_t>(i) * n_ + j] = i < j;
+    }
+  }
+}
+
+int MatrixArbiter::Pick(const std::vector<bool>& requests) const {
+  VIXNOC_DCHECK(static_cast<int>(requests.size()) == n_);
+  // Winner: a requester not beaten by any other requester.
+  for (int i = 0; i < n_; ++i) {
+    if (!requests[i]) continue;
+    bool beaten = false;
+    for (int j = 0; j < n_; ++j) {
+      if (j == i || !requests[j]) continue;
+      if (pri_[static_cast<std::size_t>(j) * n_ + i]) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) return i;
+  }
+  return -1;
+}
+
+void MatrixArbiter::Commit(int winner) {
+  VIXNOC_DCHECK(winner >= 0 && winner < n_);
+  // The winner becomes lowest priority: clear its row, set its column.
+  for (int j = 0; j < n_; ++j) {
+    if (j == winner) continue;
+    pri_[static_cast<std::size_t>(winner) * n_ + j] = false;
+    pri_[static_cast<std::size_t>(j) * n_ + winner] = true;
+  }
+}
+
+std::unique_ptr<Arbiter> MakeArbiter(ArbiterKind kind, int num_requesters) {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin:
+      return std::make_unique<RoundRobinArbiter>(num_requesters);
+    case ArbiterKind::kMatrix:
+      return std::make_unique<MatrixArbiter>(num_requesters);
+  }
+  VIXNOC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace vixnoc

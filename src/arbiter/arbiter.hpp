@@ -1,0 +1,81 @@
+// Single-resource arbiters used as building blocks of the switch allocators.
+//
+// An arbiter owns a grant policy over N requesters. Each cycle the caller
+// presents a request vector and receives the index of the winner (or -1 when
+// nothing requested). State (rotating priority / LRG matrix) only advances
+// when the caller commits the grant via `Commit`, mirroring hardware where a
+// speculative grant that is later killed must not rotate the priority.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+class Arbiter {
+ public:
+  explicit Arbiter(int num_requesters) : n_(num_requesters) {
+    VIXNOC_CHECK(num_requesters > 0);
+  }
+  virtual ~Arbiter() = default;
+
+  Arbiter(const Arbiter&) = delete;
+  Arbiter& operator=(const Arbiter&) = delete;
+
+  int NumRequesters() const { return n_; }
+
+  /// Pick a winner among `requests` (size == NumRequesters()). Returns the
+  /// winning index, or -1 if no bit is set. Does NOT update internal state.
+  virtual int Pick(const std::vector<bool>& requests) const = 0;
+
+  /// Advance the priority state after `winner` was actually granted.
+  virtual void Commit(int winner) = 0;
+
+  /// Reset priority state to the post-construction value.
+  virtual void Reset() = 0;
+
+ protected:
+  int n_;
+};
+
+/// Rotating-priority (round-robin) arbiter: the highest priority is the
+/// requester just after the previous committed winner. This is the canonical
+/// arbiter of separable NoC allocators (Becker & Dally, SC'09).
+class RoundRobinArbiter final : public Arbiter {
+ public:
+  explicit RoundRobinArbiter(int num_requesters) : Arbiter(num_requesters) {}
+
+  int Pick(const std::vector<bool>& requests) const override;
+  void Commit(int winner) override;
+  void Reset() override { next_priority_ = 0; }
+
+  int PriorityPointer() const { return next_priority_; }
+
+ private:
+  int next_priority_ = 0;
+};
+
+/// Matrix arbiter implementing least-recently-granted (LRG) priority, as used
+/// by the self-updating switch fabrics the paper cites [20]. State is a
+/// strict priority matrix: pri_[i][j] == true means i beats j.
+class MatrixArbiter final : public Arbiter {
+ public:
+  explicit MatrixArbiter(int num_requesters);
+
+  int Pick(const std::vector<bool>& requests) const override;
+  void Commit(int winner) override;
+  void Reset() override;
+
+ private:
+  // pri_[i * n_ + j]: requester i has priority over requester j.
+  std::vector<bool> pri_;
+};
+
+enum class ArbiterKind { kRoundRobin, kMatrix };
+
+std::unique_ptr<Arbiter> MakeArbiter(ArbiterKind kind, int num_requesters);
+
+}  // namespace vixnoc

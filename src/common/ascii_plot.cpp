@@ -1,0 +1,75 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+AsciiPlot::AsciiPlot(int width, int height, std::string x_label,
+                     std::string y_label)
+    : width_(width),
+      height_(height),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {
+  VIXNOC_CHECK(width >= 10 && height >= 4);
+}
+
+void AsciiPlot::AddSeries(const std::string& name, char marker,
+                          std::vector<std::pair<double, double>> points) {
+  series_.push_back(Series{name, marker, std::move(points)});
+}
+
+void AsciiPlot::Print(std::FILE* out) const {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min, y_min = 0.0, y_max = -x_min;
+  bool any = false;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_max = std::max(y_max, y);
+      any = true;
+    }
+  }
+  if (!any) {
+    std::fprintf(out, "(empty plot)\n");
+    return;
+  }
+  if (y_max_override_ > 0.0) y_max = y_max_override_;
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      const double yc = std::min(y, y_max);
+      const int col = static_cast<int>(
+          std::lround((x - x_min) / (x_max - x_min) * (width_ - 1)));
+      const int row = static_cast<int>(
+          std::lround((yc - y_min) / (y_max - y_min) * (height_ - 1)));
+      canvas[height_ - 1 - row][col] = s.marker;
+    }
+  }
+
+  std::fprintf(out, "  %s\n", y_label_.c_str());
+  for (int r = 0; r < height_; ++r) {
+    const double y_val =
+        y_max - (y_max - y_min) * r / static_cast<double>(height_ - 1);
+    std::fprintf(out, "%9.1f |%s\n", y_val, canvas[r].c_str());
+  }
+  std::fprintf(out, "%9s +", "");
+  for (int c = 0; c < width_; ++c) std::fputc('-', out);
+  std::fprintf(out, "\n%9s  %-10.3f%*s%.3f   (%s)\n", "", x_min,
+               width_ - 18 > 0 ? width_ - 18 : 1, "", x_max,
+               x_label_.c_str());
+  std::fprintf(out, "%9s  legend:", "");
+  for (const Series& s : series_) {
+    std::fprintf(out, "  %c=%s", s.marker, s.name.c_str());
+  }
+  std::fputc('\n', out);
+}
+
+}  // namespace vixnoc

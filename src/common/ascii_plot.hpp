@@ -1,0 +1,42 @@
+// Terminal line plots for the bench binaries: the paper's figures are
+// line charts, so benches render their series directly as ASCII next to
+// the numeric tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vixnoc {
+
+class AsciiPlot {
+ public:
+  /// Canvas of `width` x `height` characters plus axes.
+  AsciiPlot(int width, int height, std::string x_label, std::string y_label);
+
+  /// Add a named series; `marker` is the character used for its points.
+  /// Series are drawn in insertion order (later series overdraw earlier
+  /// ones where they collide).
+  void AddSeries(const std::string& name, char marker,
+                 std::vector<std::pair<double, double>> points);
+
+  /// Clamp the y-axis (e.g. to keep saturated-latency blowups readable).
+  /// By default ranges fit the data.
+  void SetYLimit(double y_max) { y_max_override_ = y_max; }
+
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  int width_, height_;
+  std::string x_label_, y_label_;
+  std::vector<Series> series_;
+  double y_max_override_ = -1.0;
+};
+
+}  // namespace vixnoc

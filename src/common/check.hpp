@@ -1,0 +1,35 @@
+// Lightweight invariant checking.
+//
+// VIXNOC_CHECK is always on (simulation correctness beats a few percent of
+// speed; a silently-corrupt cycle-accurate model is worthless).
+// VIXNOC_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vixnoc::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "vixnoc: check failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace vixnoc::detail
+
+#define VIXNOC_CHECK(expr)                                    \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::vixnoc::detail::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define VIXNOC_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define VIXNOC_DCHECK(expr) VIXNOC_CHECK(expr)
+#endif

@@ -1,0 +1,124 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+ArgMap ArgMap::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read config file '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  ArgMap args;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim leading whitespace; skip comments and blank lines.
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string trimmed = line.substr(start, end - start + 1);
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "%s:%d: expected key=value, got '%s'\n",
+                   path.c_str(), line_no, trimmed.c_str());
+      std::exit(2);
+    }
+    args.values_[trimmed.substr(0, eq)] = trimmed.substr(eq + 1);
+  }
+  return args;
+}
+
+void ArgMap::Merge(const ArgMap& overrides) {
+  for (const auto& [key, value] : overrides.values_) {
+    values_[key] = value;
+  }
+}
+
+ArgMap ArgMap::Parse(int argc, char** argv) {
+  ArgMap args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "expected key=value, got '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+    args.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return args;
+}
+
+bool ArgMap::Has(const std::string& key) const {
+  consumed_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string ArgMap::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgMap::GetInt(const std::string& key,
+                            std::int64_t fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "argument %s: '%s' is not an integer\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+double ArgMap::GetDouble(const std::string& key, double fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "argument %s: '%s' is not a number\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+bool ArgMap::GetBool(const std::string& key, bool fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  std::fprintf(stderr, "argument %s: '%s' is not a boolean\n", key.c_str(),
+               v.c_str());
+  std::exit(2);
+}
+
+void ArgMap::CheckAllConsumed() const {
+  bool ok = true;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.count(key)) {
+      std::fprintf(stderr, "unknown argument: %s=%s\n", key.c_str(),
+                   value.c_str());
+      ok = false;
+    }
+  }
+  if (!ok) std::exit(2);
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,42 @@
+// Minimal key=value command-line parsing for the example/bench drivers.
+//
+//   ArgMap args = ArgMap::Parse(argc, argv);      // "topology=fbfly rate=0.1"
+//   double rate = args.GetDouble("rate", 0.05);
+//   args.CheckAllConsumed();                      // typo protection
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace vixnoc {
+
+class ArgMap {
+ public:
+  static ArgMap Parse(int argc, char** argv);
+
+  /// Loads key=value lines from a file ('#' comments and blank lines
+  /// skipped). Aborts with a message on unreadable files or bad lines.
+  static ArgMap FromFile(const std::string& path);
+
+  /// Overlay: values present in `overrides` replace this map's values
+  /// (command line beats config file).
+  void Merge(const ArgMap& overrides);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Aborts with a message listing unknown keys (ones never queried).
+  /// Call after all Get*() calls.
+  void CheckAllConsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace vixnoc

@@ -1,0 +1,49 @@
+#include "common/csv.hpp"
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+namespace {
+
+std::string Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : path_(path), width_(header.size()) {
+  VIXNOC_CHECK(!header.empty());
+  file_ = std::fopen(path.c_str(), "w");
+  VIXNOC_CHECK(file_ != nullptr);
+  WriteRow(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& row) {
+  VIXNOC_CHECK(row.size() == width_);
+  WriteRow(row);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) std::fputc(',', file_);
+    const std::string cell = Escape(row[i]);
+    std::fwrite(cell.data(), 1, cell.size(), file_);
+  }
+  std::fputc('\n', file_);
+}
+
+}  // namespace vixnoc

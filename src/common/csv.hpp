@@ -1,0 +1,34 @@
+// Tiny CSV writer so benches and examples can emit machine-readable series
+// (e.g. for replotting the paper's figures) alongside their ASCII tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vixnoc {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Aborts on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Cells are escaped per RFC 4180 (quotes doubled, fields with commas,
+  /// quotes, or newlines wrapped in quotes). Row width must match header.
+  void AddRow(const std::vector<std::string>& row);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void WriteRow(const std::vector<std::string>& row);
+
+  std::string path_;
+  std::size_t width_;
+  std::FILE* file_;
+};
+
+}  // namespace vixnoc

@@ -1,0 +1,20 @@
+#include "common/stats.hpp"
+
+namespace vixnoc {
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > target) {
+      return (static_cast<double>(i) + 0.5) * width_;
+    }
+  }
+  return static_cast<double>(counts_.size()) * width_;
+}
+
+}  // namespace vixnoc

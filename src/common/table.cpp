@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VIXNOC_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  VIXNOC_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      std::fputc('+', out);
+      for (std::size_t i = 0; i < width[c] + 2; ++i) std::fputc('-', out);
+    }
+    std::fputs("+\n", out);
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "| %-*s ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::fputs("|\n", out);
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,32 @@
+// Minimal fixed-width ASCII table printer for the bench harnesses, so that
+// every reproduced paper table/figure prints in a uniform, diff-able format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vixnoc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row; it must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Render to stdout (or any FILE*).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Format helpers used throughout the benches.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(std::uint64_t v);
+  static std::string Fmt(std::int64_t v);
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vixnoc

@@ -1,0 +1,95 @@
+#include "common/types.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vixnoc {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(AllocScheme scheme) {
+  switch (scheme) {
+    case AllocScheme::kInputFirst:
+      return "IF";
+    case AllocScheme::kWavefront:
+      return "WF";
+    case AllocScheme::kAugmentingPath:
+      return "AP";
+    case AllocScheme::kVix:
+      return "VIX";
+    case AllocScheme::kVixIdeal:
+      return "VIX-ideal";
+    case AllocScheme::kPacketChaining:
+      return "PC";
+    case AllocScheme::kIslip:
+      return "iSLIP";
+    case AllocScheme::kSparoflo:
+      return "SPAROFLO";
+  }
+  return "?";
+}
+
+std::string ToString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMesh:
+      return "Mesh";
+    case TopologyKind::kCMesh:
+      return "CMesh";
+    case TopologyKind::kFBfly:
+      return "FBfly";
+    case TopologyKind::kTorus:
+      return "Torus";
+  }
+  return "?";
+}
+
+bool ParseAllocScheme(const std::string& text, AllocScheme* out) {
+  const std::string t = Lower(text);
+  if (t == "if" || t == "input-first" || t == "separable") {
+    *out = AllocScheme::kInputFirst;
+  } else if (t == "wf" || t == "wavefront") {
+    *out = AllocScheme::kWavefront;
+  } else if (t == "ap" || t == "augmenting-path" || t == "maxmatch") {
+    *out = AllocScheme::kAugmentingPath;
+  } else if (t == "vix") {
+    *out = AllocScheme::kVix;
+  } else if (t == "vix-ideal" || t == "ideal") {
+    *out = AllocScheme::kVixIdeal;
+  } else if (t == "pc" || t == "packet-chaining") {
+    *out = AllocScheme::kPacketChaining;
+  } else if (t == "islip") {
+    *out = AllocScheme::kIslip;
+  } else if (t == "sparoflo") {
+    *out = AllocScheme::kSparoflo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseTopologyKind(const std::string& text, TopologyKind* out) {
+  const std::string t = Lower(text);
+  if (t == "mesh") {
+    *out = TopologyKind::kMesh;
+  } else if (t == "cmesh") {
+    *out = TopologyKind::kCMesh;
+  } else if (t == "fbfly" || t == "flattened-butterfly") {
+    *out = TopologyKind::kFBfly;
+  } else if (t == "torus") {
+    *out = TopologyKind::kTorus;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vixnoc

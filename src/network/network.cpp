@@ -1,0 +1,321 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+
+#include "router/vc_assign.hpp"
+
+namespace vixnoc {
+
+Network::Network(std::shared_ptr<Topology> topology,
+                 const NetworkParams& params)
+    : topology_(std::move(topology)), params_(params) {
+  VIXNOC_CHECK(topology_ != nullptr);
+  VIXNOC_CHECK(params_.flit_delay >= 1);
+  VIXNOC_CHECK(params_.credit_delay >= 1);
+  VIXNOC_CHECK(params_.ni_link_delay >= 1);
+  VIXNOC_CHECK(params_.router.radix == topology_->Radix());
+
+  const int num_routers = topology_->NumRouters();
+  routers_.reserve(num_routers);
+  for (RouterId r = 0; r < num_routers; ++r) {
+    routers_.push_back(std::make_unique<Router>(
+        r, params_.router, topology_->LinksFor(r), &topology_->Routing()));
+  }
+
+  upstream_.resize(static_cast<std::size_t>(num_routers) *
+                   topology_->Radix());
+  for (RouterId r = 0; r < num_routers; ++r) {
+    const auto links = topology_->LinksFor(r);
+    for (PortId o = 0; o < topology_->Radix(); ++o) {
+      if (links[o].neighbor < 0) continue;
+      Upstream& up = upstream_[static_cast<std::size_t>(links[o].neighbor) *
+                                   topology_->Radix() +
+                               links[o].neighbor_in_port];
+      up.router = r;
+      up.out_port = o;
+    }
+  }
+
+  const int num_nodes = topology_->NumNodes();
+  nis_.resize(num_nodes);
+  counters_.resize(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    Ni& ni = nis_[n];
+    ni.node = n;
+    ni.router = topology_->RouterOfNode(n);
+    ni.port = topology_->InjectPortOfNode(n);
+    VIXNOC_CHECK(ni.port == topology_->EjectPortOfNode(n));
+    ni.credits.assign(params_.router.num_vcs, params_.router.buffer_depth);
+    ni.vc_busy.assign(params_.router.num_vcs, false);
+    Upstream& up = upstream_[static_cast<std::size_t>(ni.router) *
+                                 topology_->Radix() +
+                             ni.port];
+    VIXNOC_CHECK(up.router == -1);  // injection ports have no router feeder
+    up.node = n;
+  }
+
+  const int horizon = std::max({params_.flit_delay, params_.credit_delay,
+                                params_.ni_link_delay}) +
+                      1;
+  wheel_.resize(horizon);
+}
+
+PacketId Network::EnqueuePacket(NodeId src, NodeId dst, int size_flits,
+                                std::uint64_t user_tag, int msg_class) {
+  VIXNOC_CHECK(src >= 0 && src < NumNodes());
+  VIXNOC_CHECK(dst >= 0 && dst < NumNodes());
+  VIXNOC_CHECK(size_flits >= 1);
+  VIXNOC_CHECK(msg_class >= 0 &&
+               msg_class < params_.router.num_message_classes);
+  const PacketId id = next_packet_id_++;
+  nis_[src].source_queue.push_back(
+      PendingPacket{id, dst, size_flits, now_, user_tag, msg_class});
+  return id;
+}
+
+void Network::Schedule(Cycle at, Event ev) {
+  VIXNOC_DCHECK(at > now_);
+  VIXNOC_DCHECK(at - now_ < wheel_.size());
+  wheel_[at % wheel_.size()].push_back(std::move(ev));
+  ++in_flight_events_;
+}
+
+void Network::DeliverDue() {
+  auto& slot = wheel_[now_ % wheel_.size()];
+  for (Event& ev : slot) {
+    switch (ev.kind) {
+      case Event::Kind::kFlitToRouter:
+        routers_[ev.target]->AcceptFlit(ev.port, ev.flit);
+        break;
+      case Event::Kind::kCreditToRouter:
+        routers_[ev.target]->AcceptCredit(ev.port, ev.vc);
+        break;
+      case Event::Kind::kFlitToNi:
+        HandleEjectedFlit(nis_[ev.target], ev.flit);
+        break;
+      case Event::Kind::kCreditToNi: {
+        Ni& ni = nis_[ev.target];
+        ++ni.credits[ev.vc];
+        VIXNOC_CHECK(ni.credits[ev.vc] <= params_.router.buffer_depth);
+        break;
+      }
+    }
+  }
+  in_flight_events_ -= slot.size();
+  slot.clear();
+}
+
+void Network::HandleEjectedFlit(Ni& ni, const Flit& flit) {
+  ++counters_[ni.node].flits_ejected;
+  if (tracer_) {
+    tracer_(FlitEvent{FlitEventKind::kEject, now_, -1, kInvalidPort, flit});
+  }
+  if (!flit.IsTail()) return;
+  ++counters_[ni.node].packets_ejected;
+  ++counters_[flit.src].packets_delivered;
+  if (eject_cb_) {
+    PacketRecord rec;
+    rec.id = flit.packet_id;
+    rec.src = flit.src;
+    rec.dst = flit.dst;
+    rec.size_flits = flit.packet_size;
+    rec.created = flit.created;
+    rec.injected = flit.injected;
+    rec.ejected = now_;
+    rec.user_tag = flit.user_tag;
+    eject_cb_(rec);
+  }
+}
+
+void Network::StepNi(Ni& ni) {
+  const RouterConfig& rc = params_.router;
+  const RoutingFunction& routing = topology_->Routing();
+
+  // Start at most one new packet per cycle: pick an injection VC with the
+  // same policy routers use for output-VC assignment, steering VIX packets
+  // into the sub-group matching their first-hop direction.
+  if (!ni.source_queue.empty()) {
+    const PendingPacket& pkt = ni.source_queue.front();
+    const PortId route_out = routing.Route(ni.router, pkt.dst);
+    const int vpc = rc.VcsPerClass();
+    const VcId cls_base = pkt.msg_class * vpc;
+    std::vector<OutputVcView> views(vpc);
+    for (VcId i = 0; i < vpc; ++i) {
+      views[i].allocated = ni.vc_busy[cls_base + i];
+      views[i].credits = ni.credits[cls_base + i];
+    }
+    VinLayout layout;
+    layout.num_vins = rc.NumVins();
+    layout.total_vcs = rc.num_vcs;
+    layout.interleaved = rc.interleaved_vins;
+    layout.first_vc = cls_base;
+    const int pick = PickOutputVc(rc.vc_policy, views, layout,
+                                  routing.DimensionOf(route_out));
+    if (pick >= 0) {
+      const VcId vc = cls_base + pick;
+      ni.vc_busy[vc] = true;
+      ni.active.push_back(ActiveTx{pkt.id, pkt.dst, pkt.size, 0, pkt.created,
+                                   kNeverCycle, pkt.user_tag, route_out, vc,
+                                   pkt.msg_class});
+      ni.source_queue.pop_front();
+    }
+  }
+
+  // Send at most one flit per cycle (the injection link is one flit wide),
+  // round-robin across active packets that hold a credit.
+  if (ni.active.empty()) return;
+  const int n = static_cast<int>(ni.active.size());
+  for (int off = 0; off < n; ++off) {
+    const int idx = (ni.rr + off) % n;
+    ActiveTx& tx = ni.active[idx];
+    if (ni.credits[tx.vc] <= 0) continue;
+
+    if (tx.injected == kNeverCycle) tx.injected = now_;
+    Flit flit;
+    flit.packet_id = tx.id;
+    flit.src = ni.node;
+    flit.dst = tx.dst;
+    flit.type = FlitTypeFor(tx.sent, tx.size);
+    flit.seq = static_cast<std::uint16_t>(tx.sent);
+    flit.packet_size = static_cast<std::uint16_t>(tx.size);
+    flit.created = tx.created;
+    flit.injected = tx.injected;
+    flit.vc = tx.vc;
+    flit.route_out = tx.route_out;
+    flit.user_tag = tx.user_tag;
+    flit.msg_class = static_cast<std::uint8_t>(tx.msg_class);
+
+    --ni.credits[tx.vc];
+    ++tx.sent;
+    ++counters_[ni.node].flits_injected;
+    if (tx.sent == 1) ++counters_[ni.node].packets_injected;
+    if (tracer_) {
+      tracer_(
+          FlitEvent{FlitEventKind::kInject, now_, -1, kInvalidPort, flit});
+    }
+
+    Event ev;
+    ev.kind = Event::Kind::kFlitToRouter;
+    ev.target = ni.router;
+    ev.port = ni.port;
+    ev.flit = flit;
+    Schedule(now_ + params_.ni_link_delay, std::move(ev));
+
+    if (tx.sent == tx.size) {
+      ni.vc_busy[tx.vc] = false;
+      ni.active.erase(ni.active.begin() + idx);
+      ni.rr = n - 1 > 0 ? ni.rr % (n - 1) : 0;
+    } else {
+      ni.rr = (idx + 1) % n;
+    }
+    break;
+  }
+}
+
+void Network::Step() {
+  DeliverDue();
+
+  for (Ni& ni : nis_) StepNi(ni);
+
+  sent_flits_.clear();
+  sent_credits_.clear();
+  for (auto& router : routers_) {
+    const std::size_t flit_mark = sent_flits_.size();
+    const std::size_t credit_mark = sent_credits_.size();
+    router->Step(now_, &sent_flits_, &sent_credits_);
+
+    for (std::size_t i = flit_mark; i < sent_flits_.size(); ++i) {
+      const Router::SentFlit& sf = sent_flits_[i];
+      if (tracer_) {
+        tracer_(FlitEvent{FlitEventKind::kTraverse, now_, router->id(),
+                          sf.out_port, sf.flit});
+      }
+      const OutputLinkInfo& link = router->link(sf.out_port);
+      Event ev;
+      ev.flit = sf.flit;
+      if (link.IsEjection()) {
+        ev.kind = Event::Kind::kFlitToNi;
+        ev.target = link.eject_node;
+      } else {
+        ev.kind = Event::Kind::kFlitToRouter;
+        ev.target = link.neighbor;
+        ev.port = link.neighbor_in_port;
+      }
+      Schedule(now_ + params_.flit_delay, std::move(ev));
+    }
+
+    for (std::size_t i = credit_mark; i < sent_credits_.size(); ++i) {
+      const Router::SentCredit& sc = sent_credits_[i];
+      // Find who feeds this input port: an upstream router or an NI.
+      Event ev;
+      ev.vc = sc.vc;
+      const Upstream up = UpstreamOf(router->id(), sc.in_port);
+      if (up.node >= 0) {
+        ev.kind = Event::Kind::kCreditToNi;
+        ev.target = up.node;
+      } else {
+        VIXNOC_CHECK(up.router >= 0);
+        ev.kind = Event::Kind::kCreditToRouter;
+        ev.target = up.router;
+        ev.port = up.out_port;
+      }
+      Schedule(now_ + params_.credit_delay, std::move(ev));
+    }
+  }
+
+  if (!sent_flits_.empty()) last_progress_ = now_;
+
+  ++now_;
+}
+
+bool Network::Quiescent() const {
+  if (in_flight_events_ != 0) return false;
+  for (const auto& router : routers_) {
+    if (!router->Quiescent()) return false;
+  }
+  for (const Ni& ni : nis_) {
+    if (!ni.source_queue.empty() || !ni.active.empty()) return false;
+  }
+  return true;
+}
+
+void Network::ClearCounters() {
+  for (auto& c : counters_) c = NodeCounters{};
+}
+
+std::uint64_t Network::TotalSourceQueueFlits() const {
+  std::uint64_t total = 0;
+  for (const Ni& ni : nis_) {
+    for (const PendingPacket& p : ni.source_queue) {
+      total += static_cast<std::uint64_t>(p.size);
+    }
+    for (const ActiveTx& tx : ni.active) {
+      total += static_cast<std::uint64_t>(tx.size - tx.sent);
+    }
+  }
+  return total;
+}
+
+RouterActivity Network::TotalActivity() const {
+  RouterActivity total;
+  for (const auto& router : routers_) {
+    const RouterActivity& a = router->activity();
+    total.buffer_writes += a.buffer_writes;
+    total.buffer_reads += a.buffer_reads;
+    total.xbar_traversals += a.xbar_traversals;
+    total.link_flits += a.link_flits;
+    total.sa_requests += a.sa_requests;
+    total.sa_grants += a.sa_grants;
+    total.va_requests += a.va_requests;
+    total.va_grants += a.va_grants;
+    total.cycles += a.cycles;
+    total.cycles_with_requests += a.cycles_with_requests;
+  }
+  return total;
+}
+
+void Network::ClearActivity() {
+  for (auto& router : routers_) router->ClearActivity();
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,199 @@
+// The network: routers wired per a Topology, flit/credit links with
+// pipeline latency, and per-node network interfaces (NIs) with unbounded
+// source queues (open-loop injection) and flit reassembly at ejection.
+//
+// Determinism: all inter-router interaction flows through delayed link
+// events, and each component only reads its own committed state, so a
+// simulation is bit-reproducible for a given seed regardless of platform.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "router/router.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+
+/// Timing of the links around the 3-stage router pipeline (Fig 6b).
+struct NetworkParams {
+  RouterConfig router;
+  /// Cycles from a switch-allocation grant to the flit being usable in the
+  /// downstream input buffer: ST + LT for the 3-stage pipeline.
+  int flit_delay = 3;
+  /// Cycles for a freed buffer slot to become a usable upstream credit.
+  int credit_delay = 2;
+  /// Cycles from NI injection decision to the router input buffer.
+  int ni_link_delay = 1;
+};
+
+/// Everything known about a delivered packet, passed to the eject callback.
+struct PacketRecord {
+  PacketId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int size_flits = 0;
+  Cycle created = 0;   ///< entered the source queue
+  Cycle injected = 0;  ///< head flit left the NI
+  Cycle ejected = 0;   ///< tail flit arrived at the destination NI
+  std::uint64_t user_tag = 0;
+};
+
+class Network {
+ public:
+  Network(std::shared_ptr<Topology> topology, const NetworkParams& params);
+
+  const Topology& topology() const { return *topology_; }
+  const NetworkParams& params() const { return params_; }
+  Cycle now() const { return now_; }
+  int NumNodes() const { return topology_->NumNodes(); }
+
+  /// Queue a packet at `src`'s NI. Returns its id. `created` defaults to
+  /// the current cycle. `msg_class` selects the virtual network when the
+  /// router config partitions VCs into message classes.
+  PacketId EnqueuePacket(NodeId src, NodeId dst, int size_flits,
+                         std::uint64_t user_tag = 0, int msg_class = 0);
+
+  /// Invoked when a packet's tail flit reaches its destination NI.
+  using EjectCallback = std::function<void(const PacketRecord&)>;
+  void SetEjectCallback(EjectCallback cb) { eject_cb_ = std::move(cb); }
+
+  /// Per-flit event stream for debugging and microarchitectural analysis.
+  /// kInject fires when the NI puts a flit on its injection link, kTraverse
+  /// when a router's switch forwards it, kEject when it reaches the
+  /// destination NI. The tracer adds no cost when unset.
+  enum class FlitEventKind : std::uint8_t { kInject, kTraverse, kEject };
+  struct FlitEvent {
+    FlitEventKind kind;
+    Cycle cycle;
+    RouterId router;  ///< kTraverse only; -1 otherwise
+    PortId out_port;  ///< kTraverse only
+    Flit flit;
+  };
+  using FlitTracer = std::function<void(const FlitEvent&)>;
+  void SetFlitTracer(FlitTracer tracer) { tracer_ = std::move(tracer); }
+
+  /// Advance one cycle: deliver due link events, step NIs, step routers.
+  void Step();
+
+  /// True when no flit exists anywhere: source queues, buffers, or links.
+  bool Quiescent() const;
+
+  /// Cycles elapsed since any flit traversed a crossbar or was injected —
+  /// a forward-progress watchdog. A non-quiescent network whose counter
+  /// keeps growing is deadlocked (impossible under DOR + credits, but the
+  /// check keeps experimental routing functions honest).
+  Cycle CyclesSinceProgress() const { return now_ - last_progress_; }
+  bool SuspectedDeadlock(Cycle threshold = 1'000) const {
+    return !Quiescent() && CyclesSinceProgress() >= threshold;
+  }
+
+  const NodeCounters& counters(NodeId node) const { return counters_[node]; }
+  void ClearCounters();
+
+  std::size_t SourceQueueLength(NodeId node) const {
+    return nis_[node].source_queue.size();
+  }
+  /// Total flits currently queued in every NI source queue.
+  std::uint64_t TotalSourceQueueFlits() const;
+
+  /// Sum of all routers' activity counters (energy model input).
+  RouterActivity TotalActivity() const;
+  void ClearActivity();
+
+  Router& router(RouterId id) { return *routers_[id]; }
+  const Router& router(RouterId id) const { return *routers_[id]; }
+  int NumRouters() const { return static_cast<int>(routers_.size()); }
+
+ private:
+  struct PendingPacket {
+    PacketId id;
+    NodeId dst;
+    int size;
+    Cycle created;
+    std::uint64_t user_tag;
+    int msg_class;
+  };
+
+  struct ActiveTx {
+    PacketId id;
+    NodeId dst;
+    int size;
+    int sent;
+    Cycle created;
+    Cycle injected;
+    std::uint64_t user_tag;
+    PortId route_out;  ///< output port at the attached router (lookahead)
+    VcId vc;           ///< injection VC at the router input port
+    int msg_class;
+  };
+
+  struct Ni {
+    NodeId node;
+    RouterId router;
+    PortId port;  ///< injection input port == ejection output port index
+    std::deque<PendingPacket> source_queue;
+    std::vector<ActiveTx> active;
+    std::vector<int> credits;    ///< per injection VC
+    std::vector<bool> vc_busy;   ///< NI-side allocation of injection VCs
+    int rr = 0;                  ///< round-robin pointer over active txs
+  };
+
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kFlitToRouter,
+      kCreditToRouter,
+      kFlitToNi,
+      kCreditToNi,
+    };
+    Kind kind;
+    std::int32_t target;  ///< router id or node id
+    PortId port;          ///< input port (flit) or output port (credit)
+    VcId vc;              ///< credit VC
+    Flit flit;
+  };
+
+  /// Who feeds input port `in_port` of `router`: either an upstream router
+  /// output (router id + out port) or an NI (node id).
+  struct Upstream {
+    RouterId router = -1;
+    PortId out_port = kInvalidPort;
+    NodeId node = kInvalidNode;
+  };
+  Upstream UpstreamOf(RouterId router, PortId in_port) const {
+    return upstream_[static_cast<std::size_t>(router) * topology_->Radix() +
+                     in_port];
+  }
+
+  void Schedule(Cycle at, Event ev);
+  void DeliverDue();
+  void StepNi(Ni& ni);
+  void HandleEjectedFlit(Ni& ni, const Flit& flit);
+
+  std::shared_ptr<Topology> topology_;
+  NetworkParams params_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<Upstream> upstream_;  // routers * radix
+  std::vector<Ni> nis_;
+  std::vector<NodeCounters> counters_;
+  EjectCallback eject_cb_;
+  FlitTracer tracer_;
+
+  // Event wheel: slot = cycle % wheel size.
+  std::vector<std::vector<Event>> wheel_;
+  std::uint64_t in_flight_events_ = 0;
+
+  Cycle now_ = 0;
+  Cycle last_progress_ = 0;
+  PacketId next_packet_id_ = 1;
+
+  // Per-cycle scratch.
+  std::vector<Router::SentFlit> sent_flits_;
+  std::vector<Router::SentCredit> sent_credits_;
+};
+
+}  // namespace vixnoc

@@ -1,0 +1,52 @@
+#include "power/energy_model.hpp"
+
+#include "common/check.hpp"
+
+namespace vixnoc::power {
+
+double XbarEnergyScale(int inputs, int outputs) {
+  VIXNOC_CHECK(inputs >= outputs && outputs > 0);
+  // Row (input) wires span O columns in both designs; column (output)
+  // wires span I rows. A traversal drives one of each.
+  const double ratio = static_cast<double>(inputs) / outputs;
+  return 0.5 + 0.5 * ratio;
+}
+
+EnergyBreakdown NetworkEnergy(const EnergyParams& params,
+                              const RouterConfig& router, int num_routers,
+                              const RouterActivity& activity, Cycle cycles) {
+  EnergyBreakdown e;
+  const int vins = router.NumVins();
+  const int xbar_inputs = router.radix * vins;
+  const int xbar_outputs = router.radix;
+
+  e.buffer_pj =
+      params.buffer_write_per_flit_pj * activity.buffer_writes +
+      params.buffer_read_per_flit_pj * activity.buffer_reads;
+  e.xbar_pj = params.xbar_traversal_base_pj *
+              XbarEnergyScale(xbar_inputs, xbar_outputs) *
+              activity.xbar_traversals;
+  e.link_pj = params.link_traversal_per_flit_pj * activity.link_flits;
+
+  const double buffer_bits = static_cast<double>(router.radix) *
+                             router.num_vcs * router.buffer_depth *
+                             params.flit_bits;
+  const double router_cycles =
+      static_cast<double>(num_routers) * static_cast<double>(cycles);
+  e.clock_pj = (params.clock_per_buffer_bit_pj * buffer_bits +
+                params.clock_fixed_per_router_pj) *
+               router_cycles;
+  e.leakage_pj = (params.leak_per_buffer_bit_pj * buffer_bits +
+                  params.leak_per_xbar_crosspoint_pj * xbar_inputs *
+                      xbar_outputs) *
+                 router_cycles;
+  return e;
+}
+
+double EnergyPerBitPj(const EnergyBreakdown& breakdown,
+                      std::uint64_t bits_delivered) {
+  VIXNOC_CHECK(bits_delivered > 0);
+  return breakdown.TotalPj() / static_cast<double>(bits_delivered);
+}
+
+}  // namespace vixnoc::power

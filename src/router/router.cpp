@@ -1,0 +1,326 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+
+#include "alloc/augmenting_path.hpp"
+
+namespace vixnoc {
+
+Router::Router(RouterId id, const RouterConfig& config,
+               std::vector<OutputLinkInfo> links,
+               const RoutingFunction* routing)
+    : id_(id), config_(config), routing_(routing), links_(std::move(links)) {
+  VIXNOC_CHECK(static_cast<int>(links_.size()) == config_.radix);
+  VIXNOC_CHECK(config_.num_vcs >= 1);
+  VIXNOC_CHECK(config_.buffer_depth >= 1);
+  VIXNOC_CHECK(routing_ != nullptr);
+  VIXNOC_CHECK(config_.num_message_classes >= 1);
+  VIXNOC_CHECK(config_.num_vcs % config_.num_message_classes == 0);
+
+  input_vcs_.resize(static_cast<std::size_t>(config_.radix) *
+                    config_.num_vcs);
+  outputs_.resize(config_.radix);
+  for (PortId o = 0; o < config_.radix; ++o) {
+    outputs_[o].link = links_[o];
+    outputs_[o].vcs.resize(config_.num_vcs);
+    for (auto& ovc : outputs_[o].vcs) {
+      ovc.credits = config_.buffer_depth;
+    }
+  }
+
+  SwitchGeometry geom;
+  geom.num_inports = config_.radix;
+  geom.num_outports = config_.radix;
+  geom.num_vcs = config_.num_vcs;
+  geom.num_vins = config_.NumVins();
+  geom.interleaved_vins = config_.interleaved_vins;
+  if (config_.scheme == AllocScheme::kAugmentingPath &&
+      !config_.ap_rotate_vcs) {
+    allocator_ = std::make_unique<AugmentingPathAllocator>(geom, false);
+  } else {
+    allocator_ =
+        MakeSwitchAllocator(config_.scheme, geom, config_.arbiter_kind);
+  }
+  vc_view_scratch_.resize(config_.num_vcs);
+  just_activated_.assign(input_vcs_.size(), false);
+  flits_per_out_.assign(config_.radix, 0);
+  out_used_scratch_.assign(config_.radix, false);
+  xin_used_scratch_.assign(
+      static_cast<std::size_t>(config_.radix) * config_.NumVins(), false);
+}
+
+void Router::ClearActivity() {
+  activity_.Clear();
+  std::fill(flits_per_out_.begin(), flits_per_out_.end(), 0);
+}
+
+void Router::AcceptFlit(PortId in_port, const Flit& flit) {
+  VIXNOC_CHECK(in_port >= 0 && in_port < config_.radix);
+  VIXNOC_CHECK(flit.vc >= 0 && flit.vc < config_.num_vcs);
+  VIXNOC_CHECK(flit.route_out >= 0 && flit.route_out < config_.radix);
+  InputVc& v = ivc(in_port, flit.vc);
+  // Credit protocol guarantees space; overflow means lost credits upstream.
+  VIXNOC_CHECK(static_cast<int>(v.buffer.size()) < config_.buffer_depth);
+  v.buffer.push_back(flit);
+  ++activity_.buffer_writes;
+}
+
+void Router::AcceptCredit(PortId out_port, VcId out_vc) {
+  VIXNOC_CHECK(out_port >= 0 && out_port < config_.radix);
+  VIXNOC_CHECK(out_vc >= 0 && out_vc < config_.num_vcs);
+  OutputVc& ovc = outputs_[out_port].vcs[out_vc];
+  ++ovc.credits;
+  VIXNOC_CHECK(ovc.credits <= config_.buffer_depth);
+}
+
+void Router::RunVcAllocation() {
+  // Head packets request an output VC; candidates are visited in an order
+  // that rotates across cycles so no input VC systematically wins ties.
+  //
+  // Two VA organizations:
+  //  * kGreedyRotating (default): candidates are served sequentially, each
+  //    seeing the allocations made earlier the same cycle — an idealized
+  //    allocator where a blocked preference immediately falls back to the
+  //    next-best free VC.
+  //  * kSeparableArbitrated: every candidate states one preference against
+  //    the cycle-start state, then one arbiter per output VC picks a
+  //    winner; losers retry next cycle — the behaviour of a real separable
+  //    VC allocator (Becker & Dally).
+  const bool separable = config_.va_organization ==
+                         VaOrganization::kSeparableArbitrated;
+  struct VaPreference {
+    int idx;  // input VC index p * num_vcs + c
+    PortId out_port;
+    VcId out_vc;
+    PortId lookahead;
+    std::uint8_t next_dateline;
+  };
+  std::vector<VaPreference> preferences;
+
+  const int total = config_.radix * config_.num_vcs;
+  for (int off = 0; off < total; ++off) {
+    const int idx = (va_rr_ptr_ + off) % total;
+    const PortId p = idx / config_.num_vcs;
+    const VcId c = idx % config_.num_vcs;
+    InputVc& v = ivc(p, c);
+    if (v.active || v.buffer.empty()) continue;
+    const Flit& head = v.buffer.front();
+    VIXNOC_CHECK(head.IsHead());
+    ++activity_.va_requests;
+
+    const PortId out_port = head.route_out;
+    OutputPort& op = outputs_[out_port];
+    // Routing functions must never steer a packet to an unconnected port.
+    VIXNOC_CHECK(op.link.IsConnected());
+
+    // Lookahead route computation for the downstream router; ejection ports
+    // terminate at an NI, so there is no next hop.
+    PortId lookahead = kInvalidPort;
+    PortDimension downstream_dim = PortDimension::kLocal;
+    if (!op.link.IsEjection()) {
+      lookahead = routing_->Route(op.link.neighbor, head.dst);
+      downstream_dim = routing_->DimensionOf(lookahead);
+    }
+
+    if (op.link.IsEjection()) {
+      // NIs accept any VC and reassemble; no allocation state is needed and
+      // interleaving packets on the ejection port is harmless.
+      v.next_dateline = head.dateline;
+      v.active = true;
+      v.out_port = out_port;
+      v.out_vc = c % config_.num_vcs;
+      v.lookahead_out = lookahead;
+      just_activated_[idx] = true;
+      ++activity_.va_grants;
+      continue;
+    }
+
+    // Virtual networks: a packet may only use VCs of its message class.
+    const int cls = head.msg_class;
+    VIXNOC_CHECK(cls < config_.num_message_classes);
+    const int vpc = config_.VcsPerClass();
+    const VcId cls_base = cls * vpc;
+    // Dateline restriction: the packet's state after traversing this
+    // output's channel selects which part of the class partition it may
+    // occupy downstream (torus deadlock avoidance; full range elsewhere).
+    const std::uint8_t next_state =
+        routing_->NextDatelineState(id_, out_port, head.dateline);
+    const VcRange range = routing_->AllowedVcRange(out_port, next_state, vpc);
+    VIXNOC_DCHECK(range.lo >= 0 && range.lo < range.hi && range.hi <= vpc);
+    const int span = range.hi - range.lo;
+    vc_view_scratch_.resize(span);
+    for (VcId i = 0; i < span; ++i) {
+      const VcId ovc = cls_base + range.lo + i;
+      bool busy = op.vcs[ovc].allocated;
+      if (config_.atomic_vc_alloc &&
+          op.vcs[ovc].credits < config_.buffer_depth) {
+        busy = true;  // downstream buffer not empty: VC not reallocatable
+      }
+      vc_view_scratch_[i].allocated = busy;
+      vc_view_scratch_[i].credits = op.vcs[ovc].credits;
+    }
+    VinLayout layout;
+    layout.num_vins = config_.NumVins();
+    layout.total_vcs = config_.num_vcs;
+    layout.interleaved = config_.interleaved_vins;
+    layout.first_vc = cls_base + range.lo;
+    const int pick = PickOutputVc(config_.vc_policy, vc_view_scratch_,
+                                  layout, downstream_dim);
+    if (pick < 0) continue;  // all usable VCs busy: stall
+    const VcId out_vc = cls_base + range.lo + pick;
+
+    if (separable) {
+      preferences.push_back(
+          VaPreference{idx, out_port, out_vc, lookahead, next_state});
+      continue;
+    }
+
+    op.vcs[out_vc].allocated = true;
+    v.next_dateline = next_state;
+    v.active = true;
+    v.out_port = out_port;
+    v.out_vc = out_vc;
+    v.lookahead_out = lookahead;
+    just_activated_[idx] = true;
+    ++activity_.va_grants;
+  }
+
+  if (separable && !preferences.empty()) {
+    // Output-side arbitration: one winner per (out_port, out_vc). The
+    // rotating visit order above doubles as the arbitration priority,
+    // which rotates every cycle, so losers cannot starve.
+    for (const VaPreference& pref : preferences) {
+      OutputPort& op = outputs_[pref.out_port];
+      if (op.vcs[pref.out_vc].allocated) continue;  // lost this cycle
+      op.vcs[pref.out_vc].allocated = true;
+      InputVc& v = input_vcs_[pref.idx];
+      v.next_dateline = pref.next_dateline;
+      v.active = true;
+      v.out_port = pref.out_port;
+      v.out_vc = pref.out_vc;
+      v.lookahead_out = pref.lookahead;
+      just_activated_[pref.idx] = true;
+      ++activity_.va_grants;
+    }
+  }
+
+  va_rr_ptr_ = (va_rr_ptr_ + 1) % total;
+}
+
+void Router::BuildSaRequests() {
+  sa_requests_.clear();
+  for (PortId p = 0; p < config_.radix; ++p) {
+    for (VcId c = 0; c < config_.num_vcs; ++c) {
+      const InputVc& v = ivc(p, c);
+      if (!v.active || v.buffer.empty()) continue;
+      if (!config_.speculative_sa &&
+          just_activated_[p * config_.num_vcs + c]) {
+        continue;  // VA this cycle, SA earliest next cycle (Fig 6a)
+      }
+      const OutputPort& op = outputs_[v.out_port];
+      // Ejection consumes flits unconditionally (the NI drains one flit per
+      // ejection port per cycle by construction of the crossbar).
+      if (!op.link.IsEjection() && op.vcs[v.out_vc].credits == 0) continue;
+      sa_requests_.push_back(SaRequest{p, c, v.out_port});
+    }
+  }
+
+  if (config_.prioritize_nonspeculative && config_.speculative_sa) {
+    // Becker-style pessimistic masking: drop speculative requests whose
+    // output port is also wanted by an established (non-speculative)
+    // packet this cycle.
+    std::vector<bool> nonspec_wants(static_cast<std::size_t>(config_.radix),
+                                    false);
+    for (const SaRequest& r : sa_requests_) {
+      if (!just_activated_[r.in_port * config_.num_vcs + r.vc]) {
+        nonspec_wants[r.out_port] = true;
+      }
+    }
+    std::erase_if(sa_requests_, [&](const SaRequest& r) {
+      return just_activated_[r.in_port * config_.num_vcs + r.vc] &&
+             nonspec_wants[r.out_port];
+    });
+  }
+
+  activity_.sa_requests += sa_requests_.size();
+  if (!sa_requests_.empty()) ++activity_.cycles_with_requests;
+}
+
+void Router::CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
+                          std::vector<SentCredit>* sent_credits) {
+  (void)now;
+  std::fill(out_used_scratch_.begin(), out_used_scratch_.end(), false);
+  std::fill(xin_used_scratch_.begin(), xin_used_scratch_.end(), false);
+  for (const SaGrant& g : sa_grants_) {
+    InputVc& v = ivc(g.in_port, g.vc);
+    // Structural legality: one grant per output port, one per crossbar
+    // input, granted VC actually ready. Cheap enough to keep in release.
+    VIXNOC_CHECK(!out_used_scratch_[g.out_port]);
+    out_used_scratch_[g.out_port] = true;
+    const std::size_t xin =
+        static_cast<std::size_t>(g.in_port) * config_.NumVins() + g.vin;
+    VIXNOC_CHECK(!xin_used_scratch_[xin]);
+    xin_used_scratch_[xin] = true;
+    VIXNOC_CHECK(v.active && !v.buffer.empty());
+    VIXNOC_CHECK(v.out_port == g.out_port);
+
+    Flit flit = v.buffer.front();
+    v.buffer.pop_front();
+    ++activity_.buffer_reads;
+    ++activity_.xbar_traversals;
+    ++flits_per_out_[g.out_port];
+
+    OutputPort& op = outputs_[g.out_port];
+    flit.vc = v.out_vc;
+    flit.route_out = v.lookahead_out;
+    flit.dateline = v.next_dateline;
+
+    if (!op.link.IsEjection()) {
+      OutputVc& ovc = op.vcs[v.out_vc];
+      VIXNOC_DCHECK(ovc.credits > 0);
+      --ovc.credits;
+      ++activity_.link_flits;
+      if (flit.IsTail()) ovc.allocated = false;
+    }
+
+    if (flit.IsTail()) {
+      v.active = false;
+      v.out_port = kInvalidPort;
+      v.out_vc = kInvalidVc;
+      v.lookahead_out = kInvalidPort;
+    }
+
+    sent_flits->push_back(SentFlit{g.out_port, flit});
+    sent_credits->push_back(SentCredit{g.in_port, g.vc});
+  }
+  activity_.sa_grants += sa_grants_.size();
+}
+
+void Router::Step(Cycle now, std::vector<SentFlit>* sent_flits,
+                  std::vector<SentCredit>* sent_credits) {
+  ++activity_.cycles;
+  std::fill(just_activated_.begin(), just_activated_.end(), false);
+  RunVcAllocation();
+  BuildSaRequests();
+  allocator_->Allocate(sa_requests_, &sa_grants_);
+  VIXNOC_DCHECK(GrantsAreLegal(allocator_->geometry(), sa_requests_,
+                               sa_grants_));
+  CommitGrants(now, sent_flits, sent_credits);
+}
+
+bool Router::Quiescent() const {
+  for (const InputVc& v : input_vcs_) {
+    if (!v.buffer.empty() || v.active) return false;
+  }
+  return true;
+}
+
+int Router::BufferOccupancy(PortId in_port, VcId vc) const {
+  return static_cast<int>(ivc(in_port, vc).buffer.size());
+}
+
+int Router::CreditsFor(PortId out_port, VcId out_vc) const {
+  return outputs_[out_port].vcs[out_vc].credits;
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,231 @@
+// Cycle-accurate virtual-channel wormhole router with the paper's optimized
+// 3-stage pipeline (Fig 6b): lookahead routing + VA/SA in one stage, switch
+// traversal, link traversal. Credit-based VC flow control; non-atomic VC
+// buffers (multiple packets may queue back-to-back in one VC FIFO).
+//
+// The router is topology-agnostic: a per-output-port link table names the
+// downstream router (or the network interface for ejection ports), and a
+// RoutingFunction supplies lookahead route computation.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "alloc/switch_allocator.hpp"
+#include "common/types.hpp"
+#include "router/flit.hpp"
+#include "router/routing.hpp"
+#include "router/vc_assign.hpp"
+
+namespace vixnoc {
+
+/// How the VA stage resolves competition for output VCs.
+enum class VaOrganization {
+  /// Candidates served sequentially (rotating start); a blocked preference
+  /// immediately falls back to the next free VC — an idealized allocator.
+  kGreedyRotating,
+  /// Every candidate states one preference against cycle-start state; one
+  /// winner per output VC, losers retry next cycle — a real separable VC
+  /// allocator's behaviour.
+  kSeparableArbitrated,
+};
+
+/// Static configuration for one router (all routers in a network share it).
+struct RouterConfig {
+  int radix = 5;          ///< physical input = output ports
+  int num_vcs = 6;        ///< virtual channels per input port
+  int buffer_depth = 5;   ///< flit-buffers per VC
+  AllocScheme scheme = AllocScheme::kInputFirst;
+  ArbiterKind arbiter_kind = ArbiterKind::kRoundRobin;
+  VcAssignPolicy vc_policy = VcAssignPolicy::kMaxCredits;
+  /// For kVix only: overrides the number of virtual inputs per port
+  /// (0 = the scheme default of 2). Must divide num_vcs. Lets ablations
+  /// sweep 1:3, 1:6, ... crossbars.
+  int vix_virtual_inputs = 0;
+  /// VC -> virtual-input wiring: false = contiguous blocks (the paper's
+  /// Fig 2), true = interleaved (vc % k), which keeps every virtual input
+  /// reachable inside any message-class or dateline VC subset.
+  bool interleaved_vins = false;
+  /// Ablation knob for the AP allocator: false makes its VC selection fully
+  /// combinational-deterministic (no round-robin), the paper's stateless
+  /// maximum-matching circuit.
+  bool ap_rotate_vcs = true;
+  /// Speculative switch allocation (Peh & Dally [19], Fig 6b): a head flit
+  /// may win VA and SA in the same cycle. When false, a packet that wins
+  /// VA first competes in SA the following cycle — the conservative 5-stage
+  /// pipeline of Fig 6a.
+  bool speculative_sa = true;
+  /// VA stage organization (see VaOrganization).
+  VaOrganization va_organization = VaOrganization::kGreedyRotating;
+  /// Becker & Dally's priority rule (paper §5): when true, speculative
+  /// requests (head flits that won VA this very cycle) are masked out of
+  /// switch allocation whenever any non-speculative request targets the
+  /// same output port, so established packets never lose bandwidth to
+  /// speculation. Only meaningful with speculative_sa.
+  bool prioritize_nonspeculative = false;
+  /// Atomic VC reallocation (BookSim-style): an output VC is assignable
+  /// only when the downstream buffer is completely empty (all credits
+  /// present), so packets never queue back-to-back in one VC. Default is
+  /// the non-atomic (Garnet-style) policy the evaluation uses.
+  bool atomic_vc_alloc = false;
+  /// Virtual networks: VCs are partitioned into this many equal message
+  /// classes and packets only use VCs of their own class. Must divide
+  /// num_vcs. With VIX, each class's VCs are further split across virtual
+  /// inputs, so num_vcs must also be divisible by classes * virtual inputs
+  /// for an even mapping (checked at construction).
+  int num_message_classes = 1;
+
+  int VcsPerClass() const { return num_vcs / num_message_classes; }
+
+  int NumVins() const {
+    if (scheme == AllocScheme::kVix && vix_virtual_inputs > 0) {
+      return vix_virtual_inputs;
+    }
+    return VirtualInputsForScheme(scheme, num_vcs);
+  }
+
+  /// Default VC policy for a scheme: VIX schemes use dimension steering.
+  static VcAssignPolicy DefaultPolicyFor(AllocScheme scheme) {
+    return (scheme == AllocScheme::kVix || scheme == AllocScheme::kVixIdeal)
+               ? VcAssignPolicy::kVixDimension
+               : VcAssignPolicy::kMaxCredits;
+  }
+};
+
+/// What an output port connects to. Mesh-edge ports may be unconnected
+/// (present for a uniform radix, but never routed to).
+struct OutputLinkInfo {
+  RouterId neighbor = -1;                 ///< downstream router; -1 = none
+  PortId neighbor_in_port = kInvalidPort; ///< input port at the neighbor
+  NodeId eject_node = kInvalidNode;       ///< NI node for ejection ports
+
+  bool IsEjection() const { return neighbor < 0 && eject_node >= 0; }
+  bool IsConnected() const { return neighbor >= 0 || eject_node >= 0; }
+};
+
+/// Activity counters consumed by the statistics and energy models.
+struct RouterActivity {
+  std::uint64_t buffer_writes = 0;     ///< flits written into input buffers
+  std::uint64_t buffer_reads = 0;      ///< flits read out (switch traversal)
+  std::uint64_t xbar_traversals = 0;   ///< flits through the crossbar
+  std::uint64_t link_flits = 0;        ///< flits sent on inter-router links
+  std::uint64_t sa_requests = 0;       ///< switch-allocation requests seen
+  std::uint64_t sa_grants = 0;         ///< switch-allocation grants made
+  std::uint64_t va_requests = 0;
+  std::uint64_t va_grants = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cycles_with_requests = 0;
+
+  void Clear() { *this = RouterActivity{}; }
+};
+
+class Router {
+ public:
+  /// `links[o]` describes output port o. `routing` may be shared across all
+  /// routers; it must outlive the router.
+  Router(RouterId id, const RouterConfig& config,
+         std::vector<OutputLinkInfo> links, const RoutingFunction* routing);
+
+  RouterId id() const { return id_; }
+  const RouterConfig& config() const { return config_; }
+  const SwitchGeometry& geometry() const { return allocator_->geometry(); }
+  const OutputLinkInfo& link(PortId out) const { return links_[out]; }
+
+  /// Deliver a flit into input buffer (in_port, flit.vc). The caller (the
+  /// network's link model or an NI) must have held a credit; overflowing a
+  /// buffer is a checked invariant violation.
+  void AcceptFlit(PortId in_port, const Flit& flit);
+
+  /// Return a credit for (out_port, out_vc) from the downstream router.
+  void AcceptCredit(PortId out_port, VcId out_vc);
+
+  /// A flit leaving on an output port this cycle (switch traversal done;
+  /// the network schedules its arrival downstream after link traversal).
+  struct SentFlit {
+    PortId out_port = kInvalidPort;
+    Flit flit;
+  };
+  /// A credit freed on an input port this cycle, to be returned upstream.
+  struct SentCredit {
+    PortId in_port = kInvalidPort;
+    VcId vc = kInvalidVc;
+  };
+
+  /// Advance one cycle: VA, then (speculative, same-cycle) SA, then switch
+  /// traversal. Appends emitted flits/credits; does not clear the vectors.
+  void Step(Cycle now, std::vector<SentFlit>* sent_flits,
+            std::vector<SentCredit>* sent_credits);
+
+  /// True when every buffer is empty and no packet holds VC state — used by
+  /// drain phases and the no-flit-loss property tests.
+  bool Quiescent() const;
+
+  /// Occupancy of input VC buffer (in_port, vc), in flits.
+  int BufferOccupancy(PortId in_port, VcId vc) const;
+  /// Free credits the router believes exist for (out_port, out_vc).
+  int CreditsFor(PortId out_port, VcId out_vc) const;
+
+  const RouterActivity& activity() const { return activity_; }
+  void ClearActivity();
+
+  /// Flits sent on output port `out` since the last ClearActivity() —
+  /// per-link utilization for hotspot analysis.
+  std::uint64_t FlitsSentOn(PortId out) const { return flits_per_out_[out]; }
+
+ private:
+  struct InputVc {
+    std::deque<Flit> buffer;
+    bool active = false;  ///< current packet holds an output VC
+    PortId out_port = kInvalidPort;
+    VcId out_vc = kInvalidVc;
+    PortId lookahead_out = kInvalidPort;  ///< route at the downstream router
+    std::uint8_t next_dateline = 0;  ///< packet state after this hop
+  };
+
+  struct OutputVc {
+    int credits = 0;
+    bool allocated = false;  ///< owned by one of this router's input VCs
+  };
+
+  struct OutputPort {
+    std::vector<OutputVc> vcs;
+    OutputLinkInfo link;
+  };
+
+  InputVc& ivc(PortId p, VcId c) { return input_vcs_[p * config_.num_vcs + c]; }
+  const InputVc& ivc(PortId p, VcId c) const {
+    return input_vcs_[p * config_.num_vcs + c];
+  }
+
+  void RunVcAllocation();
+  void BuildSaRequests();
+  void CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
+                    std::vector<SentCredit>* sent_credits);
+
+  RouterId id_;
+  RouterConfig config_;
+  const RoutingFunction* routing_;
+  std::vector<InputVc> input_vcs_;   // radix * num_vcs
+  std::vector<OutputPort> outputs_;  // radix
+  std::vector<OutputLinkInfo> links_;
+  std::unique_ptr<SwitchAllocator> allocator_;
+  int va_rr_ptr_ = 0;  ///< rotating start for VA fairness
+  /// Input VCs granted VA this cycle; excluded from SA when the router is
+  /// configured non-speculative.
+  std::vector<bool> just_activated_;
+
+  // Per-cycle scratch.
+  std::vector<SaRequest> sa_requests_;
+  std::vector<SaGrant> sa_grants_;
+  std::vector<OutputVcView> vc_view_scratch_;
+  // Always-on cheap structural checks on grants (the full GrantsAreLegal
+  // validation only runs in debug builds).
+  std::vector<bool> out_used_scratch_;
+  std::vector<bool> xin_used_scratch_;
+
+  RouterActivity activity_;
+  std::vector<std::uint64_t> flits_per_out_;  // radix
+};
+
+}  // namespace vixnoc

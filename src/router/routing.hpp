@@ -1,0 +1,62 @@
+// Routing-function interface. Topologies implement it; routers use it for
+// lookahead route computation (determining the output port a packet will
+// take at the *next* router, needed both to stamp flits and to drive VIX's
+// dimension-aware VC assignment, paper §2.3).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace vixnoc {
+
+/// Dimension class of an output port, used by the VIX VC-assignment policy
+/// to spread requests across virtual-input sub-groups.
+enum class PortDimension {
+  kX,     ///< port moves packets along the X dimension
+  kY,     ///< port moves packets along the Y dimension
+  kLocal, ///< ejection port towards a network interface
+};
+
+/// A sub-range [lo, hi) of the per-message-class VC partition that a packet
+/// is allowed to occupy at its next hop.
+struct VcRange {
+  int lo = 0;
+  int hi = 0;
+};
+
+class RoutingFunction {
+ public:
+  virtual ~RoutingFunction() = default;
+
+  /// Deterministic route: the output port at `router` for a packet headed to
+  /// node `dst`. Must be a local ejection port when `dst` is attached to
+  /// `router`.
+  virtual PortId Route(RouterId router, NodeId dst) const = 0;
+
+  /// Dimension classification of `port` (ports have uniform meaning across
+  /// routers in all supported topologies).
+  virtual PortDimension DimensionOf(PortId port) const = 0;
+
+  /// Dateline state the packet carries after leaving `router` through
+  /// `out_port` with current state `state`. Acyclic topologies keep it 0;
+  /// torus routing flips a per-dimension bit at the wrap links.
+  virtual std::uint8_t NextDatelineState(RouterId router, PortId out_port,
+                                         std::uint8_t state) const {
+    (void)router;
+    (void)out_port;
+    return state;
+  }
+
+  /// VCs (as indices within one message class's partition of
+  /// `vcs_per_class` VCs) a packet with dateline state `state` may use on
+  /// the channel leaving through `out_port`. The default is unrestricted;
+  /// torus routing confines pre-/post-dateline packets to disjoint halves
+  /// so the ring's channel-dependency cycle is broken.
+  virtual VcRange AllowedVcRange(PortId out_port, std::uint8_t state,
+                                 int vcs_per_class) const {
+    (void)out_port;
+    (void)state;
+    return VcRange{0, vcs_per_class};
+  }
+};
+
+}  // namespace vixnoc

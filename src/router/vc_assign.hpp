@@ -1,0 +1,57 @@
+// Output-VC assignment policies (the VA stage's selection rule).
+//
+// Baseline (paper §2.3): "the output VC with maximum number of free
+// flit-buffers is assigned".
+//
+// VIX adds sub-group steering: output VCs map to virtual inputs of the
+// downstream crossbar, so the upstream router chooses which virtual input a
+// packet will occupy. Steering by the packet's output-port *dimension at the
+// downstream router* puts requests that will head to different outputs into
+// different sub-groups, and load balancing keeps every virtual input fed.
+//
+// The candidate set may be a sub-range of the downstream port's VCs
+// (message class or dateline restrictions); VinLayout tells the policy
+// which virtual input each candidate belongs to, for both the contiguous
+// (vc / (v/k)) and interleaved (vc % k) crossbar wirings.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/routing.hpp"
+
+namespace vixnoc {
+
+enum class VcAssignPolicy {
+  kMaxCredits,    ///< baseline: free VC with most credits
+  kVixDimension,  ///< VIX: dimension-preferred sub-group, balance fallback
+  kVixBalance,    ///< VIX ablation: pure load balancing across sub-groups
+};
+
+/// Snapshot of one output VC's allocation state, provided by the router.
+struct OutputVcView {
+  bool allocated = false;  ///< currently owned by another packet
+  int credits = 0;         ///< free flit-buffers downstream
+};
+
+/// How candidate VCs map onto the downstream router's virtual inputs.
+struct VinLayout {
+  int num_vins = 1;         ///< virtual inputs at the downstream router
+  int total_vcs = 1;        ///< VCs per port at the downstream router
+  bool interleaved = false; ///< vc % k wiring instead of vc / (v/k)
+  VcId first_vc = 0;        ///< actual VC id of candidate views[0]
+
+  VinId VinOfView(int view_index) const {
+    const VcId vc = first_vc + view_index;
+    return interleaved ? vc % num_vins : vc / (total_vcs / num_vins);
+  }
+};
+
+/// Picks a candidate index (into `views`), or -1 if none is free.
+/// `downstream_dim` is the dimension of the port the packet will request at
+/// the downstream router (kLocal when the next hop ejects or is unknown).
+int PickOutputVc(VcAssignPolicy policy,
+                 const std::vector<OutputVcView>& views,
+                 const VinLayout& layout, PortDimension downstream_dim);
+
+}  // namespace vixnoc

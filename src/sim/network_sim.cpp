@@ -1,0 +1,153 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "traffic/injection.hpp"
+
+namespace vixnoc {
+
+NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
+  VIXNOC_CHECK(config.injection_rate >= 0.0 && config.injection_rate <= 1.0);
+
+  auto topology = config.topology_factory ? config.topology_factory()
+                                          : MakeTopology64(config.topology);
+  NetworkParams params;
+  params.router.radix = topology->Radix();
+  params.router.num_vcs = config.num_vcs;
+  params.router.buffer_depth = config.buffer_depth;
+  params.router.scheme = config.scheme;
+  params.router.arbiter_kind = config.arbiter;
+  params.router.vc_policy =
+      config.vc_policy.value_or(RouterConfig::DefaultPolicyFor(config.scheme));
+  params.router.ap_rotate_vcs = config.ap_rotate_vcs;
+  params.router.vix_virtual_inputs = config.vix_virtual_inputs;
+  params.router.interleaved_vins = config.interleaved_vins;
+  params.router.atomic_vc_alloc = config.atomic_vc_alloc;
+  params.router.prioritize_nonspeculative = config.prioritize_nonspeculative;
+  params.router.va_organization = config.va_organization;
+  VIXNOC_CHECK(config.pipeline_stages == 3 || config.pipeline_stages == 5);
+  if (config.pipeline_stages == 5) {
+    params.router.speculative_sa = false;  // VA and SA in separate stages
+    params.flit_delay = 4;                 // ST + LT + RC at the next hop
+  }
+
+  Network net(std::shared_ptr<Topology>(std::move(topology)), params);
+  const int num_nodes = net.NumNodes();
+
+  auto pattern = MakePattern(config.pattern);
+  Rng rng(config.seed);
+  std::unique_ptr<InjectionProcess> injector;
+  if (config.bursty) {
+    injector = std::make_unique<OnOffInjection>(
+        num_nodes, config.injection_rate, config.burst_on_rate,
+        config.mean_burst_cycles);
+  } else {
+    injector = std::make_unique<BernoulliInjection>(config.injection_rate);
+  }
+
+  const Cycle measure_start = config.warmup;
+  const Cycle measure_end = config.warmup + config.measure;
+  const Cycle sim_end = measure_end + config.drain;
+
+  RunningStat latency;
+  RunningStat net_latency;
+  Histogram latency_hist(/*bucket_width=*/4.0, /*num_buckets=*/4096);
+  RunningStat interval_latency;  // latency of packets ejected this interval
+  std::uint64_t interval_packets = 0;
+  net.SetEjectCallback([&](const PacketRecord& rec) {
+    if (rec.created >= measure_start && rec.created < measure_end) {
+      latency.Add(static_cast<double>(rec.ejected - rec.created));
+      net_latency.Add(static_cast<double>(rec.ejected - rec.injected));
+      latency_hist.Add(static_cast<double>(rec.ejected - rec.created));
+    }
+    if (config.sample_interval > 0) {
+      interval_latency.Add(static_cast<double>(rec.ejected - rec.created));
+      ++interval_packets;
+    }
+  });
+
+  std::vector<NodeCounters> at_measure_start(num_nodes);
+  std::vector<NodeCounters> at_measure_end(num_nodes);
+  RouterActivity activity_snapshot;
+  std::uint64_t offered_packets = 0;
+
+  NetworkSimResult result;
+  for (Cycle t = 0; t < sim_end; ++t) {
+    if (config.sample_interval > 0 && t > 0 &&
+        t % config.sample_interval == 0) {
+      IntervalSample sample;
+      sample.start = t - config.sample_interval;
+      sample.packets = interval_packets;
+      sample.accepted_ppc =
+          static_cast<double>(interval_packets) /
+          (static_cast<double>(config.sample_interval) * num_nodes);
+      sample.avg_latency = interval_latency.Mean();
+      result.timeline.push_back(sample);
+      interval_latency.Reset();
+      interval_packets = 0;
+    }
+    if (t == measure_start) {
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        at_measure_start[n] = net.counters(n);
+      }
+      net.ClearActivity();
+    }
+    if (t == measure_end) {
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        at_measure_end[n] = net.counters(n);
+      }
+      activity_snapshot = net.TotalActivity();
+    }
+    // Injection at every node, including during drain (holding the load
+    // keeps measured packets under realistic contention).
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (injector->ShouldInject(n, rng)) {
+        const NodeId dst = pattern->Dest(n, num_nodes, rng);
+        net.EnqueuePacket(n, dst, config.packet_size);
+        if (t >= measure_start && t < measure_end) ++offered_packets;
+      }
+    }
+    net.Step();
+  }
+
+  result.num_nodes = num_nodes;
+  result.measure_cycles = config.measure;
+  result.offered_ppc = config.injection_rate;
+
+  std::uint64_t delivered_total = 0;
+  std::uint64_t flits_total = 0;
+  double min_node = 1e300, max_node = 0.0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    const std::uint64_t delivered = at_measure_end[n].packets_delivered -
+                                    at_measure_start[n].packets_delivered;
+    const std::uint64_t flits =
+        at_measure_end[n].flits_ejected - at_measure_start[n].flits_ejected;
+    delivered_total += delivered;
+    flits_total += flits;
+    const double node_ppc =
+        static_cast<double>(delivered) / static_cast<double>(config.measure);
+    min_node = std::min(min_node, node_ppc);
+    max_node = std::max(max_node, node_ppc);
+  }
+  result.accepted_ppc =
+      static_cast<double>(delivered_total) /
+      (static_cast<double>(config.measure) * num_nodes);
+  result.accepted_fpc =
+      static_cast<double>(flits_total) / static_cast<double>(config.measure);
+  result.min_node_ppc = min_node;
+  result.max_node_ppc = max_node;
+  result.max_min_ratio = min_node > 0.0 ? max_node / min_node : 0.0;
+  result.avg_latency = latency.Mean();
+  result.avg_net_latency = net_latency.Mean();
+  result.p99_latency = latency_hist.Quantile(0.99);
+  result.packets_measured = latency.Count();
+  const double offered_meas =
+      static_cast<double>(offered_packets) /
+      (static_cast<double>(config.measure) * num_nodes);
+  result.saturated = result.accepted_ppc < 0.95 * offered_meas;
+  result.activity = activity_snapshot;
+  return result;
+}
+
+}  // namespace vixnoc

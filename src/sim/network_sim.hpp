@@ -1,0 +1,98 @@
+// Experiment driver: open-loop statistical-traffic simulations with the
+// standard warmup / measurement / drain methodology. This is the engine
+// behind the paper's Figures 8, 9, 10 and 12.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "network/network.hpp"
+#include "router/vc_assign.hpp"
+#include "traffic/patterns.hpp"
+
+namespace vixnoc {
+
+struct NetworkSimConfig {
+  TopologyKind topology = TopologyKind::kMesh;
+  AllocScheme scheme = AllocScheme::kInputFirst;
+  int num_vcs = 6;        ///< paper §3: 6 VCs per port
+  int buffer_depth = 5;   ///< paper §3: 5 flits per VC
+  int packet_size = 4;    ///< paper §4.1: 512-bit packets on a 128-bit path
+  double injection_rate = 0.05;  ///< packets/cycle/node (Bernoulli process)
+  PatternKind pattern = PatternKind::kUniform;
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
+  /// Overrides the scheme's default VC-assignment policy when set.
+  std::optional<VcAssignPolicy> vc_policy;
+  /// AP ablation: disable the allocator's VC round-robin (see RouterConfig).
+  bool ap_rotate_vcs = true;
+  /// Router pipeline depth (Fig 6): 3 = optimized (lookahead routing +
+  /// speculative VA/SA in one stage); 5 = conservative (separate RC and VA
+  /// stages, non-speculative SA). Affects per-hop latency, not throughput
+  /// mechanics.
+  int pipeline_stages = 3;
+  /// kVix only: virtual inputs per port (0 = the default of 2).
+  int vix_virtual_inputs = 0;
+  /// Interleaved (vc % k) VC-to-virtual-input wiring (see RouterConfig).
+  bool interleaved_vins = false;
+  /// Becker-style masking of speculative SA requests (see RouterConfig).
+  bool prioritize_nonspeculative = false;
+  /// VA organization ablation (see VaOrganization).
+  VaOrganization va_organization = VaOrganization::kGreedyRotating;
+  /// Atomic VC reallocation ablation (see RouterConfig::atomic_vc_alloc).
+  bool atomic_vc_alloc = false;
+  /// Bursty (on-off Markov) injection instead of Bernoulli, keeping the
+  /// same average rate: while ON a node injects at `burst_on_rate`, bursts
+  /// last `mean_burst_cycles` on average.
+  bool bursty = false;
+  double burst_on_rate = 0.5;
+  double mean_burst_cycles = 32.0;
+  /// Overrides the 64-node topology when set (e.g. for scaling studies on
+  /// other mesh sizes). Must agree with `topology`'s router conventions.
+  std::function<std::unique_ptr<Topology>()> topology_factory;
+  /// When > 0, record a throughput/latency time series with one sample per
+  /// `sample_interval` cycles over the whole run (including warmup) — for
+  /// convergence checks and transient studies.
+  Cycle sample_interval = 0;
+  std::uint64_t seed = 1;
+  Cycle warmup = 10'000;
+  Cycle measure = 30'000;
+  Cycle drain = 10'000;
+
+  /// Injection rate that saturates the NI link for this packet size; used
+  /// by benches as "maximum injection rate".
+  double MaxInjectionRate() const { return 1.0 / packet_size; }
+};
+
+/// One point of the optional time series (see sample_interval).
+struct IntervalSample {
+  Cycle start = 0;             ///< first cycle of the interval
+  double accepted_ppc = 0.0;   ///< packets delivered per node per cycle
+  double avg_latency = 0.0;    ///< mean latency of packets ejected inside
+  std::uint64_t packets = 0;   ///< deliveries in the interval
+};
+
+struct NetworkSimResult {
+  double offered_ppc = 0.0;      ///< offered load, packets/cycle/node
+  double accepted_ppc = 0.0;     ///< delivered throughput, packets/cycle/node
+  double accepted_fpc = 0.0;     ///< delivered throughput, flits/cycle (whole network)
+  double avg_latency = 0.0;      ///< packet latency incl. source queueing
+  double avg_net_latency = 0.0;  ///< injection -> ejection latency
+  double p99_latency = 0.0;
+  double min_node_ppc = 0.0;     ///< slowest source's delivered throughput
+  double max_node_ppc = 0.0;     ///< fastest source's delivered throughput
+  double max_min_ratio = 0.0;    ///< fairness metric of Fig 9
+  std::uint64_t packets_measured = 0;  ///< latency sample count
+  bool saturated = false;        ///< accepted < 95% of offered
+  RouterActivity activity;       ///< summed over measurement window
+  Cycle measure_cycles = 0;
+  int num_nodes = 0;
+  /// Populated when sample_interval > 0.
+  std::vector<IntervalSample> timeline;
+};
+
+NetworkSimResult RunNetworkSim(const NetworkSimConfig& config);
+
+}  // namespace vixnoc

@@ -1,0 +1,25 @@
+// Trace-driven network simulation: replay an exact packet schedule instead
+// of drawing from a statistical process. Using one trace across allocator
+// schemes removes injection-process noise from comparisons entirely —
+// every scheme sees the same packets at the same cycles.
+#pragma once
+
+#include "sim/network_sim.hpp"
+#include "traffic/trace.hpp"
+
+namespace vixnoc {
+
+/// Build a trace by sampling a statistical pattern: Bernoulli(rate) per
+/// node per cycle for `cycles` cycles, fixed `packet_size`.
+PacketTrace GeneratePatternTrace(PatternKind pattern, double rate,
+                                 int num_nodes, Cycle cycles,
+                                 int packet_size, std::uint64_t seed);
+
+/// Replay `trace` under `config` (whose injection_rate/pattern/seed are
+/// ignored). Measurement uses config.warmup/measure as in RunNetworkSim;
+/// after the trace is exhausted the network drains fully (bounded by
+/// config.drain extra cycles past the last record).
+NetworkSimResult RunTraceSim(const NetworkSimConfig& config,
+                             const PacketTrace& trace);
+
+}  // namespace vixnoc

@@ -1,0 +1,86 @@
+#include "timing/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace vixnoc::timing {
+
+namespace {
+
+// Least-squares fits to the paper's Table 1 (see header). Units: ps.
+// VA: u0 + u1 * log2(P*v)
+constexpr double kVaBase = 6.2106;
+constexpr double kVaPerLevel = 59.8441;
+// SA: t0 + s_in * log2(v/k) + s_out * log2(k*P)
+constexpr double kSaBase = 25.0613;
+constexpr double kSaInPerLevel = 47.1608;
+constexpr double kSaOutPerLevel = 57.1608;
+// Xbar: c0 + a*I + b*O + d*I*O
+constexpr double kXbC0 = 136.5355;
+constexpr double kXbIn = 3.6992;
+constexpr double kXbOut = -1.8906;
+constexpr double kXbInOut = 0.8386;
+// Table 3: wavefront measured 390ps vs separable 280ps at radix 5.
+constexpr double kWavefrontRatio = 390.0 / 280.0;
+// Augmenting path: per sequential augmentation step, a request-propagate-
+// grant chain comparable to one output arbitration level.
+constexpr double kApStepPs = 57.1608;
+
+}  // namespace
+
+double VaDelayPs(int radix, int num_vcs) {
+  VIXNOC_CHECK(radix >= 2 && num_vcs >= 1);
+  return kVaBase + kVaPerLevel * std::log2(static_cast<double>(radix) *
+                                           num_vcs);
+}
+
+double SaDelayPs(int radix, int num_vcs, int num_vins) {
+  VIXNOC_CHECK(radix >= 2 && num_vcs >= 1 && num_vins >= 1);
+  VIXNOC_CHECK(num_vcs % num_vins == 0);
+  const double in_levels =
+      std::log2(static_cast<double>(num_vcs) / num_vins);
+  const double out_levels =
+      std::log2(static_cast<double>(num_vins) * radix);
+  return kSaBase + kSaInPerLevel * std::max(0.0, in_levels) +
+         kSaOutPerLevel * out_levels;
+}
+
+double XbarDelayPs(int inputs, int outputs) {
+  VIXNOC_CHECK(inputs >= 2 && outputs >= 2);
+  return kXbC0 + kXbIn * inputs + kXbOut * outputs +
+         kXbInOut * inputs * outputs;
+}
+
+double WavefrontDelayPs(int radix, int num_vcs) {
+  return kWavefrontRatio * SaDelayPs(radix, num_vcs, 1);
+}
+
+double AugmentingPathDelayPs(int radix, int num_vcs) {
+  // P augmentation phases, each walking up to P alternating edges, on top
+  // of building the request matrix (one input-arbitration level).
+  return SaDelayPs(radix, num_vcs, 1) +
+         kApStepPs * static_cast<double>(radix) * radix;
+}
+
+double RouterCyclePs(int radix, int num_vcs, int num_vins) {
+  const StageDelays d = RouterStageDelays(radix, num_vcs, num_vins);
+  return std::max({d.va_ps, d.sa_ps, d.xbar_ps});
+}
+
+bool AllocatorFeasible(double alloc_delay_ps, int radix, int num_vcs) {
+  // Feasible if it does not stretch the baseline router cycle, which the
+  // VA stage sets for every configuration in Table 1.
+  return alloc_delay_ps <= RouterCyclePs(radix, num_vcs, 1);
+}
+
+StageDelays RouterStageDelays(int radix, int num_vcs, int num_vins) {
+  StageDelays d;
+  d.va_ps = VaDelayPs(radix, num_vcs);
+  d.sa_ps = SaDelayPs(radix, num_vcs, num_vins);
+  d.xbar_ps = XbarDelayPs(radix * num_vins, radix);
+  return d;
+}
+
+}  // namespace vixnoc::timing

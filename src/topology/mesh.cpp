@@ -1,0 +1,137 @@
+// Mesh and concentrated mesh (CMesh) topologies with XY dimension-order
+// routing and lookahead-friendly port numbering:
+//   port 0 = East (+x), 1 = West (-x), 2 = North (+y), 3 = South (-y),
+//   ports 4..4+concentration-1 = local ejection/injection.
+// Unconnected edge ports exist (uniform radix) but are never routed to.
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+
+namespace {
+
+constexpr PortId kEast = 0;
+constexpr PortId kWest = 1;
+constexpr PortId kNorth = 2;
+constexpr PortId kSouth = 3;
+constexpr PortId kFirstLocal = 4;
+
+class MeshTopology;
+
+class MeshRouting final : public RoutingFunction {
+ public:
+  explicit MeshRouting(const MeshTopology* topo) : topo_(topo) {}
+  PortId Route(RouterId router, NodeId dst) const override;
+  PortDimension DimensionOf(PortId port) const override {
+    if (port == kEast || port == kWest) return PortDimension::kX;
+    if (port == kNorth || port == kSouth) return PortDimension::kY;
+    return PortDimension::kLocal;
+  }
+
+ private:
+  const MeshTopology* topo_;
+};
+
+class MeshTopology final : public Topology {
+ public:
+  MeshTopology(int cols, int rows, int concentration, MeshRouteOrder order)
+      : cols_(cols),
+        rows_(rows),
+        conc_(concentration),
+        order_(order),
+        routing_(this) {
+    VIXNOC_CHECK(cols >= 2 && rows >= 2);
+    VIXNOC_CHECK(concentration >= 1);
+  }
+
+  MeshRouteOrder order() const { return order_; }
+
+  TopologyKind Kind() const override {
+    return conc_ == 1 ? TopologyKind::kMesh : TopologyKind::kCMesh;
+  }
+  int NumRouters() const override { return cols_ * rows_; }
+  int NumNodes() const override { return cols_ * rows_ * conc_; }
+  int Radix() const override { return kFirstLocal + conc_; }
+
+  int ColOf(RouterId r) const { return r % cols_; }
+  int RowOf(RouterId r) const { return r / cols_; }
+  RouterId RouterAt(int col, int row) const { return row * cols_ + col; }
+
+  RouterId RouterOfNode(NodeId node) const override {
+    VIXNOC_CHECK(node >= 0 && node < NumNodes());
+    return static_cast<RouterId>(node / conc_);
+  }
+  int LocalIndexOfNode(NodeId node) const { return node % conc_; }
+  PortId InjectPortOfNode(NodeId node) const override {
+    return kFirstLocal + LocalIndexOfNode(node);
+  }
+  PortId EjectPortOfNode(NodeId node) const override {
+    return kFirstLocal + LocalIndexOfNode(node);
+  }
+
+  std::vector<OutputLinkInfo> LinksFor(RouterId router) const override {
+    const int col = ColOf(router);
+    const int row = RowOf(router);
+    std::vector<OutputLinkInfo> links(Radix());
+    if (col + 1 < cols_) {
+      links[kEast] = {RouterAt(col + 1, row), kWest, kInvalidNode};
+    }
+    if (col > 0) {
+      links[kWest] = {RouterAt(col - 1, row), kEast, kInvalidNode};
+    }
+    if (row + 1 < rows_) {
+      links[kNorth] = {RouterAt(col, row + 1), kSouth, kInvalidNode};
+    }
+    if (row > 0) {
+      links[kSouth] = {RouterAt(col, row - 1), kNorth, kInvalidNode};
+    }
+    for (int l = 0; l < conc_; ++l) {
+      links[kFirstLocal + l] = {-1, kInvalidPort,
+                                static_cast<NodeId>(router * conc_ + l)};
+    }
+    return links;
+  }
+
+  const RoutingFunction& Routing() const override { return routing_; }
+
+  int RouterHops(NodeId src, NodeId dst) const override {
+    const RouterId a = RouterOfNode(src);
+    const RouterId b = RouterOfNode(dst);
+    return std::abs(ColOf(a) - ColOf(b)) + std::abs(RowOf(a) - RowOf(b));
+  }
+
+ private:
+  int cols_, rows_, conc_;
+  MeshRouteOrder order_;
+  MeshRouting routing_;
+};
+
+PortId MeshRouting::Route(RouterId router, NodeId dst) const {
+  const RouterId dr = topo_->RouterOfNode(dst);
+  const int x = topo_->ColOf(router), y = topo_->RowOf(router);
+  const int dx = topo_->ColOf(dr), dy = topo_->RowOf(dr);
+  if (topo_->order() == MeshRouteOrder::kXY) {
+    if (dx > x) return kEast;
+    if (dx < x) return kWest;
+    if (dy > y) return kNorth;
+    if (dy < y) return kSouth;
+  } else {
+    if (dy > y) return kNorth;
+    if (dy < y) return kSouth;
+    if (dx > x) return kEast;
+    if (dx < x) return kWest;
+  }
+  return kFirstLocal + topo_->LocalIndexOfNode(dst);
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> MakeMesh(int cols, int rows, int concentration,
+                                   MeshRouteOrder order) {
+  return std::make_unique<MeshTopology>(cols, rows, concentration, order);
+}
+
+}  // namespace vixnoc

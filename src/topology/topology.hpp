@@ -1,0 +1,68 @@
+// Topology abstraction: the wiring of routers, links, and network
+// interfaces, plus the deterministic dimension-order routing function for
+// each topology studied in the paper (mesh, concentrated mesh, flattened
+// butterfly — §2.4, Table 1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/router.hpp"
+#include "router/routing.hpp"
+
+namespace vixnoc {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual TopologyKind Kind() const = 0;
+  virtual int NumRouters() const = 0;
+  virtual int NumNodes() const = 0;
+  /// Uniform router radix (physical input/output ports).
+  virtual int Radix() const = 0;
+
+  /// The router a node's NI attaches to, and the injection (input) /
+  /// ejection (output) port indices it uses there.
+  virtual RouterId RouterOfNode(NodeId node) const = 0;
+  virtual PortId InjectPortOfNode(NodeId node) const = 0;
+  virtual PortId EjectPortOfNode(NodeId node) const = 0;
+
+  /// Output-link table for a router: where each of its output ports goes.
+  virtual std::vector<OutputLinkInfo> LinksFor(RouterId router) const = 0;
+
+  /// Deterministic DOR routing function shared by every router.
+  virtual const RoutingFunction& Routing() const = 0;
+
+  /// Router-hop distance between two nodes' routers (0 when co-located);
+  /// used by latency sanity tests and analysis.
+  virtual int RouterHops(NodeId src, NodeId dst) const = 0;
+};
+
+/// Dimension order for mesh routing: X-first (the paper's configuration)
+/// or Y-first (useful for adversarial-pattern studies; both deadlock-free).
+enum class MeshRouteOrder { kXY, kYX };
+
+/// Mesh / concentrated mesh of `cols` x `rows` routers with `concentration`
+/// nodes per router. concentration == 1 gives the paper's 8x8 mesh
+/// (radix 5); concentration == 4 on a 4x4 grid gives the CMesh (radix 8).
+std::unique_ptr<Topology> MakeMesh(int cols, int rows, int concentration = 1,
+                                   MeshRouteOrder order = MeshRouteOrder::kXY);
+
+/// Flattened butterfly of `cols` x `rows` fully row/column-connected
+/// routers with `concentration` nodes per router. 4x4 with concentration 4
+/// gives the paper's 64-node radix-10 FBfly.
+std::unique_ptr<Topology> MakeFlattenedButterfly(int cols, int rows,
+                                                 int concentration = 4);
+
+/// 2D torus of `cols` x `rows` routers (>= 3 each, so wrap links are
+/// distinct) with minimal dimension-order routing and dateline VC classes
+/// for deadlock freedom. Routers need >= 2 VCs per message class.
+std::unique_ptr<Topology> MakeTorus(int cols, int rows,
+                                    int concentration = 1);
+
+/// Paper defaults: 64-node instance of each topology kind.
+std::unique_ptr<Topology> MakeTopology64(TopologyKind kind);
+
+}  // namespace vixnoc

@@ -1,0 +1,111 @@
+#include "traffic/patterns.hpp"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+namespace {
+
+int SideOf(int num_nodes) {
+  const int side = static_cast<int>(std::lround(std::sqrt(num_nodes)));
+  VIXNOC_CHECK(side * side == num_nodes);
+  return side;
+}
+
+int BitsOf(int num_nodes) {
+  int bits = 0;
+  while ((1 << bits) < num_nodes) ++bits;
+  VIXNOC_CHECK((1 << bits) == num_nodes);
+  return bits;
+}
+
+/// Deterministic patterns can map a node to itself; remap to the next node
+/// so every source always produces network traffic.
+NodeId AvoidSelf(NodeId src, NodeId dst, int num_nodes) {
+  return dst == src ? (dst + 1) % num_nodes : dst;
+}
+
+}  // namespace
+
+NodeId UniformRandomPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
+  const auto pick = static_cast<NodeId>(rng.NextBounded(num_nodes - 1));
+  return pick >= src ? pick + 1 : pick;  // uniform over all nodes != src
+}
+
+NodeId TransposePattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
+  (void)rng;
+  const int side = SideOf(num_nodes);
+  const int x = src % side, y = src / side;
+  return AvoidSelf(src, x * side + y, num_nodes);
+}
+
+NodeId BitComplementPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
+  (void)rng;
+  return AvoidSelf(src, (num_nodes - 1) - src, num_nodes);
+}
+
+NodeId BitReversePattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
+  (void)rng;
+  const int bits = BitsOf(num_nodes);
+  int rev = 0;
+  for (int b = 0; b < bits; ++b) {
+    if (src & (1 << b)) rev |= 1 << (bits - 1 - b);
+  }
+  return AvoidSelf(src, rev, num_nodes);
+}
+
+NodeId TornadoPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
+  (void)rng;
+  const int side = SideOf(num_nodes);
+  const int x = src % side, y = src / side;
+  const int tx = (x + side / 2) % side;
+  const int ty = (y + side / 2) % side;
+  return AvoidSelf(src, ty * side + tx, num_nodes);
+}
+
+NodeId HotspotPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
+  if (src != hotspot_ && rng.NextBool(hot_fraction_)) return hotspot_;
+  const auto pick = static_cast<NodeId>(rng.NextBounded(num_nodes - 1));
+  return pick >= src ? pick + 1 : pick;
+}
+
+bool ParsePatternKind(const std::string& text, PatternKind* out) {
+  std::string t = text;
+  for (char& c : t) c = static_cast<char>(std::tolower(c));
+  if (t == "uniform") {
+    *out = PatternKind::kUniform;
+  } else if (t == "transpose") {
+    *out = PatternKind::kTranspose;
+  } else if (t == "bitcomp" || t == "bit-complement") {
+    *out = PatternKind::kBitComplement;
+  } else if (t == "bitrev" || t == "bit-reverse") {
+    *out = PatternKind::kBitReverse;
+  } else if (t == "tornado") {
+    *out = PatternKind::kTornado;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kUniform:
+      return std::make_unique<UniformRandomPattern>();
+    case PatternKind::kTranspose:
+      return std::make_unique<TransposePattern>();
+    case PatternKind::kBitComplement:
+      return std::make_unique<BitComplementPattern>();
+    case PatternKind::kBitReverse:
+      return std::make_unique<BitReversePattern>();
+    case PatternKind::kTornado:
+      return std::make_unique<TornadoPattern>();
+  }
+  VIXNOC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,89 @@
+// Statistical traffic patterns (destination-selection functions) and the
+// open-loop Bernoulli injection process used by the paper's evaluation
+// (uniform random; the other classic patterns are provided for adversarial
+// studies of the VIX VC-assignment policy, §2.3).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vixnoc {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Destination for a packet sourced at `src` in a `num_nodes` network.
+  /// Patterns must never return `src` itself.
+  virtual NodeId Dest(NodeId src, int num_nodes, Rng& rng) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Uniform random over all nodes except the source.
+class UniformRandomPattern final : public TrafficPattern {
+ public:
+  NodeId Dest(NodeId src, int num_nodes, Rng& rng) const override;
+  std::string Name() const override { return "uniform"; }
+};
+
+/// Matrix transpose on a sqrt(N) x sqrt(N) layout: (x,y) -> (y,x).
+class TransposePattern final : public TrafficPattern {
+ public:
+  NodeId Dest(NodeId src, int num_nodes, Rng& rng) const override;
+  std::string Name() const override { return "transpose"; }
+};
+
+/// Bit complement: node i -> ~i (mod N).
+class BitComplementPattern final : public TrafficPattern {
+ public:
+  NodeId Dest(NodeId src, int num_nodes, Rng& rng) const override;
+  std::string Name() const override { return "bitcomp"; }
+};
+
+/// Bit reversal of the node index.
+class BitReversePattern final : public TrafficPattern {
+ public:
+  NodeId Dest(NodeId src, int num_nodes, Rng& rng) const override;
+  std::string Name() const override { return "bitrev"; }
+};
+
+/// Tornado on a sqrt(N) x sqrt(N) layout: half-way around each dimension.
+class TornadoPattern final : public TrafficPattern {
+ public:
+  NodeId Dest(NodeId src, int num_nodes, Rng& rng) const override;
+  std::string Name() const override { return "tornado"; }
+};
+
+/// A fraction of the traffic targets a fixed hotspot node; the rest is
+/// uniform random.
+class HotspotPattern final : public TrafficPattern {
+ public:
+  HotspotPattern(NodeId hotspot, double hot_fraction)
+      : hotspot_(hotspot), hot_fraction_(hot_fraction) {}
+  NodeId Dest(NodeId src, int num_nodes, Rng& rng) const override;
+  std::string Name() const override { return "hotspot"; }
+
+ private:
+  NodeId hotspot_;
+  double hot_fraction_;
+};
+
+enum class PatternKind {
+  kUniform,
+  kTranspose,
+  kBitComplement,
+  kBitReverse,
+  kTornado,
+};
+
+std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind);
+
+/// Case-insensitive parse of "uniform", "transpose", "bitcomp",
+/// "bitrev", "tornado". Returns false on unknown input.
+bool ParsePatternKind(const std::string& text, PatternKind* out);
+
+}  // namespace vixnoc

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "app/app_sim.hpp"
+#include "app/benchmarks.hpp"
+
+namespace vixnoc::app {
+namespace {
+
+TEST(Catalogue, HasThirtyFiveUniqueBenchmarks) {
+  const auto& cat = BenchmarkCatalogue();
+  EXPECT_EQ(cat.size(), 35u);
+  std::set<std::string> names;
+  for (const auto& b : cat) {
+    EXPECT_TRUE(names.insert(b.name).second) << "duplicate " << b.name;
+    EXPECT_GT(b.network_mpki, 0.0);
+    EXPECT_GT(b.l2_miss_rate, 0.0);
+    EXPECT_LT(b.l2_miss_rate, 1.0);
+  }
+}
+
+TEST(Catalogue, FindBenchmarkReturnsRequested) {
+  EXPECT_EQ(FindBenchmark("mcf").name, "mcf");
+  EXPECT_GT(FindBenchmark("mcf").network_mpki,
+            FindBenchmark("gcc").network_mpki);
+}
+
+TEST(Mixes, EightMixesOfSixtyFourCores) {
+  const auto& mixes = PaperMixes();
+  ASSERT_EQ(mixes.size(), 8u);
+  for (const auto& mix : mixes) {
+    int total = 0;
+    EXPECT_EQ(mix.apps.size(), 6u) << mix.name;
+    for (const auto& [name, count] : mix.apps) {
+      FindBenchmark(name);  // must exist (checked internally)
+      total += count;
+    }
+    EXPECT_EQ(total, 64) << mix.name;
+  }
+}
+
+TEST(Mixes, AverageMpkiMatchesTable4) {
+  for (const auto& mix : PaperMixes()) {
+    EXPECT_NEAR(MixAverageMpki(mix), mix.paper_avg_mpki, 0.15) << mix.name;
+  }
+}
+
+TEST(Mixes, MpkiIncreasesMonotonicallyMix1ToMix8) {
+  const auto& mixes = PaperMixes();
+  for (std::size_t i = 1; i < mixes.size(); ++i) {
+    EXPECT_GT(MixAverageMpki(mixes[i]), MixAverageMpki(mixes[i - 1]));
+  }
+}
+
+TEST(Mixes, PaperSpeedupsNonDecreasing) {
+  const auto& mixes = PaperMixes();
+  for (std::size_t i = 1; i < mixes.size(); ++i) {
+    EXPECT_GE(mixes[i].paper_vix_speedup, mixes[i - 1].paper_vix_speedup);
+  }
+}
+
+TEST(Mixes, ExpandAssignsEveryCore) {
+  const auto cores = ExpandMix(PaperMixes()[0]);
+  EXPECT_EQ(cores.size(), 64u);
+  int milc = 0;
+  for (const auto& c : cores) {
+    if (c.name == "milc") ++milc;
+  }
+  EXPECT_EQ(milc, 11);
+}
+
+AppSimConfig QuickApp(AllocScheme scheme) {
+  AppSimConfig c;
+  c.scheme = scheme;
+  c.warmup = 3000;
+  c.measure = 8000;
+  return c;
+}
+
+TEST(AppSim, IpcWithinPhysicalBounds) {
+  const auto cores = ExpandMix(PaperMixes()[0]);
+  const auto r = RunAppSim(QuickApp(AllocScheme::kInputFirst), cores);
+  ASSERT_EQ(r.core_ipc.size(), 64u);
+  for (double ipc : r.core_ipc) {
+    EXPECT_GE(ipc, 0.0);
+    EXPECT_LE(ipc, 1.0);
+  }
+  EXPECT_GT(r.aggregate_ipc, 1.0);
+  EXPECT_LE(r.aggregate_ipc, 64.0);
+}
+
+TEST(AppSim, MeasuredMpkiTracksProfile) {
+  const auto& mix = PaperMixes()[0];  // avg 15.0
+  const auto r = RunAppSim(QuickApp(AllocScheme::kInputFirst),
+                           ExpandMix(mix));
+  EXPECT_NEAR(r.avg_mpki, mix.paper_avg_mpki, mix.paper_avg_mpki * 0.25);
+}
+
+TEST(AppSim, HigherMpkiMixRunsSlower) {
+  const auto light = RunAppSim(QuickApp(AllocScheme::kInputFirst),
+                               ExpandMix(PaperMixes()[0]));  // 15.0
+  const auto heavy = RunAppSim(QuickApp(AllocScheme::kInputFirst),
+                               ExpandMix(PaperMixes()[7]));  // 66.9
+  EXPECT_LT(heavy.aggregate_ipc, light.aggregate_ipc);
+}
+
+TEST(AppSim, MissLatencyAboveZeroLoadFloor) {
+  const auto r = RunAppSim(QuickApp(AllocScheme::kInputFirst),
+                           ExpandMix(PaperMixes()[3]));
+  // Floor: request (>=1 net hop) + 6-cycle L2 + reply: > 20 cycles.
+  EXPECT_GT(r.avg_miss_latency, 20.0);
+  EXPECT_GT(r.total_requests, 1000u);
+}
+
+TEST(AppSim, DeterministicForSeed) {
+  const auto cores = ExpandMix(PaperMixes()[4]);
+  const auto a = RunAppSim(QuickApp(AllocScheme::kVix), cores);
+  const auto b = RunAppSim(QuickApp(AllocScheme::kVix), cores);
+  EXPECT_EQ(a.aggregate_ipc, b.aggregate_ipc);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+}
+
+TEST(AppSim, UniformLowMpkiWorkloadNearlyFullIpc) {
+  std::vector<BenchmarkProfile> cores(64,
+                                      BenchmarkProfile{"calm", 0.5, 0.2});
+  const auto r = RunAppSim(QuickApp(AllocScheme::kInputFirst), cores);
+  EXPECT_GT(r.aggregate_ipc, 60.0);  // barely any stalls
+}
+
+TEST(AppSim, WeightedSpeedupIdentityAndScaling) {
+  AppSimResult a, b;
+  a.core_ipc = {0.5, 1.0, 0.25};
+  b.core_ipc = {0.5, 1.0, 0.25};
+  EXPECT_DOUBLE_EQ(WeightedSpeedup(a, a), 1.0);
+  b.core_ipc = {1.0, 2.0, 0.5};  // every core 2x faster
+  EXPECT_DOUBLE_EQ(WeightedSpeedup(a, b), 2.0);
+}
+
+TEST(AppSim, WeightedSpeedupIgnoresIdleCores) {
+  AppSimResult a, b;
+  a.core_ipc = {0.0, 0.5};
+  b.core_ipc = {0.7, 1.0};
+  EXPECT_DOUBLE_EQ(WeightedSpeedup(a, b), 2.0);  // only core 1 counted
+}
+
+TEST(AppSim, VixDoesNotHurtApplications) {
+  const auto cores = ExpandMix(PaperMixes()[7]);  // heaviest mix
+  const auto base = RunAppSim(QuickApp(AllocScheme::kInputFirst), cores);
+  const auto vix = RunAppSim(QuickApp(AllocScheme::kVix), cores);
+  EXPECT_GE(vix.aggregate_ipc, base.aggregate_ipc * 0.99);
+}
+
+}  // namespace
+}  // namespace vixnoc::app

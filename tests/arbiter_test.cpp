@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arbiter/arbiter.hpp"
+#include "common/rng.hpp"
+
+namespace vixnoc {
+namespace {
+
+std::vector<bool> Req(std::initializer_list<int> set, int n) {
+  std::vector<bool> r(n, false);
+  for (int i : set) r[i] = true;
+  return r;
+}
+
+TEST(RoundRobin, NoRequestsReturnsMinusOne) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.Pick(std::vector<bool>(4, false)), -1);
+}
+
+TEST(RoundRobin, SingleRequestWins) {
+  RoundRobinArbiter arb(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(arb.Pick(Req({i}, 4)), i);
+  }
+}
+
+TEST(RoundRobin, PickDoesNotAdvanceState) {
+  RoundRobinArbiter arb(4);
+  const auto reqs = Req({1, 2}, 4);
+  EXPECT_EQ(arb.Pick(reqs), 1);
+  EXPECT_EQ(arb.Pick(reqs), 1);  // no Commit: same winner
+}
+
+TEST(RoundRobin, CommitRotatesPriority) {
+  RoundRobinArbiter arb(4);
+  const auto reqs = Req({1, 2}, 4);
+  EXPECT_EQ(arb.Pick(reqs), 1);
+  arb.Commit(1);
+  EXPECT_EQ(arb.Pick(reqs), 2);  // priority now starts at 2
+  arb.Commit(2);
+  EXPECT_EQ(arb.Pick(reqs), 1);  // wraps around past 3, 0
+}
+
+TEST(RoundRobin, FairUnderFullContention) {
+  RoundRobinArbiter arb(5);
+  std::vector<int> wins(5, 0);
+  const std::vector<bool> all(5, true);
+  for (int t = 0; t < 500; ++t) {
+    const int w = arb.Pick(all);
+    ASSERT_GE(w, 0);
+    ++wins[w];
+    arb.Commit(w);
+  }
+  for (int w : wins) EXPECT_EQ(w, 100);
+}
+
+TEST(RoundRobin, ResetRestoresInitialPriority) {
+  RoundRobinArbiter arb(3);
+  arb.Commit(1);
+  arb.Reset();
+  EXPECT_EQ(arb.Pick(Req({0, 2}, 3)), 0);
+}
+
+TEST(Matrix, NoRequestsReturnsMinusOne) {
+  MatrixArbiter arb(4);
+  EXPECT_EQ(arb.Pick(std::vector<bool>(4, false)), -1);
+}
+
+TEST(Matrix, InitialOrderIsByIndex) {
+  MatrixArbiter arb(4);
+  EXPECT_EQ(arb.Pick(Req({1, 3}, 4)), 1);
+}
+
+TEST(Matrix, WinnerBecomesLeastPriority) {
+  MatrixArbiter arb(3);
+  const std::vector<bool> all(3, true);
+  EXPECT_EQ(arb.Pick(all), 0);
+  arb.Commit(0);
+  EXPECT_EQ(arb.Pick(all), 1);
+  arb.Commit(1);
+  EXPECT_EQ(arb.Pick(all), 2);
+  arb.Commit(2);
+  EXPECT_EQ(arb.Pick(all), 0);  // least-recently-granted wins again
+}
+
+TEST(Matrix, LeastRecentlyGrantedProperty) {
+  MatrixArbiter arb(4);
+  // Grant 2, then 0; among {0, 2}, 2 was granted longer ago... but 0 more
+  // recently, so 2 must win.
+  arb.Commit(2);
+  arb.Commit(0);
+  EXPECT_EQ(arb.Pick(Req({0, 2}, 4)), 2);
+}
+
+TEST(Matrix, FairUnderFullContention) {
+  MatrixArbiter arb(6);
+  std::vector<int> wins(6, 0);
+  const std::vector<bool> all(6, true);
+  for (int t = 0; t < 600; ++t) {
+    const int w = arb.Pick(all);
+    ++wins[w];
+    arb.Commit(w);
+  }
+  for (int w : wins) EXPECT_EQ(w, 100);
+}
+
+class ArbiterKindTest : public ::testing::TestWithParam<ArbiterKind> {};
+
+TEST_P(ArbiterKindTest, GrantAlwaysAmongRequests) {
+  auto arb = MakeArbiter(GetParam(), 8);
+  Rng rng(13);
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<bool> reqs(8);
+    bool any = false;
+    for (int i = 0; i < 8; ++i) {
+      reqs[i] = rng.NextBool(0.3);
+      any |= reqs[i];
+    }
+    const int w = arb->Pick(reqs);
+    if (!any) {
+      EXPECT_EQ(w, -1);
+    } else {
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, 8);
+      EXPECT_TRUE(reqs[w]);
+      arb->Commit(w);
+    }
+  }
+}
+
+TEST_P(ArbiterKindTest, NoStarvationUnderPartialContention) {
+  auto arb = MakeArbiter(GetParam(), 4);
+  // Requester 3 always requests alongside 0 and 1; it must win regularly.
+  int wins3 = 0;
+  for (int t = 0; t < 300; ++t) {
+    const int w = arb->Pick(Req({0, 1, 3}, 4));
+    if (w == 3) ++wins3;
+    arb->Commit(w);
+  }
+  EXPECT_EQ(wins3, 100);
+}
+
+TEST_P(ArbiterKindTest, SizeOneAlwaysGrantsZero) {
+  auto arb = MakeArbiter(GetParam(), 1);
+  EXPECT_EQ(arb->Pick({true}), 0);
+  arb->Commit(0);
+  EXPECT_EQ(arb->Pick({true}), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ArbiterKindTest,
+                         ::testing::Values(ArbiterKind::kRoundRobin,
+                                           ArbiterKind::kMatrix));
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/ascii_plot.hpp"
+
+namespace vixnoc {
+namespace {
+
+std::string Render(const AsciiPlot& plot) {
+  std::FILE* f = std::tmpfile();
+  plot.Print(f);
+  std::rewind(f);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(AsciiPlot, EmptyPlotSafe) {
+  AsciiPlot plot(40, 10, "x", "y");
+  EXPECT_NE(Render(plot).find("(empty plot)"), std::string::npos);
+}
+
+TEST(AsciiPlot, MarkersAppear) {
+  AsciiPlot plot(40, 10, "x", "y");
+  plot.AddSeries("a", '*', {{0.0, 0.0}, {1.0, 1.0}, {2.0, 4.0}});
+  const std::string out = Render(plot);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("*=a"), std::string::npos);
+}
+
+TEST(AsciiPlot, ExtremesLandOnCanvasCorners) {
+  AsciiPlot plot(20, 5, "x", "y");
+  plot.AddSeries("s", 'o', {{0.0, 0.0}, {1.0, 1.0}});
+  const std::string out = Render(plot);
+  // Max point on the top row, min point on the bottom row.
+  const auto first_row = out.find('|');
+  ASSERT_NE(first_row, std::string::npos);
+  EXPECT_EQ(out[first_row + 20], 'o');  // last column of top row
+}
+
+TEST(AsciiPlot, YLimitClampsOutliers) {
+  AsciiPlot plot(20, 5, "x", "y");
+  plot.SetYLimit(10.0);
+  plot.AddSeries("s", 'x', {{0.0, 5.0}, {1.0, 1e9}});
+  const std::string out = Render(plot);
+  // The outlier is drawn at the clamp, and the axis tops out at 10.
+  EXPECT_NE(out.find("10.0"), std::string::npos);
+  EXPECT_EQ(out.find("1000000000"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesKeepDistinctMarkers) {
+  AsciiPlot plot(30, 8, "x", "y");
+  plot.AddSeries("one", '1', {{0.0, 1.0}});
+  plot.AddSeries("two", '2', {{1.0, 2.0}});
+  const std::string out = Render(plot);
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+  EXPECT_NE(out.find("1=one"), std::string::npos);
+  EXPECT_NE(out.find("2=two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vixnoc

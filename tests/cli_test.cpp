@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/types.hpp"
+#include "traffic/patterns.hpp"
+
+namespace vixnoc {
+namespace {
+
+ArgMap ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv{const_cast<char*>("prog")};
+  for (auto& a : args) argv.push_back(a.data());
+  return ArgMap::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesTypedValues) {
+  auto args = ParseArgs({"rate=0.25", "vcs=4", "name=mesh", "flag=true"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 0.25);
+  EXPECT_EQ(args.GetInt("vcs", 0), 4);
+  EXPECT_EQ(args.GetString("name", ""), "mesh");
+  EXPECT_TRUE(args.GetBool("flag", false));
+  args.CheckAllConsumed();
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  auto args = ParseArgs({});
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.07), 0.07);
+  EXPECT_EQ(args.GetInt("vcs", 6), 6);
+  EXPECT_EQ(args.GetString("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.GetBool("flag", false));
+}
+
+TEST(Cli, HasMarksConsumption) {
+  auto args = ParseArgs({"x=1"});
+  EXPECT_TRUE(args.Has("x"));
+  EXPECT_FALSE(args.Has("y"));
+  args.CheckAllConsumed();  // must not abort: x was queried
+}
+
+TEST(Cli, BoolSpellings) {
+  auto args = ParseArgs({"a=1", "b=yes", "c=on", "d=0", "e=no", "f=off"});
+  EXPECT_TRUE(args.GetBool("a", false));
+  EXPECT_TRUE(args.GetBool("b", false));
+  EXPECT_TRUE(args.GetBool("c", false));
+  EXPECT_FALSE(args.GetBool("d", true));
+  EXPECT_FALSE(args.GetBool("e", true));
+  EXPECT_FALSE(args.GetBool("f", true));
+}
+
+TEST(Csv, WritesHeaderAndEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.AddRow({"plain", "with,comma"});
+    csv.AddRow({"with\"quote", "line\nbreak"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(),
+            "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",\"line\nbreak\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(ParseEnums, AllocSchemes) {
+  AllocScheme s;
+  EXPECT_TRUE(ParseAllocScheme("vix", &s));
+  EXPECT_EQ(s, AllocScheme::kVix);
+  EXPECT_TRUE(ParseAllocScheme("IF", &s));
+  EXPECT_EQ(s, AllocScheme::kInputFirst);
+  EXPECT_TRUE(ParseAllocScheme("wavefront", &s));
+  EXPECT_EQ(s, AllocScheme::kWavefront);
+  EXPECT_TRUE(ParseAllocScheme("ap", &s));
+  EXPECT_EQ(s, AllocScheme::kAugmentingPath);
+  EXPECT_TRUE(ParseAllocScheme("ideal", &s));
+  EXPECT_EQ(s, AllocScheme::kVixIdeal);
+  EXPECT_TRUE(ParseAllocScheme("pc", &s));
+  EXPECT_EQ(s, AllocScheme::kPacketChaining);
+  EXPECT_TRUE(ParseAllocScheme("islip", &s));
+  EXPECT_EQ(s, AllocScheme::kIslip);
+  EXPECT_TRUE(ParseAllocScheme("sparoflo", &s));
+  EXPECT_EQ(s, AllocScheme::kSparoflo);
+  EXPECT_FALSE(ParseAllocScheme("bogus", &s));
+}
+
+TEST(ParseEnums, Topologies) {
+  TopologyKind t;
+  EXPECT_TRUE(ParseTopologyKind("mesh", &t));
+  EXPECT_EQ(t, TopologyKind::kMesh);
+  EXPECT_TRUE(ParseTopologyKind("CMesh", &t));
+  EXPECT_EQ(t, TopologyKind::kCMesh);
+  EXPECT_TRUE(ParseTopologyKind("fbfly", &t));
+  EXPECT_EQ(t, TopologyKind::kFBfly);
+  EXPECT_TRUE(ParseTopologyKind("torus", &t));
+  EXPECT_EQ(t, TopologyKind::kTorus);
+  EXPECT_FALSE(ParseTopologyKind("hypercube", &t));
+}
+
+TEST(ParseEnums, Patterns) {
+  PatternKind p;
+  EXPECT_TRUE(ParsePatternKind("uniform", &p));
+  EXPECT_EQ(p, PatternKind::kUniform);
+  EXPECT_TRUE(ParsePatternKind("Transpose", &p));
+  EXPECT_EQ(p, PatternKind::kTranspose);
+  EXPECT_TRUE(ParsePatternKind("bitcomp", &p));
+  EXPECT_EQ(p, PatternKind::kBitComplement);
+  EXPECT_TRUE(ParsePatternKind("bitrev", &p));
+  EXPECT_EQ(p, PatternKind::kBitReverse);
+  EXPECT_TRUE(ParsePatternKind("tornado", &p));
+  EXPECT_EQ(p, PatternKind::kTornado);
+  EXPECT_FALSE(ParsePatternKind("nearest", &p));
+}
+
+}  // namespace
+}  // namespace vixnoc

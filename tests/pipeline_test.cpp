@@ -1,0 +1,99 @@
+// Pipeline-depth behaviour: speculative (3-stage, Fig 6b) vs conservative
+// (5-stage, Fig 6a) routers.
+#include <gtest/gtest.h>
+
+#include "network/network.hpp"
+#include "sim/network_sim.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+namespace {
+
+std::unique_ptr<Network> MakeNet(bool speculative, int flit_delay = 3) {
+  std::shared_ptr<Topology> topo = MakeTopology64(TopologyKind::kMesh);
+  NetworkParams p;
+  p.router.radix = topo->Radix();
+  p.router.num_vcs = 6;
+  p.router.buffer_depth = 5;
+  p.router.speculative_sa = speculative;
+  p.flit_delay = flit_delay;
+  return std::make_unique<Network>(topo, p);
+}
+
+Cycle OneShotLatency(Network& net, NodeId src, NodeId dst, int size) {
+  Cycle latency = 0;
+  net.SetEjectCallback([&](const PacketRecord& r) {
+    latency = r.ejected - r.created;
+  });
+  net.EnqueuePacket(src, dst, size);
+  for (int t = 0; t < 500 && latency == 0; ++t) net.Step();
+  return latency;
+}
+
+TEST(Pipeline, NonSpeculativeAddsOneCyclePerHop) {
+  // 0 -> 1: head visits 2 routers; each VA->SA serialization adds 1 cycle.
+  auto spec = MakeNet(true);
+  auto nonspec = MakeNet(false);
+  const Cycle lat_spec = OneShotLatency(*spec, 0, 1, 1);
+  const Cycle lat_nonspec = OneShotLatency(*nonspec, 0, 1, 1);
+  EXPECT_EQ(lat_spec, 7u);
+  EXPECT_EQ(lat_nonspec, 9u);  // +1 per router traversed
+}
+
+TEST(Pipeline, NonSpeculativeScalesWithHops) {
+  auto spec = MakeNet(true);
+  auto nonspec = MakeNet(false);
+  // 0 -> 63: 15 routers traversed.
+  const Cycle lat_spec = OneShotLatency(*spec, 0, 63, 1);
+  const Cycle lat_nonspec = OneShotLatency(*nonspec, 0, 63, 1);
+  EXPECT_EQ(lat_nonspec - lat_spec, 15u);
+}
+
+TEST(Pipeline, FiveStageConfigRaisesZeroLoadLatency) {
+  NetworkSimConfig c3;
+  c3.injection_rate = 0.01;
+  c3.warmup = 1'000;
+  c3.measure = 4'000;
+  c3.drain = 1'000;
+  NetworkSimConfig c5 = c3;
+  c5.pipeline_stages = 5;
+  const auto r3 = RunNetworkSim(c3);
+  const auto r5 = RunNetworkSim(c5);
+  // ~6.3 routers on the average path; each costs ~2 extra cycles (non-
+  // speculative VA + longer link stage).
+  EXPECT_GT(r5.avg_latency, r3.avg_latency + 8.0);
+  EXPECT_LT(r5.avg_latency, r3.avg_latency + 20.0);
+}
+
+TEST(Pipeline, ThroughputUnaffectedByDepthAtSaturation) {
+  // Pipeline depth costs latency, not bandwidth: saturation throughput
+  // stays within a few percent.
+  NetworkSimConfig c3;
+  c3.injection_rate = 0.25;
+  c3.warmup = 3'000;
+  c3.measure = 8'000;
+  c3.drain = 1'000;
+  NetworkSimConfig c5 = c3;
+  c5.pipeline_stages = 5;
+  const auto r3 = RunNetworkSim(c3);
+  const auto r5 = RunNetworkSim(c5);
+  EXPECT_NEAR(r5.accepted_ppc, r3.accepted_ppc, r3.accepted_ppc * 0.08);
+}
+
+TEST(Pipeline, SpeculationBenefitsVixEqually) {
+  // VIX works in both pipeline organizations.
+  NetworkSimConfig c;
+  c.scheme = AllocScheme::kVix;
+  c.pipeline_stages = 5;
+  c.injection_rate = 0.25;
+  c.warmup = 3'000;
+  c.measure = 8'000;
+  c.drain = 1'000;
+  const auto vix5 = RunNetworkSim(c);
+  c.scheme = AllocScheme::kInputFirst;
+  const auto base5 = RunNetworkSim(c);
+  EXPECT_GT(vix5.accepted_ppc, base5.accepted_ppc * 1.05);
+}
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace vixnoc::power {
+namespace {
+
+RouterConfig MeshRouter(AllocScheme scheme) {
+  RouterConfig c;
+  c.radix = 5;
+  c.num_vcs = 6;
+  c.buffer_depth = 5;
+  c.scheme = scheme;
+  return c;
+}
+
+RouterActivity SyntheticActivity(std::uint64_t flits, double avg_hops) {
+  RouterActivity a;
+  const auto traversals =
+      static_cast<std::uint64_t>(flits * (avg_hops + 1.0));
+  a.buffer_writes = traversals;
+  a.buffer_reads = traversals;
+  a.xbar_traversals = traversals;
+  a.link_flits = static_cast<std::uint64_t>(flits * avg_hops);
+  return a;
+}
+
+TEST(XbarScale, SquareCrossbarIsUnity) {
+  EXPECT_DOUBLE_EQ(XbarEnergyScale(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(XbarEnergyScale(10, 10), 1.0);
+}
+
+TEST(XbarScale, DoubledInputsScaleByOnePointFive) {
+  EXPECT_DOUBLE_EQ(XbarEnergyScale(10, 5), 1.5);
+  EXPECT_DOUBLE_EQ(XbarEnergyScale(16, 8), 1.5);
+  EXPECT_DOUBLE_EQ(XbarEnergyScale(20, 10), 1.5);
+}
+
+TEST(Energy, ZeroActivityLeavesOnlyStaticComponents) {
+  const EnergyParams params;
+  const auto e = NetworkEnergy(params, MeshRouter(AllocScheme::kInputFirst),
+                               64, RouterActivity{}, 1000);
+  EXPECT_DOUBLE_EQ(e.buffer_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.xbar_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.link_pj, 0.0);
+  EXPECT_GT(e.clock_pj, 0.0);
+  EXPECT_GT(e.leakage_pj, 0.0);
+}
+
+TEST(Energy, DynamicComponentsScaleLinearlyWithActivity) {
+  const EnergyParams params;
+  const auto cfg = MeshRouter(AllocScheme::kInputFirst);
+  const auto e1 = NetworkEnergy(params, cfg, 64,
+                                SyntheticActivity(1000, 5.0), 1000);
+  const auto e2 = NetworkEnergy(params, cfg, 64,
+                                SyntheticActivity(2000, 5.0), 1000);
+  EXPECT_NEAR(e2.buffer_pj, 2 * e1.buffer_pj, 1e-6);
+  EXPECT_NEAR(e2.xbar_pj, 2 * e1.xbar_pj, 1e-6);
+  EXPECT_NEAR(e2.link_pj, 2 * e1.link_pj, 1e-6);
+  EXPECT_DOUBLE_EQ(e2.clock_pj, e1.clock_pj);
+}
+
+TEST(Energy, StaticComponentsScaleWithCycles) {
+  const EnergyParams params;
+  const auto cfg = MeshRouter(AllocScheme::kInputFirst);
+  const auto e1 = NetworkEnergy(params, cfg, 64, RouterActivity{}, 1000);
+  const auto e2 = NetworkEnergy(params, cfg, 64, RouterActivity{}, 3000);
+  EXPECT_NEAR(e2.clock_pj, 3 * e1.clock_pj, 1e-6);
+  EXPECT_NEAR(e2.leakage_pj, 3 * e1.leakage_pj, 1e-6);
+}
+
+TEST(Energy, VixRaisesCrossbarAndLeakageOnly) {
+  const EnergyParams params;
+  const auto act = SyntheticActivity(100'000, 5.25);
+  const auto base = NetworkEnergy(params, MeshRouter(AllocScheme::kInputFirst),
+                                  64, act, 10'000);
+  const auto vix = NetworkEnergy(params, MeshRouter(AllocScheme::kVix), 64,
+                                 act, 10'000);
+  EXPECT_DOUBLE_EQ(vix.buffer_pj, base.buffer_pj);
+  EXPECT_DOUBLE_EQ(vix.link_pj, base.link_pj);
+  EXPECT_DOUBLE_EQ(vix.clock_pj, base.clock_pj);
+  EXPECT_GT(vix.xbar_pj, base.xbar_pj);
+  EXPECT_GT(vix.leakage_pj, base.leakage_pj);
+}
+
+TEST(Energy, VixTotalWithinPaperEnvelope) {
+  // §4.5: VIX raises total network energy per bit by ~4% on the mesh at
+  // 0.1 packets/cycle/node. Reconstruct that operating point analytically:
+  // 64 nodes x 0.1 pkt x 4 flits = 25.6 flits/cycle delivered, avg 5.25
+  // inter-router hops.
+  const EnergyParams params;
+  const Cycle cycles = 10'000;
+  const auto flits = static_cast<std::uint64_t>(25.6 * cycles);
+  const auto act = SyntheticActivity(flits, 5.25);
+  const auto base = NetworkEnergy(params, MeshRouter(AllocScheme::kInputFirst),
+                                  64, act, cycles);
+  const auto vix = NetworkEnergy(params, MeshRouter(AllocScheme::kVix), 64,
+                                 act, cycles);
+  const double overhead = vix.TotalPj() / base.TotalPj() - 1.0;
+  EXPECT_GT(overhead, 0.01);
+  EXPECT_LT(overhead, 0.08);
+}
+
+TEST(Energy, PerBitDividesByPayload) {
+  EnergyBreakdown e;
+  e.buffer_pj = 50.0;
+  e.link_pj = 78.0;
+  EXPECT_DOUBLE_EQ(EnergyPerBitPj(e, 128), 1.0);
+}
+
+TEST(Energy, BreakdownComponentsAllPositiveAtRealisticLoad) {
+  const EnergyParams params;
+  const auto e = NetworkEnergy(params, MeshRouter(AllocScheme::kInputFirst),
+                               64, SyntheticActivity(256'000, 5.25), 10'000);
+  EXPECT_GT(e.buffer_pj, 0.0);
+  EXPECT_GT(e.xbar_pj, 0.0);
+  EXPECT_GT(e.link_pj, 0.0);
+  EXPECT_GT(e.clock_pj, 0.0);
+  EXPECT_GT(e.leakage_pj, 0.0);
+  // No single component dominates beyond 60% (Fig 11 shows a balanced
+  // stack).
+  const double total = e.TotalPj();
+  for (double part : {e.buffer_pj, e.xbar_pj, e.link_pj, e.clock_pj,
+                      e.leakage_pj}) {
+    EXPECT_LT(part / total, 0.6);
+  }
+}
+
+}  // namespace
+}  // namespace vixnoc::power

@@ -1,0 +1,128 @@
+// Failure-injection tests: every misuse of the public API must die loudly
+// on a VIXNOC_CHECK (a silently-corrupt cycle-accurate model is worthless).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/switch_allocator.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "network/network.hpp"
+#include "topology/topology.hpp"
+#include "traffic/trace.hpp"
+
+namespace vixnoc {
+namespace {
+
+std::unique_ptr<Network> SmallNet() {
+  std::shared_ptr<Topology> topo = MakeMesh(4, 4);
+  NetworkParams p;
+  p.router.radix = 5;
+  p.router.num_vcs = 2;
+  p.router.buffer_depth = 2;
+  return std::make_unique<Network>(topo, p);
+}
+
+TEST(Robustness, EnqueueRejectsBadSource) {
+  auto net = SmallNet();
+  EXPECT_DEATH(net->EnqueuePacket(-1, 0, 1), "check failed");
+  EXPECT_DEATH(net->EnqueuePacket(16, 0, 1), "check failed");
+}
+
+TEST(Robustness, EnqueueRejectsBadDestination) {
+  auto net = SmallNet();
+  EXPECT_DEATH(net->EnqueuePacket(0, 99, 1), "check failed");
+}
+
+TEST(Robustness, EnqueueRejectsEmptyPacket) {
+  auto net = SmallNet();
+  EXPECT_DEATH(net->EnqueuePacket(0, 1, 0), "check failed");
+}
+
+TEST(Robustness, EnqueueRejectsUnknownMessageClass) {
+  auto net = SmallNet();  // 1 message class
+  EXPECT_DEATH(net->EnqueuePacket(0, 1, 1, 0, /*msg_class=*/1),
+               "check failed");
+}
+
+TEST(Robustness, CreditOverflowDies) {
+  auto net = SmallNet();
+  // Returning a credit that was never consumed overflows depth 2.
+  EXPECT_DEATH(net->router(0).AcceptCredit(0, 0), "check failed");
+}
+
+TEST(Robustness, BufferOverflowDies) {
+  std::shared_ptr<Topology> topo = MakeMesh(4, 4);
+  NetworkParams p;
+  p.router.radix = 5;
+  p.router.num_vcs = 2;
+  p.router.buffer_depth = 1;
+  Network net(topo, p);
+  Flit f;
+  f.vc = 0;
+  f.route_out = 4;
+  f.dst = 0;
+  f.type = FlitType::kHeadTail;
+  net.router(0).AcceptFlit(0, f);
+  EXPECT_DEATH(net.router(0).AcceptFlit(0, f), "check failed");
+}
+
+TEST(Robustness, FlitWithBadVcDies) {
+  auto net = SmallNet();
+  Flit f;
+  f.vc = 7;  // only 2 VCs configured
+  f.route_out = 4;
+  EXPECT_DEATH(net->router(0).AcceptFlit(0, f), "check failed");
+}
+
+TEST(Robustness, InvalidGeometryDies) {
+  SwitchGeometry g;
+  g.num_inports = 5;
+  g.num_outports = 5;
+  g.num_vcs = 6;
+  g.num_vins = 4;  // 6 % 4 != 0
+  EXPECT_DEATH(MakeSwitchAllocator(AllocScheme::kVix, g), "check failed");
+}
+
+TEST(Robustness, SchemeGeometryMismatchDies) {
+  SwitchGeometry g;
+  g.num_inports = 5;
+  g.num_outports = 5;
+  g.num_vcs = 6;
+  g.num_vins = 2;  // wavefront requires a single virtual input
+  EXPECT_DEATH(MakeSwitchAllocator(AllocScheme::kWavefront, g),
+               "check failed");
+}
+
+TEST(Robustness, TablePrinterRowWidthMismatchDies) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "check failed");
+}
+
+TEST(Robustness, CsvRowWidthMismatchDies) {
+  const std::string path = ::testing::TempDir() + "/robust.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_DEATH(csv.AddRow({"1", "2", "3"}), "check failed");
+  std::remove(path.c_str());
+}
+
+TEST(Robustness, TraceRejectsOutOfOrderRecords) {
+  PacketTrace trace;
+  trace.Add({10, 0, 1, 1});
+  EXPECT_DEATH(trace.Add({5, 0, 1, 1}), "check failed");
+}
+
+TEST(Robustness, TraceRejectsMalformedText) {
+  EXPECT_DEATH(PacketTrace::FromText("1 2 3\n", 8), "check failed");
+  EXPECT_DEATH(PacketTrace::FromText("1 2 99 1\n", 8), "check failed");
+}
+
+TEST(Robustness, NetworkRadixMismatchDies) {
+  std::shared_ptr<Topology> topo = MakeMesh(4, 4);  // radix 5
+  NetworkParams p;
+  p.router.radix = 8;
+  EXPECT_DEATH(Network(topo, p), "check failed");
+}
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,141 @@
+// Tests for the observability features (per-port link counters, progress
+// watchdog) and the YX mesh routing option.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "network/network.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+namespace {
+
+std::unique_ptr<Network> MakeNet(std::shared_ptr<Topology> topo) {
+  NetworkParams p;
+  p.router.radix = topo->Radix();
+  p.router.num_vcs = 6;
+  p.router.buffer_depth = 5;
+  return std::make_unique<Network>(std::move(topo), p);
+}
+
+TEST(LinkCounters, TrackPerPortFlits) {
+  auto net = MakeNet(MakeTopology64(TopologyKind::kMesh));
+  // 0 -> 2 along the top row: router 0 and router 1 each forward 4 flits
+  // East (port 0); router 2 ejects them on its local port (4).
+  net->EnqueuePacket(0, 2, 4);
+  for (int t = 0; t < 100; ++t) net->Step();
+  EXPECT_EQ(net->router(0).FlitsSentOn(0), 4u);
+  EXPECT_EQ(net->router(1).FlitsSentOn(0), 4u);
+  EXPECT_EQ(net->router(2).FlitsSentOn(4), 4u);
+  EXPECT_EQ(net->router(2).FlitsSentOn(0), 0u);
+  net->router(0).ClearActivity();
+  EXPECT_EQ(net->router(0).FlitsSentOn(0), 0u);
+}
+
+TEST(LinkCounters, SumMatchesActivityTotals) {
+  auto net = MakeNet(MakeTopology64(TopologyKind::kMesh));
+  Rng rng(4);
+  for (int t = 0; t < 500; ++t) {
+    for (NodeId n = 0; n < 64; ++n) {
+      if (rng.NextBool(0.03)) {
+        net->EnqueuePacket(n, static_cast<NodeId>(rng.NextBounded(64)), 2);
+      }
+    }
+    net->Step();
+  }
+  for (RouterId r = 0; r < net->NumRouters(); ++r) {
+    std::uint64_t per_port_sum = 0;
+    for (PortId p = 0; p < 5; ++p) {
+      per_port_sum += net->router(r).FlitsSentOn(p);
+    }
+    EXPECT_EQ(per_port_sum, net->router(r).activity().xbar_traversals);
+  }
+}
+
+TEST(Watchdog, NoFalseAlarmUnderLoad) {
+  auto net = MakeNet(MakeTopology64(TopologyKind::kMesh));
+  Rng rng(5);
+  for (int t = 0; t < 2000; ++t) {
+    for (NodeId n = 0; n < 64; ++n) {
+      if (rng.NextBool(0.05)) {
+        net->EnqueuePacket(n, static_cast<NodeId>(rng.NextBounded(64)), 4);
+      }
+    }
+    net->Step();
+    ASSERT_FALSE(net->SuspectedDeadlock(100)) << "cycle " << t;
+  }
+}
+
+TEST(Watchdog, IdleNetworkIsNotDeadlocked) {
+  auto net = MakeNet(MakeTopology64(TopologyKind::kMesh));
+  for (int t = 0; t < 3000; ++t) net->Step();
+  EXPECT_GE(net->CyclesSinceProgress(), 2999u);
+  EXPECT_FALSE(net->SuspectedDeadlock(100));  // quiescent, not stuck
+}
+
+TEST(Watchdog, ProgressCounterResetsOnTraffic) {
+  auto net = MakeNet(MakeTopology64(TopologyKind::kMesh));
+  for (int t = 0; t < 500; ++t) net->Step();
+  net->EnqueuePacket(0, 1, 1);
+  for (int t = 0; t < 20; ++t) net->Step();
+  EXPECT_LT(net->CyclesSinceProgress(), 20u);
+}
+
+TEST(YxRouting, DeliversEveryPair) {
+  auto topo = MakeMesh(8, 8, 1, MeshRouteOrder::kYX);
+  const RoutingFunction& routing = topo->Routing();
+  for (NodeId src = 0; src < 64; src += 3) {
+    for (NodeId dst = 0; dst < 64; ++dst) {
+      RouterId at = topo->RouterOfNode(src);
+      int hops = 0;
+      while (true) {
+        const PortId out = routing.Route(at, dst);
+        const auto links = topo->LinksFor(at);
+        ASSERT_TRUE(links[out].IsConnected());
+        if (links[out].IsEjection()) {
+          EXPECT_EQ(links[out].eject_node, dst);
+          break;
+        }
+        at = links[out].neighbor;
+        ASSERT_LE(++hops, 20);
+      }
+      EXPECT_EQ(hops, topo->RouterHops(src, dst));
+    }
+  }
+}
+
+TEST(YxRouting, YBeforeX) {
+  auto topo = MakeMesh(8, 8, 1, MeshRouteOrder::kYX);
+  const RoutingFunction& routing = topo->Routing();
+  // From router 0 = (0,0) to node 19 = (3,2): YX goes North first.
+  EXPECT_EQ(routing.Route(0, 19), 2);  // North
+  // XY (default) goes East first.
+  auto xy = MakeMesh(8, 8, 1, MeshRouteOrder::kXY);
+  EXPECT_EQ(xy->Routing().Route(0, 19), 0);  // East
+}
+
+TEST(YxRouting, NetworkDrainsWithoutDeadlock) {
+  auto net = MakeNet(MakeMesh(8, 8, 1, MeshRouteOrder::kYX));
+  Rng rng(6);
+  std::uint64_t sent = 0, got = 0;
+  net->SetEjectCallback([&](const PacketRecord&) { ++got; });
+  for (int t = 0; t < 1500; ++t) {
+    for (NodeId n = 0; n < 64; ++n) {
+      if (rng.NextBool(0.05)) {
+        net->EnqueuePacket(n, static_cast<NodeId>(rng.NextBounded(64)), 4);
+        ++sent;
+      }
+    }
+    net->Step();
+  }
+  int guard = 0;
+  while (!net->Quiescent()) {
+    net->Step();
+    ASSERT_LT(++guard, 20'000);
+  }
+  EXPECT_EQ(got, sent);
+}
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,94 @@
+// Time-series sampling and config-file loading.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "sim/network_sim.hpp"
+
+namespace vixnoc {
+namespace {
+
+TEST(Timeline, DisabledByDefault) {
+  NetworkSimConfig c;
+  c.injection_rate = 0.02;
+  c.warmup = 1'000;
+  c.measure = 3'000;
+  c.drain = 500;
+  const auto r = RunNetworkSim(c);
+  EXPECT_TRUE(r.timeline.empty());
+}
+
+TEST(Timeline, SamplesCoverTheRun) {
+  NetworkSimConfig c;
+  c.injection_rate = 0.05;
+  c.warmup = 2'000;
+  c.measure = 6'000;
+  c.drain = 2'000;
+  c.sample_interval = 1'000;
+  const auto r = RunNetworkSim(c);
+  // 10'000 cycles / 1'000 per sample, minus the final partial interval.
+  EXPECT_GE(r.timeline.size(), 9u);
+  for (std::size_t i = 0; i < r.timeline.size(); ++i) {
+    EXPECT_EQ(r.timeline[i].start, i * 1'000);
+  }
+}
+
+TEST(Timeline, SteadyStateSamplesMatchOfferedRate) {
+  NetworkSimConfig c;
+  c.injection_rate = 0.05;
+  c.warmup = 2'000;
+  c.measure = 8'000;
+  c.drain = 2'000;
+  c.sample_interval = 2'000;
+  const auto r = RunNetworkSim(c);
+  // Skip the first (ramp-up) sample; the rest should sit near the rate.
+  for (std::size_t i = 1; i + 1 < r.timeline.size(); ++i) {
+    EXPECT_NEAR(r.timeline[i].accepted_ppc, 0.05, 0.01) << "sample " << i;
+    EXPECT_GT(r.timeline[i].avg_latency, 20.0);
+    EXPECT_GT(r.timeline[i].packets, 0u);
+  }
+}
+
+TEST(Timeline, FirstSampleShowsRampUp) {
+  NetworkSimConfig c;
+  c.injection_rate = 0.05;
+  c.warmup = 2'000;
+  c.measure = 4'000;
+  c.drain = 1'000;
+  c.sample_interval = 500;
+  const auto r = RunNetworkSim(c);
+  ASSERT_GE(r.timeline.size(), 4u);
+  // Deliveries cannot start before the minimum network transit time, so
+  // the first interval under-counts relative to steady state.
+  EXPECT_LT(r.timeline[0].accepted_ppc, r.timeline[3].accepted_ppc);
+}
+
+TEST(ConfigFile, LoadsAndMerges) {
+  const std::string path = ::testing::TempDir() + "/vixnoc_cfg_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "rate=0.25\n";
+    out << "  vcs=4  \n";
+    out << "\n";
+    out << "scheme=wavefront\n";
+  }
+  ArgMap file = ArgMap::FromFile(path);
+  EXPECT_DOUBLE_EQ(file.GetDouble("rate", 0.0), 0.25);
+  EXPECT_EQ(file.GetInt("vcs", 0), 4);
+  EXPECT_EQ(file.GetString("scheme", ""), "wavefront");
+
+  // Command line overrides the file.
+  std::string cli_arg = "rate=0.10";
+  char* argv[] = {const_cast<char*>("prog"), cli_arg.data()};
+  ArgMap merged = ArgMap::FromFile(path);
+  merged.Merge(ArgMap::Parse(2, argv));
+  EXPECT_DOUBLE_EQ(merged.GetDouble("rate", 0.0), 0.10);
+  EXPECT_EQ(merged.GetInt("vcs", 0), 4);  // file value survives
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared structural properties, parameterized over all three topologies
+// ---------------------------------------------------------------------------
+
+class TopologyTest : public ::testing::TestWithParam<TopologyKind> {
+ protected:
+  void SetUp() override { topo_ = MakeTopology64(GetParam()); }
+  std::unique_ptr<Topology> topo_;
+};
+
+TEST_P(TopologyTest, SixtyFourNodes) {
+  EXPECT_EQ(topo_->NumNodes(), 64);
+}
+
+TEST_P(TopologyTest, PaperRadix) {
+  switch (GetParam()) {
+    case TopologyKind::kMesh:
+      EXPECT_EQ(topo_->Radix(), 5);
+      EXPECT_EQ(topo_->NumRouters(), 64);
+      break;
+    case TopologyKind::kCMesh:
+      EXPECT_EQ(topo_->Radix(), 8);
+      EXPECT_EQ(topo_->NumRouters(), 16);
+      break;
+    case TopologyKind::kFBfly:
+      EXPECT_EQ(topo_->Radix(), 10);
+      EXPECT_EQ(topo_->NumRouters(), 16);
+      break;
+    case TopologyKind::kTorus:
+      EXPECT_EQ(topo_->Radix(), 5);
+      EXPECT_EQ(topo_->NumRouters(), 64);
+      break;
+  }
+}
+
+TEST_P(TopologyTest, EveryNodeHasDistinctLocalPort) {
+  // Two nodes on the same router must use different local ports.
+  std::set<std::pair<RouterId, PortId>> seen;
+  for (NodeId n = 0; n < topo_->NumNodes(); ++n) {
+    const RouterId r = topo_->RouterOfNode(n);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, topo_->NumRouters());
+    EXPECT_EQ(topo_->InjectPortOfNode(n), topo_->EjectPortOfNode(n));
+    EXPECT_TRUE(seen.insert({r, topo_->InjectPortOfNode(n)}).second);
+  }
+}
+
+TEST_P(TopologyTest, EjectionPortsPointBackAtNodes) {
+  for (NodeId n = 0; n < topo_->NumNodes(); ++n) {
+    const auto links = topo_->LinksFor(topo_->RouterOfNode(n));
+    const OutputLinkInfo& link = links[topo_->EjectPortOfNode(n)];
+    EXPECT_TRUE(link.IsEjection());
+    EXPECT_EQ(link.eject_node, n);
+  }
+}
+
+TEST_P(TopologyTest, LinksAreSymmetric) {
+  // If A's port p reaches B on B's input q, then B's output q reaches A on
+  // A's input p (channels come in bidirectional pairs).
+  for (RouterId a = 0; a < topo_->NumRouters(); ++a) {
+    const auto links_a = topo_->LinksFor(a);
+    for (PortId p = 0; p < topo_->Radix(); ++p) {
+      if (links_a[p].neighbor < 0) continue;
+      const RouterId b = links_a[p].neighbor;
+      const PortId q = links_a[p].neighbor_in_port;
+      const auto links_b = topo_->LinksFor(b);
+      ASSERT_EQ(links_b[q].neighbor, a);
+      ASSERT_EQ(links_b[q].neighbor_in_port, p);
+    }
+  }
+}
+
+TEST_P(TopologyTest, RoutingDeliversEveryPair) {
+  const RoutingFunction& routing = topo_->Routing();
+  for (NodeId src = 0; src < topo_->NumNodes(); ++src) {
+    for (NodeId dst = 0; dst < topo_->NumNodes(); ++dst) {
+      RouterId at = topo_->RouterOfNode(src);
+      int hops = 0;
+      while (true) {
+        const PortId out = routing.Route(at, dst);
+        ASSERT_GE(out, 0);
+        ASSERT_LT(out, topo_->Radix());
+        const auto links = topo_->LinksFor(at);
+        ASSERT_TRUE(links[out].IsConnected())
+            << "routed to unconnected port " << out << " at router " << at;
+        if (links[out].IsEjection()) {
+          EXPECT_EQ(links[out].eject_node, dst);
+          break;
+        }
+        at = links[out].neighbor;
+        ASSERT_LE(++hops, 32) << "routing loop " << src << "->" << dst;
+      }
+      EXPECT_EQ(hops, topo_->RouterHops(src, dst))
+          << src << "->" << dst;
+    }
+  }
+}
+
+TEST_P(TopologyTest, RoutingIsDimensionOrdered) {
+  // Once a packet leaves the X dimension it never re-enters it.
+  const RoutingFunction& routing = topo_->Routing();
+  for (NodeId src = 0; src < topo_->NumNodes(); src += 7) {
+    for (NodeId dst = 0; dst < topo_->NumNodes(); ++dst) {
+      RouterId at = topo_->RouterOfNode(src);
+      bool left_x = false;
+      while (true) {
+        const PortId out = routing.Route(at, dst);
+        const PortDimension dim = routing.DimensionOf(out);
+        if (dim == PortDimension::kX) {
+          EXPECT_FALSE(left_x) << src << "->" << dst;
+        } else {
+          left_x = true;
+        }
+        const auto links = topo_->LinksFor(at);
+        if (links[out].IsEjection()) break;
+        at = links[out].neighbor;
+      }
+    }
+  }
+}
+
+TEST_P(TopologyTest, DimensionClassesPartitionPorts) {
+  const RoutingFunction& routing = topo_->Routing();
+  int x = 0, y = 0, local = 0;
+  for (PortId p = 0; p < topo_->Radix(); ++p) {
+    switch (routing.DimensionOf(p)) {
+      case PortDimension::kX: ++x; break;
+      case PortDimension::kY: ++y; break;
+      case PortDimension::kLocal: ++local; break;
+    }
+  }
+  EXPECT_GT(x, 0);
+  EXPECT_GT(y, 0);
+  EXPECT_EQ(local, topo_->NumNodes() / topo_->NumRouters());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TopologyTest,
+                         ::testing::Values(TopologyKind::kMesh,
+                                           TopologyKind::kCMesh,
+                                           TopologyKind::kFBfly,
+                                           TopologyKind::kTorus),
+                         [](const auto& info) { return ToString(info.param); });
+
+// ---------------------------------------------------------------------------
+// Topology-specific expectations
+// ---------------------------------------------------------------------------
+
+TEST(Mesh, CornerRouterHasTwoUnconnectedPorts) {
+  auto topo = MakeTopology64(TopologyKind::kMesh);
+  const auto links = topo->LinksFor(0);  // (0,0): no West, no South
+  int unconnected = 0;
+  for (const auto& link : links) {
+    if (!link.IsConnected()) ++unconnected;
+  }
+  EXPECT_EQ(unconnected, 2);
+}
+
+TEST(Mesh, XyRouteExample) {
+  auto topo = MakeTopology64(TopologyKind::kMesh);
+  const RoutingFunction& routing = topo->Routing();
+  // Router 0 = (0,0); node 19 = (3,2): first hop must be East (port 0).
+  EXPECT_EQ(routing.Route(0, 19), 0);
+  // From router 3 = (3,0) to node 19: go North (port 2).
+  EXPECT_EQ(routing.Route(3, 19), 2);
+  // From router 19 itself: eject (port 4).
+  EXPECT_EQ(routing.Route(19, 19), 4);
+}
+
+TEST(Mesh, HopsIsManhattanDistance) {
+  auto topo = MakeTopology64(TopologyKind::kMesh);
+  EXPECT_EQ(topo->RouterHops(0, 63), 14);  // (0,0) -> (7,7)
+  EXPECT_EQ(topo->RouterHops(0, 7), 7);
+  EXPECT_EQ(topo->RouterHops(9, 9), 0);
+}
+
+TEST(Mesh, CustomSizesSupported) {
+  auto topo = MakeMesh(4, 2);
+  EXPECT_EQ(topo->NumRouters(), 8);
+  EXPECT_EQ(topo->NumNodes(), 8);
+  EXPECT_EQ(topo->Radix(), 5);
+}
+
+TEST(CMesh, FourNodesPerRouter) {
+  auto topo = MakeTopology64(TopologyKind::kCMesh);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(topo->RouterOfNode(n), 0);
+  }
+  EXPECT_EQ(topo->RouterOfNode(4), 1);
+  // Local ports are 4..7.
+  EXPECT_EQ(topo->InjectPortOfNode(0), 4);
+  EXPECT_EQ(topo->InjectPortOfNode(3), 7);
+}
+
+TEST(CMesh, MaxHopsIsSix) {
+  auto topo = MakeTopology64(TopologyKind::kCMesh);
+  int max_hops = 0;
+  for (NodeId s = 0; s < 64; ++s) {
+    for (NodeId d = 0; d < 64; ++d) {
+      max_hops = std::max(max_hops, topo->RouterHops(s, d));
+    }
+  }
+  EXPECT_EQ(max_hops, 6);  // 4x4 router grid: 3 + 3
+}
+
+TEST(FBfly, AtMostTwoRouterHops) {
+  auto topo = MakeTopology64(TopologyKind::kFBfly);
+  for (NodeId s = 0; s < 64; ++s) {
+    for (NodeId d = 0; d < 64; ++d) {
+      EXPECT_LE(topo->RouterHops(s, d), 2);
+    }
+  }
+}
+
+TEST(FBfly, FullyConnectedRowsAndColumns) {
+  auto topo = MakeTopology64(TopologyKind::kFBfly);
+  // Router 0 (row 0, col 0) must reach routers 1,2,3 (same row) and
+  // 4,8,12 (same column) directly.
+  const auto links = topo->LinksFor(0);
+  std::set<RouterId> neighbors;
+  for (const auto& link : links) {
+    if (link.neighbor >= 0) neighbors.insert(link.neighbor);
+  }
+  EXPECT_EQ(neighbors, (std::set<RouterId>{1, 2, 3, 4, 8, 12}));
+}
+
+TEST(FBfly, EveryRouterPortConnectedOrLocal) {
+  auto topo = MakeTopology64(TopologyKind::kFBfly);
+  for (RouterId r = 0; r < topo->NumRouters(); ++r) {
+    for (const auto& link : topo->LinksFor(r)) {
+      EXPECT_TRUE(link.IsConnected());  // FBfly has no unconnected ports
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,237 @@
+// Torus topology: structure, minimal routing, dateline VC classes, and —
+// the property the datelines exist for — deadlock freedom at saturation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "network/network.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+namespace {
+
+TEST(Torus, Structure) {
+  auto topo = MakeTorus(8, 8);
+  EXPECT_EQ(topo->Kind(), TopologyKind::kTorus);
+  EXPECT_EQ(topo->NumRouters(), 64);
+  EXPECT_EQ(topo->NumNodes(), 64);
+  EXPECT_EQ(topo->Radix(), 5);
+}
+
+TEST(Torus, EveryPortConnected) {
+  auto topo = MakeTorus(8, 8);
+  for (RouterId r = 0; r < 64; ++r) {
+    for (const auto& link : topo->LinksFor(r)) {
+      EXPECT_TRUE(link.IsConnected());
+    }
+  }
+}
+
+TEST(Torus, WrapLinksExist) {
+  auto topo = MakeTorus(8, 8);
+  // Router 7 = (7,0): East wraps to router 0.
+  const auto links = topo->LinksFor(7);
+  EXPECT_EQ(links[0].neighbor, 0);
+  // Router 0: West wraps to router 7.
+  EXPECT_EQ(topo->LinksFor(0)[1].neighbor, 7);
+  // Router 56 = (0,7): North wraps to router 0.
+  EXPECT_EQ(topo->LinksFor(56)[2].neighbor, 0);
+}
+
+TEST(Torus, LinksSymmetric) {
+  auto topo = MakeTorus(8, 8);
+  for (RouterId a = 0; a < 64; ++a) {
+    const auto links_a = topo->LinksFor(a);
+    for (PortId p = 0; p < 4; ++p) {
+      const RouterId b = links_a[p].neighbor;
+      const PortId q = links_a[p].neighbor_in_port;
+      const auto links_b = topo->LinksFor(b);
+      EXPECT_EQ(links_b[q].neighbor, a);
+      EXPECT_EQ(links_b[q].neighbor_in_port, p);
+    }
+  }
+}
+
+TEST(Torus, MinimalHops) {
+  auto topo = MakeTorus(8, 8);
+  EXPECT_EQ(topo->RouterHops(0, 7), 1);   // wrap is shorter than 7 east
+  EXPECT_EQ(topo->RouterHops(0, 4), 4);   // exactly half way
+  EXPECT_EQ(topo->RouterHops(0, 63), 2);  // (0,0)->(7,7): 1+1 via wraps
+  EXPECT_EQ(topo->RouterHops(0, 36), 8);  // (0,0)->(4,4): 4+4, diameter
+}
+
+TEST(Torus, RoutingDeliversEveryPairMinimally) {
+  auto topo = MakeTorus(8, 8);
+  const RoutingFunction& routing = topo->Routing();
+  for (NodeId src = 0; src < 64; src += 3) {
+    for (NodeId dst = 0; dst < 64; ++dst) {
+      RouterId at = topo->RouterOfNode(src);
+      int hops = 0;
+      while (true) {
+        const PortId out = routing.Route(at, dst);
+        const auto links = topo->LinksFor(at);
+        if (links[out].IsEjection()) {
+          EXPECT_EQ(links[out].eject_node, dst);
+          break;
+        }
+        at = links[out].neighbor;
+        ASSERT_LE(++hops, 16) << src << "->" << dst;
+      }
+      EXPECT_EQ(hops, topo->RouterHops(src, dst)) << src << "->" << dst;
+    }
+  }
+}
+
+TEST(Torus, DatelineStateSetsOnWrapOnly) {
+  auto topo = MakeTorus(8, 8);
+  const RoutingFunction& r = topo->Routing();
+  // East from col 3: no crossing.
+  EXPECT_EQ(r.NextDatelineState(3, 0, 0), 0);
+  // East from col 7 (router 7): crosses the X dateline.
+  EXPECT_EQ(r.NextDatelineState(7, 0, 0), 1);
+  // West from col 0: crosses.
+  EXPECT_EQ(r.NextDatelineState(0, 1, 0), 1);
+  // North from row 7 (router 56): crosses Y -> bit 2, independent of X bit.
+  EXPECT_EQ(r.NextDatelineState(56, 2, 0), 2);
+  EXPECT_EQ(r.NextDatelineState(56, 2, 1), 3);  // X bit preserved
+  // Ejection keeps state.
+  EXPECT_EQ(r.NextDatelineState(5, 4, 1), 1);
+}
+
+TEST(Torus, AllowedVcRangeSplitsByDimensionBit) {
+  auto topo = MakeTorus(8, 8);
+  const RoutingFunction& r = topo->Routing();
+  // X port, not crossed: lower half.
+  auto range = r.AllowedVcRange(0, 0, 6);
+  EXPECT_EQ(range.lo, 0);
+  EXPECT_EQ(range.hi, 3);
+  // X port, X crossed: upper half.
+  range = r.AllowedVcRange(0, 1, 6);
+  EXPECT_EQ(range.lo, 3);
+  EXPECT_EQ(range.hi, 6);
+  // Y port only reads the Y bit: X-crossed packet still in lower half.
+  range = r.AllowedVcRange(2, 1, 6);
+  EXPECT_EQ(range.lo, 0);
+  EXPECT_EQ(range.hi, 3);
+  range = r.AllowedVcRange(2, 2, 6);
+  EXPECT_EQ(range.lo, 3);
+  // Ejection unrestricted.
+  range = r.AllowedVcRange(4, 3, 6);
+  EXPECT_EQ(range.lo, 0);
+  EXPECT_EQ(range.hi, 6);
+}
+
+std::unique_ptr<Network> TorusNet(AllocScheme scheme) {
+  std::shared_ptr<Topology> topo = MakeTorus(8, 8);
+  NetworkParams p;
+  p.router.radix = 5;
+  p.router.num_vcs = 6;
+  p.router.buffer_depth = 5;
+  p.router.scheme = scheme;
+  p.router.vc_policy = RouterConfig::DefaultPolicyFor(scheme);
+  return std::make_unique<Network>(topo, p);
+}
+
+TEST(Torus, NoDeadlockAtSaturationUniform) {
+  auto net = TorusNet(AllocScheme::kInputFirst);
+  Rng rng(11);
+  std::uint64_t sent = 0, got = 0;
+  net->SetEjectCallback([&](const PacketRecord&) { ++got; });
+  for (int t = 0; t < 4000; ++t) {
+    for (NodeId n = 0; n < 64; ++n) {
+      if (rng.NextBool(0.25)) {
+        net->EnqueuePacket(n, static_cast<NodeId>(rng.NextBounded(64)), 4);
+        ++sent;
+      }
+    }
+    net->Step();
+    ASSERT_FALSE(net->SuspectedDeadlock(500)) << "cycle " << t;
+  }
+  // Stop injecting and drain completely.
+  Cycle guard = 0;
+  while (!net->Quiescent()) {
+    net->Step();
+    ASSERT_LT(++guard, 500'000u) << "torus failed to drain";
+  }
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Torus, NoDeadlockUnderTornado) {
+  // Tornado is the adversarial pattern for rings: every packet travels
+  // half way around, maximizing wrap-link pressure.
+  auto net = TorusNet(AllocScheme::kInputFirst);
+  Rng rng(12);
+  std::uint64_t sent = 0, got = 0;
+  net->SetEjectCallback([&](const PacketRecord&) { ++got; });
+  for (int t = 0; t < 4000; ++t) {
+    for (NodeId n = 0; n < 64; ++n) {
+      if (rng.NextBool(0.25)) {
+        const int x = n % 8, y = n / 8;
+        const NodeId dst = ((y + 4) % 8) * 8 + (x + 4) % 8;
+        net->EnqueuePacket(n, dst, 4);
+        ++sent;
+      }
+    }
+    net->Step();
+    ASSERT_FALSE(net->SuspectedDeadlock(500)) << "cycle " << t;
+  }
+  Cycle guard = 0;
+  while (!net->Quiescent()) {
+    net->Step();
+    ASSERT_LT(++guard, 500'000u);
+  }
+  EXPECT_EQ(got, sent);
+}
+
+TEST(Torus, VixWorksOnTorus) {
+  auto run = [](AllocScheme scheme) {
+    auto net = TorusNet(scheme);
+    Rng rng(13);
+    std::uint64_t got = 0;
+    net->SetEjectCallback([&](const PacketRecord&) { ++got; });
+    for (int t = 0; t < 6000; ++t) {
+      for (NodeId n = 0; n < 64; ++n) {
+        if (rng.NextBool(0.25)) {
+          net->EnqueuePacket(n, static_cast<NodeId>(rng.NextBounded(64)),
+                             4);
+        }
+      }
+      net->Step();
+    }
+    return got;
+  };
+  // With datelines each class maps onto one VIX sub-group, so the gain is
+  // smaller than on the mesh but must not be negative.
+  EXPECT_GE(run(AllocScheme::kVix), run(AllocScheme::kInputFirst) * 0.98);
+}
+
+TEST(Torus, ZeroLoadLatencyBeatsMeshOnWrapPairs) {
+  // 0 -> 7 is 7 hops on the mesh but 1 on the torus.
+  auto torus = TorusNet(AllocScheme::kInputFirst);
+  Cycle latency = 0;
+  torus->SetEjectCallback([&](const PacketRecord& r) {
+    latency = r.ejected - r.created;
+  });
+  torus->EnqueuePacket(0, 7, 1);
+  for (int t = 0; t < 100 && latency == 0; ++t) torus->Step();
+  EXPECT_EQ(latency, 7u);  // 1 + 2 routers x 3 cycles
+}
+
+TEST(Torus, RequiresAtLeastTwoVcsPerClass) {
+  std::shared_ptr<Topology> topo = MakeTorus(8, 8);
+  NetworkParams p;
+  p.router.radix = 5;
+  p.router.num_vcs = 1;  // cannot split into dateline halves
+  p.router.buffer_depth = 2;
+  Network net(topo, p);
+  net.EnqueuePacket(0, 5, 1);
+  EXPECT_DEATH(
+      {
+        for (int t = 0; t < 10; ++t) net.Step();
+      },
+      "check failed");
+}
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/trace_sim.hpp"
+#include "traffic/trace.hpp"
+
+namespace vixnoc {
+namespace {
+
+TEST(Trace, AddKeepsOrderAndContents) {
+  PacketTrace trace;
+  trace.Add({0, 1, 2, 4});
+  trace.Add({0, 3, 4, 1});
+  trace.Add({5, 0, 63, 4});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.LastCycle(), 5u);
+  EXPECT_EQ(trace.records()[1], (TraceRecord{0, 3, 4, 1}));
+}
+
+TEST(Trace, TextRoundTrip) {
+  PacketTrace trace;
+  trace.Add({0, 1, 2, 4});
+  trace.Add({7, 3, 4, 1});
+  trace.Add({7, 5, 6, 8});
+  const PacketTrace parsed = PacketTrace::FromText(trace.ToText(), 64);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed.records()[i], trace.records()[i]);
+  }
+}
+
+TEST(Trace, FromTextSkipsCommentsAndBlanks) {
+  const PacketTrace trace = PacketTrace::FromText(
+      "# header\n\n3 1 2 4\n# mid comment\n5 0 1 1\n", 8);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.records()[0].cycle, 3u);
+  EXPECT_EQ(trace.records()[1].src, 0);
+}
+
+TEST(Trace, FileRoundTrip) {
+  PacketTrace trace;
+  for (Cycle t = 0; t < 50; ++t) {
+    trace.Add({t, static_cast<NodeId>(t % 8),
+               static_cast<NodeId>((t + 3) % 8), 1 + static_cast<int>(t % 4)});
+  }
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";
+  trace.Save(path);
+  const PacketTrace loaded = PacketTrace::Load(path, 8);
+  ASSERT_EQ(loaded.size(), trace.size());
+  EXPECT_EQ(loaded.records().back(), trace.records().back());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayerDeliversPerCycle) {
+  PacketTrace trace;
+  trace.Add({1, 0, 1, 1});
+  trace.Add({1, 2, 3, 1});
+  trace.Add({4, 4, 5, 1});
+  TraceReplayer replayer(trace);
+  EXPECT_TRUE(replayer.TakeDue(0).empty());
+  EXPECT_EQ(replayer.TakeDue(1).size(), 2u);
+  EXPECT_TRUE(replayer.TakeDue(2).empty());
+  EXPECT_TRUE(replayer.TakeDue(3).empty());
+  EXPECT_EQ(replayer.TakeDue(4).size(), 1u);
+  EXPECT_TRUE(replayer.Exhausted());
+  replayer.Reset();
+  EXPECT_FALSE(replayer.Exhausted());
+}
+
+TEST(TraceGen, MatchesRequestedRateApproximately) {
+  const PacketTrace trace = GeneratePatternTrace(
+      PatternKind::kUniform, 0.1, 64, 10'000, 4, /*seed=*/3);
+  const double rate =
+      static_cast<double>(trace.size()) / (64.0 * 10'000.0);
+  EXPECT_NEAR(rate, 0.1, 0.005);
+  for (const TraceRecord& r : trace.records()) {
+    EXPECT_NE(r.src, r.dst);
+    EXPECT_EQ(r.size_flits, 4);
+  }
+}
+
+TEST(TraceSim, DeterministicReplay) {
+  const PacketTrace trace = GeneratePatternTrace(
+      PatternKind::kUniform, 0.05, 64, 8'000, 4, 9);
+  NetworkSimConfig config;
+  config.scheme = AllocScheme::kVix;
+  config.warmup = 2'000;
+  config.measure = 5'000;
+  config.drain = 2'000;
+  const auto a = RunTraceSim(config, trace);
+  const auto b = RunTraceSim(config, trace);
+  EXPECT_EQ(a.accepted_ppc, b.accepted_ppc);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+}
+
+TEST(TraceSim, MatchesBernoulliSimStatistically) {
+  // A replayed Bernoulli trace should land near the live Bernoulli sim.
+  NetworkSimConfig config;
+  config.scheme = AllocScheme::kInputFirst;
+  config.injection_rate = 0.05;
+  config.warmup = 2'000;
+  config.measure = 6'000;
+  config.drain = 2'000;
+  const auto live = RunNetworkSim(config);
+  const PacketTrace trace = GeneratePatternTrace(
+      PatternKind::kUniform, 0.05, 64, 10'000, 4, config.seed);
+  const auto replay = RunTraceSim(config, trace);
+  EXPECT_NEAR(replay.accepted_ppc, live.accepted_ppc, 0.004);
+  EXPECT_NEAR(replay.avg_latency, live.avg_latency, live.avg_latency * 0.1);
+}
+
+TEST(TraceSim, SchemesComparedOnIdenticalTraffic) {
+  const PacketTrace trace = GeneratePatternTrace(
+      PatternKind::kUniform, 0.12, 64, 12'000, 4, 21);
+  NetworkSimConfig config;
+  config.warmup = 3'000;
+  config.measure = 8'000;
+  config.drain = 3'000;
+  config.scheme = AllocScheme::kInputFirst;
+  const auto base = RunTraceSim(config, trace);
+  config.scheme = AllocScheme::kVix;
+  const auto vix = RunTraceSim(config, trace);
+  // Same offered traffic by construction.
+  EXPECT_DOUBLE_EQ(base.offered_ppc, vix.offered_ppc);
+  EXPECT_GT(vix.accepted_ppc, base.accepted_ppc * 1.05);
+}
+
+}  // namespace
+}  // namespace vixnoc

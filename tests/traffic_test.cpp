@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "traffic/patterns.hpp"
+
+namespace vixnoc {
+namespace {
+
+TEST(Uniform, NeverSelf) {
+  UniformRandomPattern p;
+  Rng rng(1);
+  for (NodeId src = 0; src < 64; ++src) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_NE(p.Dest(src, 64, rng), src);
+    }
+  }
+}
+
+TEST(Uniform, CoversAllDestinationsUniformly) {
+  UniformRandomPattern p;
+  Rng rng(2);
+  std::map<NodeId, int> counts;
+  constexpr int kDraws = 63000;
+  for (int i = 0; i < kDraws; ++i) ++counts[p.Dest(5, 64, rng)];
+  EXPECT_EQ(counts.size(), 63u);
+  for (const auto& [dst, c] : counts) {
+    EXPECT_NEAR(c, 1000, 150) << "dst " << dst;
+  }
+}
+
+TEST(Transpose, MapsCoordinateSwap) {
+  TransposePattern p;
+  Rng rng(3);
+  // Node (x=3, y=1) = 11 -> (x=1, y=3) = 25 on an 8x8 layout.
+  EXPECT_EQ(p.Dest(11, 64, rng), 25);
+  // Diagonal nodes map to themselves and must be remapped off-self.
+  EXPECT_NE(p.Dest(9, 64, rng), 9);  // (1,1)
+}
+
+TEST(Transpose, IsInvolutionOffDiagonal) {
+  TransposePattern p;
+  Rng rng(4);
+  for (NodeId n = 0; n < 64; ++n) {
+    const NodeId d = p.Dest(n, 64, rng);
+    if (d == (n % 8) * 8 + n / 8) {  // true transpose (not remapped)
+      EXPECT_EQ(p.Dest(d, 64, rng), n);
+    }
+  }
+}
+
+TEST(BitComplement, MapsToComplement) {
+  BitComplementPattern p;
+  Rng rng(5);
+  EXPECT_EQ(p.Dest(0, 64, rng), 63);
+  EXPECT_EQ(p.Dest(63, 64, rng), 0);
+  EXPECT_EQ(p.Dest(21, 64, rng), 42);
+}
+
+TEST(BitReverse, ReversesIndexBits) {
+  BitReversePattern p;
+  Rng rng(6);
+  EXPECT_EQ(p.Dest(1, 64, rng), 32);   // 000001 -> 100000
+  EXPECT_EQ(p.Dest(3, 64, rng), 48);   // 000011 -> 110000
+  EXPECT_NE(p.Dest(0, 64, rng), 0);    // palindrome remapped off-self
+}
+
+TEST(Tornado, HalfwayAroundBothDimensions) {
+  TornadoPattern p;
+  Rng rng(7);
+  // (0,0) -> (4,4) = 36 on 8x8.
+  EXPECT_EQ(p.Dest(0, 64, rng), 36);
+  // (4,4) -> (0,0).
+  EXPECT_EQ(p.Dest(36, 64, rng), 0);
+}
+
+TEST(Hotspot, FractionHitsHotspot) {
+  HotspotPattern p(/*hotspot=*/10, /*hot_fraction=*/0.25);
+  Rng rng(8);
+  int hot = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (p.Dest(3, 64, rng) == 10) ++hot;
+  }
+  // 25% direct + ~1.2% of the uniform remainder also lands on 10.
+  EXPECT_NEAR(hot / static_cast<double>(kDraws), 0.262, 0.02);
+}
+
+TEST(Hotspot, HotspotNodeItselfSendsUniform) {
+  HotspotPattern p(10, 0.5);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(p.Dest(10, 64, rng), 10);
+  }
+}
+
+class PatternKindTest : public ::testing::TestWithParam<PatternKind> {};
+
+TEST_P(PatternKindTest, FactoryProducesValidDestinations) {
+  auto p = MakePattern(GetParam());
+  Rng rng(11);
+  for (NodeId src = 0; src < 64; src += 5) {
+    for (int i = 0; i < 100; ++i) {
+      const NodeId d = p->Dest(src, 64, rng);
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, 64);
+      EXPECT_NE(d, src);
+    }
+  }
+}
+
+TEST_P(PatternKindTest, HasName) {
+  EXPECT_FALSE(MakePattern(GetParam())->Name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PatternKindTest,
+                         ::testing::Values(PatternKind::kUniform,
+                                           PatternKind::kTranspose,
+                                           PatternKind::kBitComplement,
+                                           PatternKind::kBitReverse,
+                                           PatternKind::kTornado));
+
+}  // namespace
+}  // namespace vixnoc

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "router/vc_assign.hpp"
+
+namespace vixnoc {
+namespace {
+
+std::vector<OutputVcView> Views(std::initializer_list<std::pair<bool, int>>
+                                    alloc_credits) {
+  std::vector<OutputVcView> v;
+  for (const auto& [allocated, credits] : alloc_credits) {
+    v.push_back(OutputVcView{allocated, credits});
+  }
+  return v;
+}
+
+/// Full-range layout over `total` VCs with `vins` contiguous sub-groups.
+VinLayout Contiguous(int vins, int total) {
+  VinLayout layout;
+  layout.num_vins = vins;
+  layout.total_vcs = total;
+  return layout;
+}
+
+VinLayout Interleaved(int vins, int total) {
+  VinLayout layout = Contiguous(vins, total);
+  layout.interleaved = true;
+  return layout;
+}
+
+TEST(VinLayout, ContiguousMapping) {
+  const VinLayout l = Contiguous(2, 6);
+  EXPECT_EQ(l.VinOfView(0), 0);
+  EXPECT_EQ(l.VinOfView(2), 0);
+  EXPECT_EQ(l.VinOfView(3), 1);
+  EXPECT_EQ(l.VinOfView(5), 1);
+}
+
+TEST(VinLayout, InterleavedMapping) {
+  const VinLayout l = Interleaved(2, 6);
+  EXPECT_EQ(l.VinOfView(0), 0);
+  EXPECT_EQ(l.VinOfView(1), 1);
+  EXPECT_EQ(l.VinOfView(2), 0);
+  EXPECT_EQ(l.VinOfView(5), 1);
+}
+
+TEST(VinLayout, FirstVcOffsetsTheMapping) {
+  VinLayout l = Contiguous(2, 6);
+  l.first_vc = 3;  // views cover VCs 3..5 = all of sub-group 1
+  EXPECT_EQ(l.VinOfView(0), 1);
+  EXPECT_EQ(l.VinOfView(2), 1);
+}
+
+TEST(MaxCredits, PicksFreeVcWithMostCredits) {
+  const auto vcs = Views({{false, 2}, {false, 5}, {false, 3}});
+  EXPECT_EQ(PickOutputVc(VcAssignPolicy::kMaxCredits, vcs, Contiguous(1, 3),
+                         PortDimension::kX),
+            1);
+}
+
+TEST(MaxCredits, SkipsAllocatedVcs) {
+  const auto vcs = Views({{true, 5}, {false, 1}, {true, 4}});
+  EXPECT_EQ(PickOutputVc(VcAssignPolicy::kMaxCredits, vcs, Contiguous(1, 3),
+                         PortDimension::kY),
+            1);
+}
+
+TEST(MaxCredits, AllAllocatedReturnsNegative) {
+  const auto vcs = Views({{true, 5}, {true, 5}});
+  EXPECT_EQ(PickOutputVc(VcAssignPolicy::kMaxCredits, vcs, Contiguous(1, 2),
+                         PortDimension::kX),
+            -1);
+}
+
+TEST(MaxCredits, TieBreaksToLowestIndex) {
+  const auto vcs = Views({{false, 3}, {false, 3}, {false, 3}});
+  EXPECT_EQ(PickOutputVc(VcAssignPolicy::kMaxCredits, vcs, Contiguous(1, 3),
+                         PortDimension::kX),
+            0);
+}
+
+TEST(VixDimension, XTrafficPrefersGroupZero) {
+  const auto vcs = Views({{false, 5}, {false, 5}, {false, 5},
+                          {false, 5}, {false, 5}, {false, 5}});
+  const int pick = PickOutputVc(VcAssignPolicy::kVixDimension, vcs,
+                                Contiguous(2, 6), PortDimension::kX);
+  EXPECT_LT(pick, 3);
+}
+
+TEST(VixDimension, YTrafficPrefersGroupOne) {
+  const auto vcs = Views({{false, 5}, {false, 5}, {false, 5},
+                          {false, 5}, {false, 5}, {false, 5}});
+  const int pick = PickOutputVc(VcAssignPolicy::kVixDimension, vcs,
+                                Contiguous(2, 6), PortDimension::kY);
+  EXPECT_GE(pick, 3);
+}
+
+TEST(VixDimension, InterleavedYTrafficLandsOnOddVcs) {
+  const auto vcs = Views({{false, 5}, {false, 5}, {false, 5},
+                          {false, 5}, {false, 5}, {false, 5}});
+  const int pick = PickOutputVc(VcAssignPolicy::kVixDimension, vcs,
+                                Interleaved(2, 6), PortDimension::kY);
+  EXPECT_EQ(pick % 2, 1);
+}
+
+TEST(VixDimension, FallsBackWhenPreferredGroupFull) {
+  const auto vcs = Views({{true, 0}, {true, 0}, {true, 0},
+                          {false, 5}, {false, 2}, {false, 3}});
+  const int pick = PickOutputVc(VcAssignPolicy::kVixDimension, vcs,
+                                Contiguous(2, 6), PortDimension::kX);
+  EXPECT_EQ(pick, 3);  // max credits in the fallback set
+}
+
+TEST(VixDimension, LocalTrafficBalancesLoad) {
+  const auto vcs = Views({{false, 5}, {false, 5}, {false, 5},
+                          {true, 0}, {true, 0}, {false, 5}});
+  const int pick = PickOutputVc(VcAssignPolicy::kVixDimension, vcs,
+                                Contiguous(2, 6), PortDimension::kLocal);
+  EXPECT_LT(pick, 3);
+}
+
+TEST(VixDimension, MaxCreditsWithinPreferredGroup) {
+  const auto vcs = Views({{false, 1}, {false, 4}, {false, 2},
+                          {false, 5}, {false, 5}, {false, 5}});
+  EXPECT_EQ(PickOutputVc(VcAssignPolicy::kVixDimension, vcs,
+                         Contiguous(2, 6), PortDimension::kX),
+            1);
+}
+
+TEST(VixDimension, SubrangeCoveringOneGroupStillWorks) {
+  // Candidate range = VCs 3..5 (contiguous sub-group 1 only). X traffic
+  // prefers group 0, which is absent: fallback must still pick a VC.
+  const auto vcs = Views({{false, 2}, {false, 4}, {false, 1}});
+  VinLayout layout = Contiguous(2, 6);
+  layout.first_vc = 3;
+  EXPECT_EQ(PickOutputVc(VcAssignPolicy::kVixDimension, vcs, layout,
+                         PortDimension::kX),
+            1);
+}
+
+TEST(VixDimension, InterleavedSubrangeKeepsBothGroupsReachable) {
+  // Candidate range = VCs 0..2 of an interleaved 2-vin router: vins are
+  // {0, 2} -> group 0 and {1} -> group 1, so Y traffic can still land in
+  // group 1 inside the lower dateline half — the motivation for the
+  // interleaved wiring.
+  const auto vcs = Views({{false, 5}, {false, 5}, {false, 5}});
+  VinLayout layout = Interleaved(2, 6);
+  const int pick = PickOutputVc(VcAssignPolicy::kVixDimension, vcs, layout,
+                                PortDimension::kY);
+  EXPECT_EQ(pick, 1);
+}
+
+TEST(VixBalance, PicksLessLoadedGroupRegardlessOfDimension) {
+  const auto vcs = Views({{true, 0}, {true, 0}, {false, 1},
+                          {false, 5}, {false, 5}, {false, 5}});
+  const int pick = PickOutputVc(VcAssignPolicy::kVixBalance, vcs,
+                                Contiguous(2, 6), PortDimension::kX);
+  EXPECT_GE(pick, 3);
+}
+
+TEST(VixBalance, AllFullReturnsNegative) {
+  const auto vcs = Views({{true, 0}, {true, 0}, {true, 0},
+                          {true, 0}, {true, 0}, {true, 0}});
+  EXPECT_EQ(PickOutputVc(VcAssignPolicy::kVixBalance, vcs, Contiguous(2, 6),
+                         PortDimension::kY),
+            -1);
+}
+
+TEST(VixPolicies, DegenerateToMaxCreditsWithOneVin) {
+  const auto vcs = Views({{false, 2}, {false, 7}, {false, 3}});
+  for (auto policy : {VcAssignPolicy::kVixDimension,
+                      VcAssignPolicy::kVixBalance}) {
+    EXPECT_EQ(PickOutputVc(policy, vcs, Contiguous(1, 3), PortDimension::kX),
+              1);
+  }
+}
+
+class VinCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VinCountTest, AlwaysReturnsFreeVcWhenOneExists) {
+  const int num_vins = GetParam();
+  std::vector<OutputVcView> vcs(6);
+  for (int busy = 0; busy < 6; ++busy) {
+    for (auto& v : vcs) v = {true, 0};
+    vcs[busy] = {false, 2};
+    for (auto dim : {PortDimension::kX, PortDimension::kY,
+                     PortDimension::kLocal}) {
+      for (auto policy : {VcAssignPolicy::kMaxCredits,
+                          VcAssignPolicy::kVixDimension,
+                          VcAssignPolicy::kVixBalance}) {
+        for (bool interleaved : {false, true}) {
+          VinLayout layout = Contiguous(num_vins, 6);
+          layout.interleaved = interleaved;
+          EXPECT_EQ(PickOutputVc(policy, vcs, layout, dim), busy);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Vins, VinCountTest, ::testing::Values(1, 2, 3, 6));
+
+}  // namespace
+}  // namespace vixnoc
