@@ -3,51 +3,63 @@
 // The paper's evaluation uses the optimized 3-stage pipeline (lookahead
 // routing + speculative switch allocation). This bench shows what the
 // conservative 5-stage organization costs and that VIX's benefit is
-// orthogonal to pipeline depth.
+// orthogonal to pipeline depth. The (stages x scheme x rate) grid runs in
+// parallel on a SweepRunner (threads=N to override, default all cores).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 
 using namespace vixnoc;
 
-namespace {
-
-NetworkSimResult Run(AllocScheme scheme, int stages, double rate) {
-  NetworkSimConfig c;
-  c.scheme = scheme;
-  c.pipeline_stages = stages;
-  c.injection_rate = rate;
-  c.warmup = 4'000;
-  c.measure = 12'000;
-  c.drain = 2'000;
-  return RunNetworkSim(c);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Ablation",
                 "3-stage (speculative, lookahead) vs 5-stage router "
                 "pipeline, mesh");
+  bench::SweepHarness sweep(argc, argv, "ablation_pipeline");
+
+  const int stage_opts[] = {3, 5};
+  const AllocScheme schemes[] = {AllocScheme::kInputFirst, AllocScheme::kVix};
+  const double rates[] = {0.01, 0.08, 0.25};  // zero-load, mid, saturation
+
+  std::vector<NetworkSimConfig> points;
+  for (int stages : stage_opts) {
+    for (AllocScheme scheme : schemes) {
+      for (double rate : rates) {
+        NetworkSimConfig c;
+        c.scheme = scheme;
+        c.pipeline_stages = stages;
+        c.injection_rate = rate;
+        c.warmup = 4'000;
+        c.measure = 12'000;
+        c.drain = 2'000;
+        points.push_back(c);
+      }
+    }
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
+  // Index into the (stages, scheme, rate) grid laid out above.
+  const auto at = [&](int stages_idx, int scheme_idx,
+                      int rate_idx) -> const NetworkSimResult& {
+    return results[static_cast<std::size_t>(stages_idx) * 6 +
+                   static_cast<std::size_t>(scheme_idx) * 3 + rate_idx];
+  };
 
   TablePrinter table({"Scheme", "stages", "zero-load latency",
                       "latency @0.08", "throughput @sat"});
   double gain[2] = {};
-  for (int stages : {3, 5}) {
-    for (AllocScheme scheme : {AllocScheme::kInputFirst, AllocScheme::kVix}) {
-      const auto lo = Run(scheme, stages, 0.01);
-      const auto mid = Run(scheme, stages, 0.08);
-      const auto sat = Run(scheme, stages, 0.25);
-      table.AddRow({ToString(scheme),
-                    TablePrinter::Fmt(std::int64_t{stages}),
+  for (int si = 0; si < 2; ++si) {
+    for (int ai = 0; ai < 2; ++ai) {
+      const NetworkSimResult& lo = at(si, ai, 0);
+      const NetworkSimResult& mid = at(si, ai, 1);
+      const NetworkSimResult& sat = at(si, ai, 2);
+      table.AddRow({ToString(schemes[ai]),
+                    TablePrinter::Fmt(std::int64_t{stage_opts[si]}),
                     TablePrinter::Fmt(lo.avg_latency, 1),
                     TablePrinter::Fmt(mid.avg_latency, 1),
                     TablePrinter::Fmt(sat.accepted_ppc, 4)});
-      if (scheme == AllocScheme::kVix) {
-        const auto base = Run(AllocScheme::kInputFirst, stages, 0.25);
-        gain[stages == 5] = bench::PctGain(sat.accepted_ppc,
-                                           base.accepted_ppc);
+      if (schemes[ai] == AllocScheme::kVix) {
+        gain[si] = bench::PctGain(sat.accepted_ppc, at(si, 0, 2).accepted_ppc);
       }
     }
   }
@@ -59,5 +71,5 @@ int main() {
               "allocation bottleneck: VIX's throughput gain survives both "
               "organizations (speculation, per Peh & Dally, is what makes "
               "the 3-stage feasible).");
-  return 0;
+  return sweep.Finish();
 }

@@ -4,45 +4,51 @@
 // SPAROFLO has no extra crossbar inputs, so double-wins are killed after
 // output arbitration. The paper argues "these conflicts limit the
 // efficiency of SPAROFLO when compared to VIX" — this bench quantifies it
-// at both the single-router and the network level.
+// at both the single-router and the network level. The three network
+// points run in parallel on a SweepRunner (threads=N to override).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
 #include "sim/single_router.hpp"
+#include "sweep_util.hpp"
 
 using namespace vixnoc;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Ablation",
                 "SPAROFLO (exposure, no virtual inputs) vs VIX (exposure + "
                 "virtual inputs)");
+  bench::SweepHarness sweep(argc, argv, "ablation_sparoflo");
 
   const AllocScheme schemes[] = {AllocScheme::kInputFirst,
                                  AllocScheme::kSparoflo, AllocScheme::kVix};
 
-  TablePrinter table({"Scheme", "single-router flits/cyc (r5)",
-                      "network pkt/cyc/node @sat", "network gain over IF"});
-  double sr[3] = {}, net[3] = {};
-  int i = 0;
+  std::vector<NetworkSimConfig> points;
   for (AllocScheme scheme : schemes) {
-    SingleRouterConfig src;
-    src.scheme = scheme;
-    src.cycles = 50'000;
-    sr[i] = RunSingleRouter(src).flits_per_cycle;
-
     NetworkSimConfig nc;
     nc.scheme = scheme;
     nc.injection_rate = nc.MaxInjectionRate();
     nc.warmup = 4'000;
     nc.measure = 12'000;
     nc.drain = 1'000;
-    net[i] = RunNetworkSim(nc).accepted_ppc;
+    points.push_back(nc);
+  }
+  const std::vector<NetworkSimResult> swept = sweep.Run(points);
 
-    table.AddRow({ToString(scheme), TablePrinter::Fmt(sr[i], 3),
+  TablePrinter table({"Scheme", "single-router flits/cyc (r5)",
+                      "network pkt/cyc/node @sat", "network gain over IF"});
+  double sr[3] = {}, net[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    // The single-router experiment is cheap; it stays serial.
+    SingleRouterConfig src;
+    src.scheme = schemes[i];
+    src.cycles = 50'000;
+    sr[i] = RunSingleRouter(src).flits_per_cycle;
+    net[i] = swept[i].accepted_ppc;
+
+    table.AddRow({ToString(schemes[i]), TablePrinter::Fmt(sr[i], 3),
                   TablePrinter::Fmt(net[i], 4),
                   TablePrinter::Pct(bench::PctGain(net[i], net[0]))});
-    ++i;
   }
   table.Print();
 
@@ -57,5 +63,5 @@ int main() {
               "the post-arbitration conflict kills waste outputs, and at "
               "network level SPAROFLO gives up the entire gap to VIX — "
               "consistent with the paper's qualitative comparison (§5).");
-  return 0;
+  return sweep.Finish();
 }

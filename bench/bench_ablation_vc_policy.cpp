@@ -3,18 +3,20 @@
 // The paper's VC-assignment optimization steers packets into virtual-input
 // sub-groups by the direction of their downstream output port, with load
 // balancing; it claims this "will help improve performance in adversarial
-// traffic patterns". This bench sweeps policy x traffic pattern.
+// traffic patterns". This bench sweeps policy x traffic pattern; the 20
+// grid points run in parallel on a SweepRunner (threads=N to override).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 
 using namespace vixnoc;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Ablation",
                 "VIX VC-assignment policy x traffic pattern (mesh "
                 "saturation throughput, packets/cycle/node)");
+  bench::SweepHarness sweep(argc, argv, "ablation_vc_policy");
 
   const PatternKind patterns[] = {
       PatternKind::kUniform, PatternKind::kTranspose,
@@ -25,9 +27,8 @@ int main() {
       {"balance", VcAssignPolicy::kVixBalance},
       {"dimension", VcAssignPolicy::kVixDimension}};
 
-  TablePrinter table({"pattern", "IF baseline", "VIX max-credits",
-                      "VIX balance", "VIX dimension", "best policy"});
-  double uniform_dim = 0, uniform_base = 0;
+  // Per pattern: one IF baseline plus the three VIX policies.
+  std::vector<NetworkSimConfig> points;
   for (PatternKind pattern : patterns) {
     NetworkSimConfig c;
     c.pattern = pattern;
@@ -37,22 +38,32 @@ int main() {
     c.drain = 1'000;
 
     c.scheme = AllocScheme::kInputFirst;
-    const double base = RunNetworkSim(c).accepted_ppc;
-
+    points.push_back(c);
     c.scheme = AllocScheme::kVix;
+    for (const auto& [name, policy] : policies) {
+      c.vc_policy = policy;
+      points.push_back(c);
+    }
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
+
+  TablePrinter table({"pattern", "IF baseline", "VIX max-credits",
+                      "VIX balance", "VIX dimension", "best policy"});
+  double uniform_dim = 0, uniform_base = 0;
+  for (std::size_t p = 0; p < std::size(patterns); ++p) {
+    const double base = results[p * 4].accepted_ppc;
     double vals[3];
     int best = 0;
     for (int i = 0; i < 3; ++i) {
-      c.vc_policy = policies[i].second;
-      vals[i] = RunNetworkSim(c).accepted_ppc;
+      vals[i] = results[p * 4 + 1 + i].accepted_ppc;
       if (vals[i] > vals[best]) best = i;
     }
-    if (pattern == PatternKind::kUniform) {
+    if (patterns[p] == PatternKind::kUniform) {
       uniform_dim = vals[2];
       uniform_base = base;
     }
-    table.AddRow({MakePattern(pattern)->Name(), TablePrinter::Fmt(base, 4),
-                  TablePrinter::Fmt(vals[0], 4),
+    table.AddRow({MakePattern(patterns[p])->Name(),
+                  TablePrinter::Fmt(base, 4), TablePrinter::Fmt(vals[0], 4),
                   TablePrinter::Fmt(vals[1], 4),
                   TablePrinter::Fmt(vals[2], 4), policies[best].first});
   }
@@ -63,5 +74,5 @@ int main() {
   bench::Note("on uniform random the policies tie (any steering works); "
               "directional patterns are where dimension information and "
               "load balance separate.");
-  return 0;
+  return sweep.Finish();
 }

@@ -4,24 +4,24 @@
 // virtual inputs; this bench fills in the intermediate point (1:3 for a
 // 6-VC router) and shows the diminishing returns that justify stopping at
 // two — alongside the crossbar delay each point costs (Table 1 model).
+// The four sweep points run in parallel on a SweepRunner (threads=N).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 #include "timing/delay_model.hpp"
 
 using namespace vixnoc;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Ablation",
                 "Virtual inputs per port: throughput vs crossbar cost "
                 "(mesh, 6 VCs)");
+  bench::SweepHarness sweep(argc, argv, "ablation_virtual_inputs");
 
-  TablePrinter table({"virtual inputs", "xbar size", "xbar delay [ps]",
-                      "throughput @sat", "gain over k=1",
-                      "xbar delay vs cycle"});
-  double base = 0.0, k2_gain = 0.0, k6_gain = 0.0;
-  for (int k : {1, 2, 3, 6}) {
+  const int ks[] = {1, 2, 3, 6};
+  std::vector<NetworkSimConfig> points;
+  for (int k : ks) {
     NetworkSimConfig c;
     c.scheme = k == 1 ? AllocScheme::kInputFirst : AllocScheme::kVix;
     c.vix_virtual_inputs = k;
@@ -29,7 +29,17 @@ int main() {
     c.warmup = 4'000;
     c.measure = 12'000;
     c.drain = 1'000;
-    const double tput = RunNetworkSim(c).accepted_ppc;
+    points.push_back(c);
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
+
+  TablePrinter table({"virtual inputs", "xbar size", "xbar delay [ps]",
+                      "throughput @sat", "gain over k=1",
+                      "xbar delay vs cycle"});
+  double base = 0.0, k2_gain = 0.0, k6_gain = 0.0;
+  for (std::size_t i = 0; i < std::size(ks); ++i) {
+    const int k = ks[i];
+    const double tput = results[i].accepted_ppc;
     if (k == 1) base = tput;
     if (k == 2) k2_gain = bench::PctGain(tput, base);
     if (k == 6) k6_gain = bench::PctGain(tput, base);
@@ -51,5 +61,5 @@ int main() {
               "crossbar still fits comfortably in the cycle; the k=6 "
               "crossbar (30x5) would dominate the critical path — the "
               "paper's rationale for 1:2 VIX (§1, §4.6).");
-  return 0;
+  return sweep.Finish();
 }

@@ -2,41 +2,46 @@
 //
 // The paper evaluates 64 nodes. This bench sweeps mesh sizes from 16 to
 // 256 nodes at each size's own high-load operating point and reports the
-// VIX-over-IF saturation-throughput gain.
+// VIX-over-IF saturation-throughput gain. The (size x scheme) points run
+// in parallel on a SweepRunner (threads=N to override, default all cores).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 #include "topology/topology.hpp"
 
 using namespace vixnoc;
 
-namespace {
-
-double Saturation(AllocScheme scheme, int side) {
-  NetworkSimConfig c;
-  c.scheme = scheme;
-  c.topology = TopologyKind::kMesh;
-  c.topology_factory = [side] { return MakeMesh(side, side); };
-  c.injection_rate = c.MaxInjectionRate();
-  c.warmup = 4'000;
-  c.measure = 10'000;
-  c.drain = 1'000;
-  return RunNetworkSim(c).accepted_ppc;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Extension",
                 "VIX gain vs mesh size (saturation throughput, "
                 "packets/cycle/node)");
+  bench::SweepHarness sweep(argc, argv, "ext_scaling");
+
+  const int sides[] = {4, 6, 8, 12, 16};
+  std::vector<NetworkSimConfig> points;
+  for (int side : sides) {
+    for (AllocScheme scheme :
+         {AllocScheme::kInputFirst, AllocScheme::kVix}) {
+      NetworkSimConfig c;
+      c.scheme = scheme;
+      c.topology = TopologyKind::kMesh;
+      c.topology_factory = [side] { return MakeMesh(side, side); };
+      c.injection_rate = c.MaxInjectionRate();
+      c.warmup = 4'000;
+      c.measure = 10'000;
+      c.drain = 1'000;
+      points.push_back(c);
+    }
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
 
   TablePrinter table({"mesh", "nodes", "IF", "VIX", "VIX gain"});
   double gain64 = 0.0;
-  for (int side : {4, 6, 8, 12, 16}) {
-    const double base = Saturation(AllocScheme::kInputFirst, side);
-    const double vix = Saturation(AllocScheme::kVix, side);
+  for (std::size_t i = 0; i < std::size(sides); ++i) {
+    const int side = sides[i];
+    const double base = results[i * 2].accepted_ppc;
+    const double vix = results[i * 2 + 1].accepted_ppc;
     if (side == 8) gain64 = bench::PctGain(vix, base);
     char name[16];
     std::snprintf(name, sizeof name, "%dx%d", side, side);
@@ -54,5 +59,5 @@ int main() {
               "higher-radix topologies (FBfly) keep routers the bottleneck "
               "— consistent with the paper's focus on those designs for "
               "scaling.");
-  return 0;
+  return sweep.Finish();
 }

@@ -4,19 +4,20 @@
 // deadlock avoidance splits each VC partition in two, which interacts with
 // VIX's sub-group partitioning (each dateline class maps onto one virtual
 // input for the 6-VC 1:2 configuration). This bench quantifies how much of
-// VIX's mesh gain survives.
+// VIX's mesh gain survives. The (topology x config) points run in parallel
+// on a SweepRunner (threads=N to override, default all cores).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 #include "topology/topology.hpp"
 
 using namespace vixnoc;
 
 namespace {
 
-NetworkSimResult Run(TopologyKind kind, AllocScheme scheme, double rate,
-                     bool interleaved = false) {
+NetworkSimConfig Point(TopologyKind kind, AllocScheme scheme, double rate,
+                       bool interleaved = false) {
   NetworkSimConfig c;
   c.topology = kind;
   c.scheme = scheme;
@@ -25,24 +26,36 @@ NetworkSimResult Run(TopologyKind kind, AllocScheme scheme, double rate,
   c.warmup = 4'000;
   c.measure = 12'000;
   c.drain = 1'000;
-  return RunNetworkSim(c);
+  return c;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Extension",
                 "Torus (dateline VC classes) vs mesh, 64 nodes, uniform "
                 "random");
+  bench::SweepHarness sweep(argc, argv, "ext_torus");
+
+  const TopologyKind kinds[] = {TopologyKind::kMesh, TopologyKind::kTorus};
+  std::vector<NetworkSimConfig> points;
+  for (TopologyKind kind : kinds) {
+    points.push_back(Point(kind, AllocScheme::kInputFirst, 0.01));
+    points.push_back(Point(kind, AllocScheme::kInputFirst, 0.25));
+    points.push_back(Point(kind, AllocScheme::kVix, 0.25));
+    points.push_back(Point(kind, AllocScheme::kVix, 0.25, true));
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
 
   TablePrinter table({"topology", "scheme", "zero-load latency",
                       "throughput @sat", "VIX gain"});
   double gains[2] = {};
-  int i = 0;
-  for (TopologyKind kind : {TopologyKind::kMesh, TopologyKind::kTorus}) {
-    const auto base_lo = Run(kind, AllocScheme::kInputFirst, 0.01);
-    const auto base_sat = Run(kind, AllocScheme::kInputFirst, 0.25);
-    const auto vix_sat = Run(kind, AllocScheme::kVix, 0.25);
+  for (std::size_t i = 0; i < std::size(kinds); ++i) {
+    const TopologyKind kind = kinds[i];
+    const NetworkSimResult& base_lo = results[i * 4];
+    const NetworkSimResult& base_sat = results[i * 4 + 1];
+    const NetworkSimResult& vix_sat = results[i * 4 + 2];
+    const NetworkSimResult& vix_il = results[i * 4 + 3];
     gains[i] = bench::PctGain(vix_sat.accepted_ppc, base_sat.accepted_ppc);
     table.AddRow({ToString(kind), "IF",
                   TablePrinter::Fmt(base_lo.avg_latency, 1),
@@ -50,12 +63,10 @@ int main() {
     table.AddRow({ToString(kind), "VIX", "--",
                   TablePrinter::Fmt(vix_sat.accepted_ppc, 4),
                   TablePrinter::Pct(gains[i])});
-    const auto vix_il = Run(kind, AllocScheme::kVix, 0.25, true);
     table.AddRow({ToString(kind), "VIX (interleaved)", "--",
                   TablePrinter::Fmt(vix_il.accepted_ppc, 4),
                   TablePrinter::Pct(bench::PctGain(vix_il.accepted_ppc,
                                                    base_sat.accepted_ppc))});
-    ++i;
   }
   table.Print();
 
@@ -71,5 +82,5 @@ int main() {
               "wiring — which keeps BOTH virtual inputs reachable inside "
               "each dateline class — roughly doubles the gain again. On "
               "the mesh the two wirings are equivalent.");
-  return 0;
+  return sweep.Finish();
 }

@@ -1,52 +1,61 @@
 // Reproduces Figure 12: impact of the number of virtual inputs — baseline
 // (no VIX), 1:2 VIX, and ideal VIX (one virtual input per VC) — for 4 and 6
 // VCs per port, on Mesh, CMesh, and FBfly, at a high-load operating point.
+//
+// The 18 (topology x VCs x scheme) points run in parallel on a SweepRunner
+// (threads=N to override, default all cores).
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 
 using namespace vixnoc;
 
-namespace {
-
-double HighLoadThroughput(TopologyKind topo, AllocScheme scheme, int vcs) {
-  NetworkSimConfig c;
-  c.topology = topo;
-  c.scheme = scheme;
-  c.num_vcs = vcs;
-  c.injection_rate = c.MaxInjectionRate();
-  c.warmup = 5'000;
-  c.measure = 15'000;
-  c.drain = 1'000;
-  return RunNetworkSim(c).accepted_ppc;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Figure 12",
                 "Impact of virtual inputs: no VIX vs 1:2 VIX vs ideal VIX "
                 "(saturation throughput, packets/cycle/node)");
+  bench::SweepHarness sweep(argc, argv, "fig12_virtual_inputs");
 
   const TopologyKind topos[] = {TopologyKind::kMesh, TopologyKind::kFBfly,
                                 TopologyKind::kCMesh};
+  const AllocScheme schemes[] = {AllocScheme::kInputFirst, AllocScheme::kVix,
+                                 AllocScheme::kVixIdeal};
+
+  std::vector<NetworkSimConfig> points;
+  for (TopologyKind topo : topos) {
+    for (int vcs : {4, 6}) {
+      for (AllocScheme scheme : schemes) {
+        NetworkSimConfig c;
+        c.topology = topo;
+        c.scheme = scheme;
+        c.num_vcs = vcs;
+        c.injection_rate = c.MaxInjectionRate();
+        c.warmup = 5'000;
+        c.measure = 15'000;
+        c.drain = 1'000;
+        points.push_back(c);
+      }
+    }
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
+
   std::map<std::tuple<TopologyKind, int, AllocScheme>, double> tput;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    tput[{points[i].topology, points[i].num_vcs, points[i].scheme}] =
+        results[i].accepted_ppc;
+  }
 
   for (TopologyKind topo : topos) {
     std::printf("\n(%s)\n", ToString(topo).c_str());
     TablePrinter table({"VCs", "no VIX", "1:2 VIX", "ideal VIX",
                         "1:2 gain", "1:2 vs ideal"});
     for (int vcs : {4, 6}) {
-      const double base = HighLoadThroughput(topo, AllocScheme::kInputFirst,
-                                             vcs);
-      const double vix = HighLoadThroughput(topo, AllocScheme::kVix, vcs);
-      const double ideal = HighLoadThroughput(topo, AllocScheme::kVixIdeal,
-                                              vcs);
-      tput[{topo, vcs, AllocScheme::kInputFirst}] = base;
-      tput[{topo, vcs, AllocScheme::kVix}] = vix;
-      tput[{topo, vcs, AllocScheme::kVixIdeal}] = ideal;
+      const double base = tput[{topo, vcs, AllocScheme::kInputFirst}];
+      const double vix = tput[{topo, vcs, AllocScheme::kVix}];
+      const double ideal = tput[{topo, vcs, AllocScheme::kVixIdeal}];
       table.AddRow({TablePrinter::Fmt(std::int64_t{vcs}),
                     TablePrinter::Fmt(base, 4), TablePrinter::Fmt(vix, 4),
                     TablePrinter::Fmt(ideal, 4),
@@ -77,5 +86,5 @@ int main() {
   bench::Note("a 6->4 VC reduction cuts input buffering by 33% while VIX "
               "still improves throughput — the paper's buffer-saving "
               "argument.");
-  return 0;
+  return sweep.Finish();
 }

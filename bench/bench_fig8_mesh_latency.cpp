@@ -1,20 +1,24 @@
 // Reproduces Figure 8: average packet latency and accepted network
 // throughput vs injection rate on the 8x8 mesh with uniform random traffic
 // (4-flit packets, 6 VCs), for IF / WF / AP / VIX.
+//
+// The 40 (scheme x rate) points are independent simulations and run in
+// parallel on a SweepRunner (threads=N to override, default all cores).
 #include <cstdio>
 #include <map>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/ascii_plot.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 
 using namespace vixnoc;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Figure 8",
                 "Mesh latency & throughput vs injection rate (64 nodes, "
                 "uniform random, 4-flit packets)");
+  bench::SweepHarness sweep(argc, argv, "fig8_mesh_latency");
 
   const AllocScheme schemes[] = {
       AllocScheme::kInputFirst, AllocScheme::kWavefront,
@@ -22,7 +26,7 @@ int main() {
   const std::vector<double> rates = {0.02, 0.04, 0.06, 0.08, 0.09,
                                      0.10, 0.105, 0.11, 0.115, 0.12};
 
-  std::map<std::pair<double, AllocScheme>, NetworkSimResult> results;
+  std::vector<NetworkSimConfig> points;
   for (AllocScheme scheme : schemes) {
     for (double rate : rates) {
       NetworkSimConfig c;
@@ -31,8 +35,14 @@ int main() {
       c.warmup = 5'000;
       c.measure = 20'000;
       c.drain = 3'000;
-      results[{rate, scheme}] = RunNetworkSim(c);
+      points.push_back(c);
     }
+  }
+  const std::vector<NetworkSimResult> swept = sweep.Run(points);
+
+  std::map<std::pair<double, AllocScheme>, NetworkSimResult> results;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results[{points[i].injection_rate, points[i].scheme}] = swept[i];
   }
 
   std::printf("\n(a) average packet latency [cycles]\n");
@@ -108,5 +118,5 @@ int main() {
               "(~+10%) instead of collapsing to +0.3%; its unfairness "
               "(Fig 9 bench) reproduces, but not the aggregate-throughput "
               "collapse. See EXPERIMENTS.md.");
-  return 0;
+  return sweep.Finish();
 }

@@ -7,47 +7,56 @@
 // cleanly visible) and deep saturation at maximum injection rate (where
 // the paper's AP figure of 6.4 reproduces, but open-loop injection
 // starvation also inflates every scheme's ratio).
+//
+// The (scheme x operating point) grid runs in parallel on a SweepRunner
+// (threads=N to override, default all cores).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "sim/network_sim.hpp"
+#include "sweep_util.hpp"
 
 using namespace vixnoc;
 
-namespace {
-
-NetworkSimResult Run(AllocScheme scheme, double rate) {
-  NetworkSimConfig c;
-  c.scheme = scheme;
-  c.injection_rate = rate;
-  c.warmup = 5'000;
-  c.measure = 20'000;
-  c.drain = 2'000;
-  return RunNetworkSim(c);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("Figure 9", "Fairness (max/min per-node throughput), mesh");
+  bench::SweepHarness sweep(argc, argv, "fig9_fairness");
 
   const AllocScheme schemes[] = {
       AllocScheme::kInputFirst, AllocScheme::kWavefront,
       AllocScheme::kAugmentingPath, AllocScheme::kVix};
+  const double rates[] = {0.12, 0.25};  // high load, deep saturation
+
+  std::vector<NetworkSimConfig> points;
+  for (AllocScheme scheme : schemes) {
+    for (double rate : rates) {
+      NetworkSimConfig c;
+      c.scheme = scheme;
+      c.injection_rate = rate;
+      c.warmup = 5'000;
+      c.measure = 20'000;
+      c.drain = 2'000;
+      points.push_back(c);
+    }
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
 
   TablePrinter table({"Scheme", "max/min @ 0.12 (high load)",
                       "max/min @ max injection", "accepted @ 0.12"});
   double vix_high = 0, ap_max = 0, base_high = 0;
-  for (AllocScheme scheme : schemes) {
-    const auto high = Run(scheme, 0.12);
-    const auto deep = Run(scheme, 0.25);
-    table.AddRow({ToString(scheme),
+  for (std::size_t s = 0; s < 4; ++s) {
+    const NetworkSimResult& high = results[s * 2];
+    const NetworkSimResult& deep = results[s * 2 + 1];
+    table.AddRow({ToString(schemes[s]),
                   TablePrinter::Fmt(high.max_min_ratio, 2),
                   TablePrinter::Fmt(deep.max_min_ratio, 2),
                   TablePrinter::Fmt(high.accepted_ppc, 4)});
-    if (scheme == AllocScheme::kVix) vix_high = high.max_min_ratio;
-    if (scheme == AllocScheme::kAugmentingPath) ap_max = deep.max_min_ratio;
-    if (scheme == AllocScheme::kInputFirst) base_high = high.max_min_ratio;
+    if (schemes[s] == AllocScheme::kVix) vix_high = high.max_min_ratio;
+    if (schemes[s] == AllocScheme::kAugmentingPath) {
+      ap_max = deep.max_min_ratio;
+    }
+    if (schemes[s] == AllocScheme::kInputFirst) {
+      base_high = high.max_min_ratio;
+    }
   }
   table.Print();
 
@@ -58,5 +67,5 @@ int main() {
               "matching the paper's conclusion; deep-saturation ratios for "
               "IF/WF/VIX are dominated by open-loop injection starvation at "
               "mesh centers (see EXPERIMENTS.md).");
-  return 0;
+  return sweep.Finish();
 }

@@ -1,12 +1,30 @@
-// Google-benchmark measurement of the simulator itself: router-cycles per
-// second of host time per topology and allocator. A practical number for
-// anyone planning larger parameter sweeps on this code base.
+// Measurement of the simulator itself, for anyone planning larger
+// parameter sweeps on this code base.
+//
+// Two sections:
+//  * google-benchmark micro section: router-cycles per second of host time
+//    per topology and allocator (single-threaded hot-loop speed);
+//  * sweep section: a Fig-8-shaped batch of independent simulation points
+//    run through SweepRunner at 1 and N threads — end-to-end sweep
+//    throughput, parallel speedup, and a determinism cross-check.
+//
+// Emits bench_results.json (json=PATH to override, json= to disable) with
+// both sections' numbers, seeding the repo's performance trajectory.
+// Flags: threads=N (sweep worker cap, default all cores), plus the usual
+// --benchmark_* flags for the micro section.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "network/network.hpp"
+#include "sim/sweep.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
@@ -77,7 +95,175 @@ BENCHMARK(BM_Mesh_AP);
 BENCHMARK(BM_CMesh_VIX);
 BENCHMARK(BM_FBfly_VIX);
 
+/// Tees the console output while keeping every finished run for the JSON
+/// report.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct MicroResult {
+    std::string name;
+    double router_cycles_per_second = 0.0;
+    double real_ns_per_cycle = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      MicroResult r;
+      r.name = run.benchmark_name();
+      r.real_ns_per_cycle = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("router_cycles/s");
+      if (it != run.counters.end()) {
+        r.router_cycles_per_second = it->second.value;
+      }
+      results.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<MicroResult> results;
+};
+
+struct SweepTiming {
+  int threads = 0;
+  double wall_seconds = 0.0;
+};
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
 }  // namespace
 }  // namespace vixnoc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace vixnoc;
+
+  benchmark::Initialize(&argc, argv);
+  ArgMap args = ArgMap::Parse(argc, argv);
+  const int max_threads =
+      ResolveThreadCount(static_cast<int>(args.GetInt("threads", 0)));
+  const std::string json_path = args.GetString("json", "bench_results.json");
+  args.CheckAllConsumed();
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Sweep section: a Fig-8-shaped batch (4 schemes x 2 rates), sized to a
+  // few seconds of serial work.
+  std::vector<NetworkSimConfig> points;
+  for (AllocScheme scheme :
+       {AllocScheme::kInputFirst, AllocScheme::kWavefront,
+        AllocScheme::kAugmentingPath, AllocScheme::kVix}) {
+    for (double rate : {0.08, 0.12}) {
+      NetworkSimConfig c;
+      c.scheme = scheme;
+      c.injection_rate = rate;
+      c.warmup = 2'000;
+      c.measure = 6'000;
+      c.drain = 1'000;
+      points.push_back(c);
+    }
+  }
+  std::uint64_t network_cycles = 0;
+  for (const NetworkSimConfig& c : points) {
+    network_cycles += static_cast<std::uint64_t>(c.warmup) + c.measure +
+                      c.drain;
+  }
+
+  std::printf("\nsweep section: %zu Fig-8-shaped points, %llu network "
+              "cycles total\n",
+              points.size(),
+              static_cast<unsigned long long>(network_cycles));
+  std::vector<SweepTiming> timings;
+  std::vector<NetworkSimResult> serial_results;
+  bool deterministic = true;
+  for (const int threads :
+       std::vector<int>{1, max_threads > 1 ? max_threads : 0}) {
+    if (threads == 0) break;  // single-core host: nothing to compare
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<NetworkSimResult> results = RunSweep(points, threads);
+    SweepTiming t;
+    t.threads = threads;
+    t.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    timings.push_back(t);
+    std::printf("  threads=%-3d wall=%6.2fs  %12.0f network-cycles/s\n",
+                threads, t.wall_seconds,
+                static_cast<double>(network_cycles) / t.wall_seconds);
+    if (threads == 1) {
+      serial_results = results;
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        deterministic = deterministic &&
+                        results[i].accepted_ppc ==
+                            serial_results[i].accepted_ppc &&
+                        results[i].avg_latency ==
+                            serial_results[i].avg_latency;
+      }
+      std::printf("  determinism vs threads=1: %s\n",
+                  deterministic ? "bitwise-identical" : "MISMATCH");
+    }
+  }
+  if (timings.size() == 2) {
+    std::printf("  parallel speedup: %.2fx on %d threads\n",
+                timings[0].wall_seconds / timings[1].wall_seconds,
+                timings[1].threads);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"sim_speed\",\n  \"micro\": [\n");
+    for (std::size_t i = 0; i < reporter.results.size(); ++i) {
+      const auto& r = reporter.results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"router_cycles_per_second\": %s, "
+                   "\"ns_per_network_cycle\": %s}%s\n",
+                   r.name.c_str(), Num(r.router_cycles_per_second).c_str(),
+                   Num(r.real_ns_per_cycle).c_str(),
+                   i + 1 < reporter.results.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"sweep\": {\n"
+                 "    \"points\": %zu,\n"
+                 "    \"network_cycles\": %llu,\n"
+                 "    \"deterministic_across_threads\": %s,\n"
+                 "    \"runs\": [\n",
+                 points.size(),
+                 static_cast<unsigned long long>(network_cycles),
+                 deterministic ? "true" : "false");
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      std::fprintf(
+          f,
+          "      {\"threads\": %d, \"wall_seconds\": %s, "
+          "\"network_cycles_per_second\": %s}%s\n",
+          timings[i].threads, Num(timings[i].wall_seconds).c_str(),
+          Num(static_cast<double>(network_cycles) / timings[i].wall_seconds)
+              .c_str(),
+          i + 1 < timings.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n    \"results\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const NetworkSimConfig& c = points[i];
+      const NetworkSimResult& r = serial_results[i];  // threads=1 always ran
+      std::fprintf(f,
+                   "      {\"scheme\": \"%s\", \"injection_rate\": %s, "
+                   "\"accepted_ppc\": %s, \"avg_latency\": %s}%s\n",
+                   ToString(c.scheme).c_str(), Num(c.injection_rate).c_str(),
+                   Num(r.accepted_ppc).c_str(), Num(r.avg_latency).c_str(),
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Shared harness for the sweep-shaped paper benches.
+//
+// Wraps the common lifecycle: parse `threads=` / `json=` / `help=` keys,
+// run batches of NetworkSimConfig points on a SweepRunner, keep wall-clock
+// and simulated-cycle totals, and emit a machine-readable results file
+// (default bench_results.json) alongside the human-readable tables.
+//
+//   bench::SweepHarness sweep(argc, argv, "fig8_mesh_latency");
+//   std::vector<NetworkSimResult> results = sweep.Run(points);
+//   ...print tables / claims...
+//   sweep.Finish();   // summary line + JSON
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "sim/sweep.hpp"
+#include "traffic/patterns.hpp"
+
+namespace vixnoc::bench {
+
+class SweepHarness {
+ public:
+  SweepHarness(int argc, char** argv, std::string bench_name,
+               std::string default_json = "bench_results.json")
+      : bench_name_(std::move(bench_name)) {
+    ArgMap args = ArgMap::Parse(argc, argv);
+    if (args.GetBool("help", false)) {
+      std::printf(
+          "usage: bench_%s [threads=N] [json=PATH]\n"
+          "  threads=N  worker threads for the simulation sweep\n"
+          "             (default 0 = $VIXNOC_THREADS if set, else all cores)\n"
+          "  json=PATH  machine-readable results file\n"
+          "             (default %s; json= disables)\n",
+          bench_name_.c_str(), default_json.c_str());
+      std::exit(0);
+    }
+    threads_ = static_cast<int>(args.GetInt("threads", 0));
+    json_path_ = args.GetString("json", default_json);
+    args.CheckAllConsumed();
+    runner_ = std::make_unique<SweepRunner>(threads_);
+  }
+
+  int threads() const { return runner_->num_threads(); }
+
+  /// Runs one batch of points in parallel; may be called repeatedly. Wall
+  /// clock and per-point records accumulate across calls.
+  std::vector<NetworkSimResult> Run(
+      const std::vector<NetworkSimConfig>& points) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<NetworkSimResult> results = runner_->Run(points);
+    wall_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const NetworkSimConfig& c = points[i];
+      sim_cycles_ += static_cast<std::uint64_t>(c.warmup) + c.measure +
+                     c.drain;
+      records_.emplace_back(c, results[i]);
+    }
+    return results;
+  }
+
+  /// Prints the sweep summary and writes the JSON results file. Returns a
+  /// process exit code (non-zero if the JSON file could not be written),
+  /// so benches can end with `return sweep.Finish();`.
+  int Finish() const {
+    std::printf(
+        "\nsweep: %zu points on %d thread(s) in %.2fs "
+        "(%.0f network-cycles/s)\n",
+        records_.size(), threads(), wall_seconds_,
+        wall_seconds_ > 0 ? static_cast<double>(sim_cycles_) / wall_seconds_
+                          : 0.0);
+    if (json_path_.empty()) return 0;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"points\": %zu,\n"
+                 "  \"wall_seconds\": %s,\n"
+                 "  \"sim_cycles\": %llu,\n"
+                 "  \"sim_cycles_per_second\": %s,\n"
+                 "  \"results\": [\n",
+                 bench_name_.c_str(), threads(), records_.size(),
+                 Num(wall_seconds_).c_str(),
+                 static_cast<unsigned long long>(sim_cycles_),
+                 Num(wall_seconds_ > 0
+                         ? static_cast<double>(sim_cycles_) / wall_seconds_
+                         : 0.0)
+                     .c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const NetworkSimConfig& c = records_[i].first;
+      const NetworkSimResult& r = records_[i].second;
+      std::fprintf(
+          f,
+          "    {\"topology\": \"%s\", \"scheme\": \"%s\", "
+          "\"pattern\": \"%s\", \"injection_rate\": %s, \"num_vcs\": %d, "
+          "\"seed\": %llu, \"accepted_ppc\": %s, \"avg_latency\": %s, "
+          "\"p99_latency\": %s, \"max_min_ratio\": %s, \"saturated\": %s}%s\n",
+          ToString(c.topology).c_str(), ToString(c.scheme).c_str(),
+          MakePattern(c.pattern)->Name().c_str(), Num(c.injection_rate).c_str(),
+          c.num_vcs, static_cast<unsigned long long>(c.seed),
+          Num(r.accepted_ppc).c_str(), Num(r.avg_latency).c_str(),
+          Num(r.p99_latency).c_str(), Num(r.max_min_ratio).c_str(),
+          r.saturated ? "true" : "false",
+          i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path_.c_str());
+    return 0;
+  }
+
+ private:
+  /// JSON has no NaN/Inf; non-finite metrics (e.g. latency with zero
+  /// delivered packets) become null.
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    return buf;
+  }
+
+  std::string bench_name_;
+  std::string json_path_;
+  int threads_ = 0;
+  std::unique_ptr<SweepRunner> runner_;
+  double wall_seconds_ = 0.0;
+  std::uint64_t sim_cycles_ = 0;
+  std::vector<std::pair<NetworkSimConfig, NetworkSimResult>> records_;
+};
+
+}  // namespace vixnoc::bench

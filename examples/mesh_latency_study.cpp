@@ -2,27 +2,57 @@
 // prints the classic latency/throughput curves for several allocation
 // schemes, plus each scheme's saturation point.
 //
-//   $ ./build/examples/mesh_latency_study [mesh|cmesh|fbfly]
+//   $ ./build/examples/mesh_latency_study
+//   $ ./build/examples/mesh_latency_study topology=fbfly threads=4
+//
+// Keys (all optional): topology=mesh|cmesh|fbfly threads=<N>
 //
 // Demonstrates: topology selection, scheme sweeps, saturation detection,
-// and the structured results the sim layer exposes.
+// and running the whole rate x scheme grid concurrently on a SweepRunner
+// (threads=0 means $VIXNOC_THREADS if set, else all cores; results are
+// identical to a serial run regardless of thread count).
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
-#include "sim/network_sim.hpp"
+#include "common/cli.hpp"
+#include "sim/sweep.hpp"
 
 using namespace vixnoc;
 
 int main(int argc, char** argv) {
+  ArgMap args = ArgMap::Parse(argc, argv);
   TopologyKind topo = TopologyKind::kMesh;
-  if (argc > 1) {
-    if (std::strcmp(argv[1], "cmesh") == 0) topo = TopologyKind::kCMesh;
-    if (std::strcmp(argv[1], "fbfly") == 0) topo = TopologyKind::kFBfly;
+  if (!ParseTopologyKind(args.GetString("topology", "mesh"), &topo)) {
+    std::fprintf(stderr, "unrecognized topology name\n");
+    return 2;
   }
+  const int threads =
+      ResolveThreadCount(static_cast<int>(args.GetInt("threads", 0)));
+  args.CheckAllConsumed();
 
   const std::vector<AllocScheme> schemes = {
       AllocScheme::kInputFirst, AllocScheme::kWavefront, AllocScheme::kVix};
+  std::vector<double> rates;
+  for (double rate = 0.02; rate <= 0.205; rate += 0.02) rates.push_back(rate);
+
+  // One grid point per rate x scheme, run concurrently; results come back
+  // in submission order, so results[r * schemes.size() + s] is (rate r,
+  // scheme s).
+  std::vector<NetworkSimConfig> points;
+  for (double rate : rates) {
+    for (AllocScheme scheme : schemes) {
+      NetworkSimConfig c;
+      c.topology = topo;
+      c.scheme = scheme;
+      c.injection_rate = rate;
+      c.warmup = 3'000;
+      c.measure = 10'000;
+      c.drain = 2'000;
+      points.push_back(c);
+    }
+  }
+  const std::vector<NetworkSimResult> results = RunSweep(points, threads);
+
   std::printf("latency vs offered load, %s (64 nodes, uniform random)\n\n",
               ToString(topo).c_str());
   std::printf("%8s", "offered");
@@ -30,17 +60,10 @@ int main(int argc, char** argv) {
   std::printf("   [avg packet latency, cycles]\n");
 
   std::vector<double> saturation(schemes.size(), 0.0);
-  for (double rate = 0.02; rate <= 0.205; rate += 0.02) {
-    std::printf("%8.3f", rate);
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    std::printf("%8.3f", rates[ri]);
     for (std::size_t i = 0; i < schemes.size(); ++i) {
-      NetworkSimConfig c;
-      c.topology = topo;
-      c.scheme = schemes[i];
-      c.injection_rate = rate;
-      c.warmup = 3'000;
-      c.measure = 10'000;
-      c.drain = 2'000;
-      const auto r = RunNetworkSim(c);
+      const NetworkSimResult& r = results[ri * schemes.size() + i];
       if (r.saturated) {
         std::printf(" %12s", "saturated");
       } else {

@@ -9,7 +9,11 @@
 // Keys (all optional): topology=mesh|cmesh|fbfly scheme=if|wf|ap|vix|
 // ideal|pc|islip|sparoflo pattern=uniform|transpose|bitcomp|bitrev|tornado
 // rate=<packets/cycle/node> vcs= depth= packet= seed= warmup= measure=
-// drain= pipeline=3|5 sweep=0|1 csv=<path>
+// drain= pipeline=3|5 sweep=0|1 csv=<path> threads=<N>
+//
+// threads=N sets the SweepRunner worker count for sweep=1 (default 0 =
+// $VIXNOC_THREADS if set, else all cores); results are identical to a
+// serial sweep regardless of thread count.
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -17,7 +21,7 @@
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
-#include "sim/network_sim.hpp"
+#include "sim/sweep.hpp"
 
 using namespace vixnoc;
 
@@ -80,6 +84,8 @@ int main(int argc, char** argv) {
   config.pipeline_stages = static_cast<int>(args.GetInt("pipeline", 3));
   const bool sweep = args.GetBool("sweep", false);
   const std::string csv_path = args.GetString("csv", "");
+  const int threads =
+      ResolveThreadCount(static_cast<int>(args.GetInt("threads", 0)));
   args.CheckAllConsumed();
 
   std::unique_ptr<CsvWriter> csv;
@@ -92,12 +98,16 @@ int main(int argc, char** argv) {
   }
 
   if (sweep) {
+    std::vector<NetworkSimConfig> points;
     for (double rate = 0.02; rate <= config.MaxInjectionRate() + 1e-9;
          rate += 0.01) {
       config.injection_rate = rate;
-      const auto r = RunNetworkSim(config);
-      PrintResult(config, r);
-      if (csv) csv->AddRow(CsvRow(config, r));
+      points.push_back(config);
+    }
+    const std::vector<NetworkSimResult> results = RunSweep(points, threads);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      PrintResult(points[i], results[i]);
+      if (csv) csv->AddRow(CsvRow(points[i], results[i]));
     }
   } else {
     const auto r = RunNetworkSim(config);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must keep green.
+#
+#  1. standard Release-ish build + full ctest suite;
+#  2. ThreadSanitizer build (-DVIXNOC_SANITIZE=thread) running sweep_test,
+#     which drives SweepRunner at 1/2/8 threads — any data race in the
+#     parallel sweep path fails the script.
+#
+# Usage: scripts/tier1.sh [build-dir-prefix]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+
+echo "== tier1: build + ctest (${PREFIX}) =="
+cmake -B "${PREFIX}" -S .
+cmake --build "${PREFIX}" -j
+(cd "${PREFIX}" && ctest --output-on-failure -j)
+
+echo "== tier1: ThreadSanitizer sweep_test (${PREFIX}-tsan) =="
+cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVIXNOC_SANITIZE=thread
+cmake --build "${PREFIX}-tsan" -j --target sweep_test
+"${PREFIX}-tsan/tests/sweep_test"
+
+echo "== tier1: OK =="

@@ -14,6 +14,7 @@ AugmentingPathAllocator::AugmentingPathAllocator(const SwitchGeometry& g,
   match_of_in_.assign(g.num_inports, -1);
   vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
   cell_vcs_.resize(static_cast<std::size_t>(g.num_inports) * g.num_outports);
+  visited_.resize(static_cast<std::size_t>(g.num_outports));
 }
 
 bool AugmentingPathAllocator::TryAugment(int in, std::vector<bool>* visited) {
@@ -51,10 +52,9 @@ void AugmentingPathAllocator::Allocate(const std::vector<SaRequest>& requests,
   }
 
   // Kuhn's algorithm: process inputs in fixed ascending order.
-  std::vector<bool> visited(static_cast<std::size_t>(geom_.num_outports));
   for (int in = 0; in < geom_.num_inports; ++in) {
-    std::fill(visited.begin(), visited.end(), false);
-    TryAugment(in, &visited);
+    std::fill(visited_.begin(), visited_.end(), false);
+    TryAugment(in, &visited_);
   }
 
   for (int in = 0; in < geom_.num_inports; ++in) {

@@ -50,6 +50,7 @@ class AugmentingPathAllocator final : public SwitchAllocator {
   std::vector<int> match_of_in_;   // input -> matched output (-1 free)
   std::vector<int> vc_rr_;         // per (in,out) vc round-robin pointer
   std::vector<std::vector<VcId>> cell_vcs_;
+  std::vector<bool> visited_;      // per-augment DFS scratch, num_outports
   int last_iterations_ = 0;
 };
 

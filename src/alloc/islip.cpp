@@ -12,6 +12,9 @@ IslipAllocator::IslipAllocator(const SwitchGeometry& g, int iterations)
   accept_ptr_.assign(g.num_inports, 0);
   vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
   cell_vcs_.resize(static_cast<std::size_t>(g.num_inports) * g.num_outports);
+  match_in_.resize(g.num_inports);
+  match_out_.resize(g.num_outports);
+  granted_to_.resize(g.num_outports);
 }
 
 void IslipAllocator::Allocate(const std::vector<SaRequest>& requests,
@@ -24,14 +27,15 @@ void IslipAllocator::Allocate(const std::vector<SaRequest>& requests,
         .push_back(r.vc);
   }
 
-  std::vector<int> match_in(static_cast<std::size_t>(geom_.num_inports), -1);
-  std::vector<int> match_out(static_cast<std::size_t>(geom_.num_outports),
-                             -1);
+  std::vector<int>& match_in = match_in_;
+  std::vector<int>& match_out = match_out_;
+  std::fill(match_in.begin(), match_in.end(), -1);
+  std::fill(match_out.begin(), match_out.end(), -1);
 
   for (int iter = 0; iter < iterations_; ++iter) {
     // Grant phase: each free output picks a requesting free input.
-    std::vector<int> granted_to(
-        static_cast<std::size_t>(geom_.num_outports), -1);
+    std::vector<int>& granted_to = granted_to_;
+    std::fill(granted_to.begin(), granted_to.end(), -1);
     for (int out = 0; out < geom_.num_outports; ++out) {
       if (match_out[out] != -1) continue;
       for (int off = 0; off < geom_.num_inports; ++off) {

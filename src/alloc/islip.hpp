@@ -30,6 +30,10 @@ class IslipAllocator final : public SwitchAllocator {
   std::vector<int> accept_ptr_;  // per input
   std::vector<int> vc_rr_;       // per (in,out)
   std::vector<std::vector<VcId>> cell_vcs_;
+  // Per-cycle scratch.
+  std::vector<int> match_in_;    // input -> matched output (-1 free)
+  std::vector<int> match_out_;   // output -> matched input (-1 free)
+  std::vector<int> granted_to_;  // per-iteration grant-phase winners
 };
 
 }  // namespace vixnoc

@@ -1,5 +1,7 @@
 #include "alloc/separable.hpp"
 
+#include <algorithm>
+
 namespace vixnoc {
 
 SeparableInputFirstAllocator::SeparableInputFirstAllocator(
@@ -17,6 +19,8 @@ SeparableInputFirstAllocator::SeparableInputFirstAllocator(
   phase1_vc_.resize(g.NumCrossbarInputs());
   phase1_out_.resize(g.NumCrossbarInputs());
   out_request_scratch_.resize(g.NumCrossbarInputs());
+  out_port_of_.resize(static_cast<std::size_t>(g.NumCrossbarInputs()) *
+                      g.VcsPerVin());
 }
 
 void SeparableInputFirstAllocator::Allocate(
@@ -26,10 +30,10 @@ void SeparableInputFirstAllocator::Allocate(
   const int vpv = geom_.VcsPerVin();
 
   // Index requests by (crossbar input, vc-within-vin) for phase 1.
-  // out_port_of[xin * vpv + sub_vc] = requested output, or kInvalidPort.
+  // out_port_of_[xin * vpv + sub_vc] = requested output, or kInvalidPort.
   // A flat scratch sized P*k*vpv = P*v.
-  static thread_local std::vector<PortId> out_port_of;
-  out_port_of.assign(static_cast<std::size_t>(xin_count) * vpv, kInvalidPort);
+  std::vector<PortId>& out_port_of = out_port_of_;
+  std::fill(out_port_of.begin(), out_port_of.end(), kInvalidPort);
   for (const SaRequest& r : requests) {
     VIXNOC_DCHECK(r.in_port >= 0 && r.in_port < geom_.num_inports);
     VIXNOC_DCHECK(r.vc >= 0 && r.vc < geom_.num_vcs);

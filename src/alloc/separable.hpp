@@ -42,6 +42,7 @@ class SeparableInputFirstAllocator final : public SwitchAllocator {
   std::vector<int> phase1_vc_;        // winning vc per crossbar input (-1 none)
   std::vector<PortId> phase1_out_;    // requested out port per crossbar input
   std::vector<bool> out_request_scratch_;
+  std::vector<PortId> out_port_of_;   // requested output per (xin, sub-vc)
 };
 
 }  // namespace vixnoc

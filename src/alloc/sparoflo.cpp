@@ -16,6 +16,15 @@ SparofloAllocator::SparofloAllocator(const SwitchGeometry& g,
   for (int o = 0; o < g.num_outports; ++o) {
     output_arbiters_.push_back(MakeArbiter(kind, g.num_inports * g.num_vcs));
   }
+  const std::size_t port_vcs =
+      static_cast<std::size_t>(g.num_inports) * g.num_vcs;
+  out_of_.resize(port_vcs);
+  exposed_.resize(port_vcs);
+  candidate_.resize(g.num_vcs);
+  out_taken_.resize(g.num_outports);
+  req_scratch_.resize(port_vcs);
+  by_port_.resize(g.num_inports);
+  outs_.resize(g.num_outports);
 }
 
 void SparofloAllocator::Allocate(const std::vector<SaRequest>& requests,
@@ -26,19 +35,20 @@ void SparofloAllocator::Allocate(const std::vector<SaRequest>& requests,
   const int vcs = geom_.num_vcs;
 
   // Index requests: out_of[port*vcs + vc] = requested output.
-  std::vector<PortId> out_of(static_cast<std::size_t>(ports) * vcs,
-                             kInvalidPort);
+  std::vector<PortId>& out_of = out_of_;
+  std::fill(out_of.begin(), out_of.end(), kInvalidPort);
   for (const SaRequest& r : requests) {
     out_of[static_cast<std::size_t>(r.in_port) * vcs + r.vc] = r.out_port;
   }
 
   // Phase 1: each input port exposes up to max_exposed_ VCs requesting
   // *distinct* outputs, chosen by repeated rotating arbitration.
-  std::vector<bool> exposed(static_cast<std::size_t>(ports) * vcs, false);
+  std::vector<bool>& exposed = exposed_;
+  std::fill(exposed.begin(), exposed.end(), false);
   for (PortId p = 0; p < ports; ++p) {
-    std::vector<bool> candidate(vcs);
-    std::vector<bool> out_taken(static_cast<std::size_t>(geom_.num_outports),
-                                false);
+    std::vector<bool>& candidate = candidate_;
+    std::vector<bool>& out_taken = out_taken_;
+    std::fill(out_taken.begin(), out_taken.end(), false);
     for (int round = 0; round < max_exposed_; ++round) {
       bool any = false;
       for (VcId c = 0; c < vcs; ++c) {
@@ -57,13 +67,9 @@ void SparofloAllocator::Allocate(const std::vector<SaRequest>& requests,
   }
 
   // Phase 2: output arbitration over all exposed requests.
-  struct Tentative {
-    PortId in_port;
-    VcId vc;
-    PortId out_port;
-  };
-  std::vector<Tentative> tentative;
-  std::vector<bool> req_scratch(static_cast<std::size_t>(ports) * vcs);
+  std::vector<Tentative>& tentative = tentative_;
+  tentative.clear();
+  std::vector<bool>& req_scratch = req_scratch_;
   for (PortId o = 0; o < geom_.num_outports; ++o) {
     bool any = false;
     for (PortId p = 0; p < ports; ++p) {
@@ -85,7 +91,8 @@ void SparofloAllocator::Allocate(const std::vector<SaRequest>& requests,
   // Phase 3: conflict detection. A port that won several outputs can use
   // only one crossbar input; the conflict arbiter keeps one grant and the
   // rest are killed (their outputs stay idle this cycle).
-  std::vector<std::vector<Tentative>> by_port(ports);
+  std::vector<std::vector<Tentative>>& by_port = by_port_;
+  for (auto& wins : by_port) wins.clear();
   for (const Tentative& t : tentative) by_port[t.in_port].push_back(t);
   for (PortId p = 0; p < ports; ++p) {
     auto& wins = by_port[p];
@@ -94,8 +101,8 @@ void SparofloAllocator::Allocate(const std::vector<SaRequest>& requests,
       grants->push_back(SaGrant{p, 0, wins[0].vc, wins[0].out_port});
       continue;
     }
-    std::vector<bool> outs(static_cast<std::size_t>(geom_.num_outports),
-                           false);
+    std::vector<bool>& outs = outs_;
+    std::fill(outs.begin(), outs.end(), false);
     for (const Tentative& t : wins) outs[t.out_port] = true;
     const int keep_out = conflict_arbiters_[p]->Pick(outs);
     VIXNOC_DCHECK(keep_out >= 0);

@@ -34,11 +34,27 @@ class SparofloAllocator final : public SwitchAllocator {
   int last_killed_grants() const { return last_killed_grants_; }
 
  private:
+  struct Tentative {
+    PortId in_port;
+    VcId vc;
+    PortId out_port;
+  };
+
   int max_exposed_;
   std::vector<std::unique_ptr<Arbiter>> input_arbiters_;   // per port
   std::vector<std::unique_ptr<Arbiter>> output_arbiters_;  // per out port
   std::vector<std::unique_ptr<Arbiter>> conflict_arbiters_;  // per in port
   int last_killed_grants_ = 0;
+
+  // Per-cycle scratch, sized once at construction.
+  std::vector<PortId> out_of_;        // (port, vc) -> requested output
+  std::vector<bool> exposed_;         // (port, vc) -> exposed this cycle
+  std::vector<bool> candidate_;       // per-VC exposure candidates
+  std::vector<bool> out_taken_;       // outputs claimed during exposure
+  std::vector<bool> req_scratch_;     // flattened output-arbiter requests
+  std::vector<Tentative> tentative_;  // phase-2 winners
+  std::vector<std::vector<Tentative>> by_port_;  // phase-3 grouping
+  std::vector<bool> outs_;            // conflict-arbiter request vector
 };
 
 }  // namespace vixnoc

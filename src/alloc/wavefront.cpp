@@ -12,6 +12,8 @@ WavefrontAllocator::WavefrontAllocator(const SwitchGeometry& g)
                 0);
   cell_vcs_.resize(static_cast<std::size_t>(geom_.num_inports) *
                    geom_.num_outports);
+  row_free_.resize(static_cast<std::size_t>(n_));
+  col_free_.resize(static_cast<std::size_t>(n_));
 }
 
 void WavefrontAllocator::Allocate(const std::vector<SaRequest>& requests,
@@ -24,8 +26,10 @@ void WavefrontAllocator::Allocate(const std::vector<SaRequest>& requests,
         .push_back(r.vc);
   }
 
-  std::vector<bool> row_free(static_cast<std::size_t>(n_), true);
-  std::vector<bool> col_free(static_cast<std::size_t>(n_), true);
+  std::vector<bool>& row_free = row_free_;
+  std::vector<bool>& col_free = col_free_;
+  std::fill(row_free.begin(), row_free.end(), true);
+  std::fill(col_free.begin(), col_free.end(), true);
 
   // Sweep all n diagonals starting at the rotating priority diagonal.
   for (int d = 0; d < n_; ++d) {

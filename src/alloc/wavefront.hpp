@@ -34,6 +34,8 @@ class WavefrontAllocator final : public SwitchAllocator {
   std::vector<int> vc_rr_;
   // Scratch: vc list per (in,out) cell rebuilt each cycle.
   std::vector<std::vector<VcId>> cell_vcs_;
+  std::vector<bool> row_free_;  // per-cycle scratch, n_ entries
+  std::vector<bool> col_free_;
 };
 
 }  // namespace vixnoc

@@ -58,6 +58,7 @@ Network::Network(std::shared_ptr<Topology> topology,
                                 params_.ni_link_delay}) +
                       1;
   wheel_.resize(horizon);
+  ni_vc_views_.resize(params_.router.VcsPerClass());
 }
 
 PacketId Network::EnqueuePacket(NodeId src, NodeId dst, int size_flits,
@@ -139,7 +140,7 @@ void Network::StepNi(Ni& ni) {
     const PortId route_out = routing.Route(ni.router, pkt.dst);
     const int vpc = rc.VcsPerClass();
     const VcId cls_base = pkt.msg_class * vpc;
-    std::vector<OutputVcView> views(vpc);
+    std::vector<OutputVcView>& views = ni_vc_views_;
     for (VcId i = 0; i < vpc; ++i) {
       views[i].allocated = ni.vc_busy[cls_base + i];
       views[i].credits = ni.credits[cls_base + i];

@@ -194,6 +194,7 @@ class Network {
   // Per-cycle scratch.
   std::vector<Router::SentFlit> sent_flits_;
   std::vector<Router::SentCredit> sent_credits_;
+  std::vector<OutputVcView> ni_vc_views_;  // VcsPerClass(), reused per NI
 };
 
 }  // namespace vixnoc

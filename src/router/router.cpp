@@ -42,6 +42,8 @@ Router::Router(RouterId id, const RouterConfig& config,
         MakeSwitchAllocator(config_.scheme, geom, config_.arbiter_kind);
   }
   vc_view_scratch_.resize(config_.num_vcs);
+  va_prefs_.reserve(input_vcs_.size());
+  nonspec_wants_.assign(config_.radix, false);
   just_activated_.assign(input_vcs_.size(), false);
   flits_per_out_.assign(config_.radix, 0);
   out_used_scratch_.assign(config_.radix, false);
@@ -88,14 +90,8 @@ void Router::RunVcAllocation() {
   //    VC allocator (Becker & Dally).
   const bool separable = config_.va_organization ==
                          VaOrganization::kSeparableArbitrated;
-  struct VaPreference {
-    int idx;  // input VC index p * num_vcs + c
-    PortId out_port;
-    VcId out_vc;
-    PortId lookahead;
-    std::uint8_t next_dateline;
-  };
-  std::vector<VaPreference> preferences;
+  std::vector<VaPreference>& preferences = va_prefs_;
+  preferences.clear();
 
   const int total = config_.radix * config_.num_vcs;
   for (int off = 0; off < total; ++off) {
@@ -229,8 +225,8 @@ void Router::BuildSaRequests() {
     // Becker-style pessimistic masking: drop speculative requests whose
     // output port is also wanted by an established (non-speculative)
     // packet this cycle.
-    std::vector<bool> nonspec_wants(static_cast<std::size_t>(config_.radix),
-                                    false);
+    std::vector<bool>& nonspec_wants = nonspec_wants_;
+    std::fill(nonspec_wants.begin(), nonspec_wants.end(), false);
     for (const SaRequest& r : sa_requests_) {
       if (!just_activated_[r.in_port * config_.num_vcs + r.vc]) {
         nonspec_wants[r.out_port] = true;

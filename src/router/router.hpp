@@ -198,6 +198,15 @@ class Router {
     return input_vcs_[p * config_.num_vcs + c];
   }
 
+  /// A VA candidate's stated preference under kSeparableArbitrated.
+  struct VaPreference {
+    int idx;  // input VC index p * num_vcs + c
+    PortId out_port;
+    VcId out_vc;
+    PortId lookahead;
+    std::uint8_t next_dateline;
+  };
+
   void RunVcAllocation();
   void BuildSaRequests();
   void CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
@@ -215,10 +224,13 @@ class Router {
   /// configured non-speculative.
   std::vector<bool> just_activated_;
 
-  // Per-cycle scratch.
+  // Per-cycle scratch, sized once at construction so the hot loop never
+  // touches the allocator.
   std::vector<SaRequest> sa_requests_;
   std::vector<SaGrant> sa_grants_;
   std::vector<OutputVcView> vc_view_scratch_;
+  std::vector<VaPreference> va_prefs_;
+  std::vector<bool> nonspec_wants_;  // radix
   // Always-on cheap structural checks on grants (the full GrantsAreLegal
   // validation only runs in debug builds).
   std::vector<bool> out_used_scratch_;

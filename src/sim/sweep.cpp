@@ -1,0 +1,95 @@
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+int ResolveThreadCount(int requested) {
+  VIXNOC_CHECK(requested >= 0);
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("VIXNOC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int num_threads) {
+  const int n = ResolveThreadCount(num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void SweepRunner::WorkerLoop() {
+  for (;;) {
+    std::size_t index;
+    const NetworkSimConfig* config;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (batch_ != nullptr && next_ < batch_->size());
+      });
+      if (stop_) return;
+      index = next_++;
+      config = &(*batch_)[index];
+    }
+
+    // The point runs unlocked: RunNetworkSim touches only its own state.
+    NetworkSimResult result = RunNetworkSim(*config);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      (*results_)[index] = std::move(result);
+      ++done_;
+      if (progress_) progress_(done_, batch_->size());
+      if (done_ == batch_->size()) done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<NetworkSimResult> SweepRunner::Run(
+    const std::vector<NetworkSimConfig>& configs) {
+  std::vector<NetworkSimResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VIXNOC_CHECK(batch_ == nullptr);  // one batch at a time
+    batch_ = &configs;
+    results_ = &results;
+    next_ = 0;
+    done_ = 0;
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return done_ == configs.size(); });
+    batch_ = nullptr;
+    results_ = nullptr;
+  }
+  return results;
+}
+
+std::vector<NetworkSimResult> RunSweep(
+    const std::vector<NetworkSimConfig>& configs, int num_threads) {
+  SweepRunner runner(num_threads);
+  return runner.Run(configs);
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,82 @@
+// SweepRunner: multi-threaded execution of independent simulation points.
+//
+// Every figure in the paper is a sweep over (scheme x rate x topology)
+// points, and each point is one self-contained RunNetworkSim call: the
+// config carries its own seed, the simulation builds its own Network, and
+// nothing escapes but the returned NetworkSimResult. That makes sweeps
+// embarrassingly parallel — SweepRunner runs them on a fixed-size thread
+// pool and returns results in submission order.
+//
+// Determinism: results are bitwise identical to calling RunNetworkSim
+// serially on each point, regardless of thread count or completion order.
+// This holds because (a) each point's RNG is seeded only from its config,
+// (b) the simulation core keeps no shared mutable state (allocator and
+// router scratch are per-instance members), and (c) results are written
+// into a preallocated slot indexed by submission position. sweep_test.cpp
+// and the TSAN build (-DVIXNOC_SANITIZE=thread) enforce this.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+
+namespace vixnoc {
+
+/// Resolves a requested worker count to an actual one:
+///  * requested >= 1: use exactly that many workers;
+///  * requested == 0: use $VIXNOC_THREADS if set to a positive integer,
+///    else std::thread::hardware_concurrency() (at least 1).
+int ResolveThreadCount(int requested = 0);
+
+class SweepRunner {
+ public:
+  /// Starts the worker pool. `num_threads` follows ResolveThreadCount's
+  /// convention (0 = auto).
+  explicit SweepRunner(int num_threads = 0);
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Called after each point completes, with the number of finished points
+  /// and the batch size. Invoked from worker threads under the runner's
+  /// lock: keep it cheap (progress printing is fine).
+  using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
+  void SetProgress(ProgressFn fn) { progress_ = std::move(fn); }
+
+  /// Runs every point and blocks until all complete. results[i] is the
+  /// point configs[i] would produce through a direct RunNetworkSim call.
+  std::vector<NetworkSimResult> Run(
+      const std::vector<NetworkSimConfig>& configs);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a batch / shutdown
+  std::condition_variable done_cv_;  // Run waits for batch completion
+  bool stop_ = false;
+
+  // Current batch (valid while batch_ != nullptr).
+  const std::vector<NetworkSimConfig>* batch_ = nullptr;
+  std::vector<NetworkSimResult>* results_ = nullptr;
+  std::size_t next_ = 0;  // next unclaimed point index
+  std::size_t done_ = 0;  // completed points
+
+  ProgressFn progress_;
+};
+
+/// One-shot convenience: construct a SweepRunner, run the batch, tear the
+/// pool down. `num_threads` follows ResolveThreadCount's convention.
+std::vector<NetworkSimResult> RunSweep(
+    const std::vector<NetworkSimConfig>& configs, int num_threads = 0);
+
+}  // namespace vixnoc

@@ -1,0 +1,171 @@
+// SweepRunner determinism and thread-pool behavior.
+//
+// The contract under test: running a batch of NetworkSimConfig points
+// through SweepRunner yields, for every point, a result bitwise identical
+// to a direct serial RunNetworkSim call — regardless of worker count,
+// scheduling order, or how many batches the pool has already processed.
+// These tests are also the workload for the TSAN build
+// (-DVIXNOC_SANITIZE=thread).
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+namespace {
+
+// Small but non-trivial points: a 4x4 mesh keeps each point ~100x cheaper
+// than the default 64-node config while still exercising the full VC/SA
+// pipeline. Mixed schemes and patterns so points differ in run time, which
+// shuffles completion order across threads.
+std::vector<NetworkSimConfig> TestBatch() {
+  std::vector<NetworkSimConfig> points;
+  const AllocScheme schemes[] = {AllocScheme::kInputFirst,
+                                 AllocScheme::kWavefront, AllocScheme::kVix};
+  const double rates[] = {0.05, 0.15, 0.24};
+  for (AllocScheme scheme : schemes) {
+    for (double rate : rates) {
+      NetworkSimConfig c;
+      c.scheme = scheme;
+      c.injection_rate = rate;
+      c.pattern =
+          rate < 0.1 ? PatternKind::kTranspose : PatternKind::kUniform;
+      c.topology_factory = [] { return MakeMesh(4, 4); };
+      c.warmup = 300;
+      c.measure = 1'000;
+      c.drain = 300;
+      c.sample_interval = 200;  // timeline must match too
+      c.seed = 7 + points.size();
+      points.push_back(c);
+    }
+  }
+  return points;
+}
+
+// Bitwise equality, field by field, including the activity counters and
+// the optional timeline. EXPECT_EQ on doubles is deliberate: determinism
+// means identical bits, not merely close values.
+void ExpectIdentical(const NetworkSimResult& a, const NetworkSimResult& b) {
+  EXPECT_EQ(a.offered_ppc, b.offered_ppc);
+  EXPECT_EQ(a.accepted_ppc, b.accepted_ppc);
+  EXPECT_EQ(a.accepted_fpc, b.accepted_fpc);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.avg_net_latency, b.avg_net_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.min_node_ppc, b.min_node_ppc);
+  EXPECT_EQ(a.max_node_ppc, b.max_node_ppc);
+  EXPECT_EQ(a.max_min_ratio, b.max_min_ratio);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.activity.buffer_writes, b.activity.buffer_writes);
+  EXPECT_EQ(a.activity.buffer_reads, b.activity.buffer_reads);
+  EXPECT_EQ(a.activity.xbar_traversals, b.activity.xbar_traversals);
+  EXPECT_EQ(a.activity.link_flits, b.activity.link_flits);
+  EXPECT_EQ(a.activity.sa_requests, b.activity.sa_requests);
+  EXPECT_EQ(a.activity.sa_grants, b.activity.sa_grants);
+  EXPECT_EQ(a.activity.va_requests, b.activity.va_requests);
+  EXPECT_EQ(a.activity.va_grants, b.activity.va_grants);
+  EXPECT_EQ(a.activity.cycles, b.activity.cycles);
+  EXPECT_EQ(a.activity.cycles_with_requests, b.activity.cycles_with_requests);
+  EXPECT_EQ(a.measure_cycles, b.measure_cycles);
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].start, b.timeline[i].start);
+    EXPECT_EQ(a.timeline[i].accepted_ppc, b.timeline[i].accepted_ppc);
+    EXPECT_EQ(a.timeline[i].avg_latency, b.timeline[i].avg_latency);
+    EXPECT_EQ(a.timeline[i].packets, b.timeline[i].packets);
+  }
+}
+
+TEST(SweepRunnerTest, MatchesSerialAtEveryThreadCount) {
+  const std::vector<NetworkSimConfig> points = TestBatch();
+  std::vector<NetworkSimResult> serial;
+  for (const NetworkSimConfig& c : points) {
+    serial.push_back(RunNetworkSim(c));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    SweepRunner runner(threads);
+    EXPECT_EQ(runner.num_threads(), threads);
+    const std::vector<NetworkSimResult> parallel = runner.Run(points);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " point=" << i);
+      ExpectIdentical(serial[i], parallel[i]);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, RepeatedRunsAreIdentical) {
+  const std::vector<NetworkSimConfig> points = TestBatch();
+  SweepRunner runner(4);
+  const std::vector<NetworkSimResult> first = runner.Run(points);
+  const std::vector<NetworkSimResult> second = runner.Run(points);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "point=" << i);
+    ExpectIdentical(first[i], second[i]);
+  }
+}
+
+TEST(SweepRunnerTest, EmptyBatch) {
+  SweepRunner runner(2);
+  EXPECT_TRUE(runner.Run({}).empty());
+}
+
+TEST(SweepRunnerTest, MoreThreadsThanPoints) {
+  std::vector<NetworkSimConfig> points = TestBatch();
+  points.resize(2);
+  const NetworkSimResult serial0 = RunNetworkSim(points[0]);
+  SweepRunner runner(8);
+  const std::vector<NetworkSimResult> results = runner.Run(points);
+  ASSERT_EQ(results.size(), 2u);
+  ExpectIdentical(serial0, results[0]);
+}
+
+TEST(SweepRunnerTest, ProgressCallbackCountsEveryPoint) {
+  const std::vector<NetworkSimConfig> points = TestBatch();
+  SweepRunner runner(3);
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  // Called under the runner's lock, so plain variables are safe here.
+  runner.SetProgress([&](std::size_t done, std::size_t total) {
+    ++calls;
+    last_done = done;
+    EXPECT_EQ(total, points.size());
+  });
+  runner.Run(points);
+  EXPECT_EQ(calls, points.size());
+  EXPECT_EQ(last_done, points.size());
+}
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(5), 5);
+}
+
+TEST(ResolveThreadCountTest, AutoIsPositive) {
+  EXPECT_GE(ResolveThreadCount(0), 1);
+}
+
+TEST(ResolveThreadCountTest, EnvOverridesAuto) {
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "3", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), 3);
+  // Explicit request still beats the environment.
+  EXPECT_EQ(ResolveThreadCount(2), 2);
+  // Garbage and non-positive values fall back to hardware concurrency.
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "bogus", 1), 0);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "0", 1), 0);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  ASSERT_EQ(unsetenv("VIXNOC_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace vixnoc
