@@ -1,0 +1,120 @@
+// Extension: allocator resilience under link faults. VIX's case is built
+// on fault-free meshes; this bench asks whether its throughput and
+// fairness advantages survive when a fraction of inter-router links is
+// permanently down and traffic detours around the holes.
+//
+// For each (scheme x link-fault rate) cell, two operating points run with
+// deterministic fault schedules (seeded from `seed=`, identical at any
+// threads= value): a safe point (0.03) below the fault-degraded saturation
+// knee, where latency and fairness are comparable across schemes, and a
+// stress point (0.06) past the knee for higher fault rates, where minimal
+// detour routing is expected to wedge — those cells report a deadlock or
+// undeliverable status caught by the watchdog instead of folding bogus
+// zeros into the averages.
+//
+// Flags beyond the standard harness ones:
+//   faults=R1,R2,...  link-down rates to sweep (default 0,0.02,0.05,0.1)
+//   seed=N            fault-schedule/simulation seed (default 1)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sweep_util.hpp"
+
+using namespace vixnoc;
+
+namespace {
+
+std::vector<double> ParseRates(const std::string& csv) {
+  std::vector<double> rates;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!item.empty()) rates.push_back(std::stod(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner("Extension", "Allocator resilience under link faults, mesh");
+  ArgMap args = ArgMap::Parse(argc, argv);
+  bench::SweepHarness sweep(
+      args, "ext_fault_resilience", "bench_results.json",
+      "  faults=R,..  link-down rates to sweep (default 0,0.02,0.05,0.1)\n"
+      "  seed=N       fault-schedule/simulation seed (default 1)\n");
+  const std::vector<double> fault_rates =
+      ParseRates(args.GetString("faults", "0,0.02,0.05,0.1"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  args.CheckAllConsumed();
+
+  const AllocScheme schemes[] = {AllocScheme::kInputFirst,
+                                 AllocScheme::kAugmentingPath,
+                                 AllocScheme::kVix};
+  const double rates[] = {0.03, 0.06};  // below the degraded knee; stress
+
+  std::vector<NetworkSimConfig> points;
+  for (AllocScheme scheme : schemes) {
+    for (double fault_rate : fault_rates) {
+      for (double rate : rates) {
+        NetworkSimConfig c;
+        c.scheme = scheme;
+        c.injection_rate = rate;
+        c.warmup = 3'000;
+        c.measure = 10'000;
+        c.drain = 2'000;
+        c.seed = seed;
+        c.faults.link_down_rate = fault_rate;
+        points.push_back(c);
+      }
+    }
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
+
+  TablePrinter table({"Scheme", "link faults", "accepted @ 0.03",
+                      "latency @ 0.03", "max/min @ 0.03", "accepted @ 0.06",
+                      "stress status"});
+  double vix_worst_lat = 0, if_worst_lat = 0;
+  std::size_t i = 0;
+  for (AllocScheme scheme : schemes) {
+    for (double fault_rate : fault_rates) {
+      const NetworkSimResult& safe = results[i++];
+      const NetworkSimResult& stress = results[i++];
+      table.AddRow({ToString(scheme), TablePrinter::Fmt(fault_rate, 2),
+                    TablePrinter::Fmt(safe.accepted_ppc, 4),
+                    TablePrinter::Fmt(safe.avg_latency, 1),
+                    TablePrinter::Fmt(safe.max_min_ratio, 2),
+                    TablePrinter::Fmt(stress.accepted_ppc, 4),
+                    ToString(stress.outcome.status)});
+      if (fault_rate == fault_rates.back()) {
+        if (scheme == AllocScheme::kVix) vix_worst_lat = safe.avg_latency;
+        if (scheme == AllocScheme::kInputFirst) {
+          if_worst_lat = safe.avg_latency;
+        }
+      }
+    }
+  }
+  table.Print();
+
+  bench::Note("Below the degraded saturation knee every scheme delivers the "
+              "full offered load over an identical fault schedule, so the "
+              "latency and fairness columns isolate the allocator. Stress "
+              "cells marked 'deadlock' are expected above ~5% faults: "
+              "minimal detours close channel-dependency cycles under "
+              "congestion, and the forward-progress watchdog reports them "
+              "instead of hanging the sweep. 'undeliverable' marks runs "
+              "where the surviving link graph disconnects node pairs (their "
+              "packets are counted, not injected).");
+  if (vix_worst_lat > 0 && if_worst_lat > 0) {
+    bench::Claim("VIX / IF packet latency at the worst fault rate "
+                 "(expect ~1 or below: virtual inputs cost nothing here)",
+                 1.0, vix_worst_lat / if_worst_lat);
+  }
+  return sweep.Finish();
+}

@@ -32,20 +32,19 @@ class SweepHarness {
                std::string default_json = "bench_results.json")
       : bench_name_(std::move(bench_name)) {
     ArgMap args = ArgMap::Parse(argc, argv);
-    if (args.GetBool("help", false)) {
-      std::printf(
-          "usage: bench_%s [threads=N] [json=PATH]\n"
-          "  threads=N  worker threads for the simulation sweep\n"
-          "             (default 0 = $VIXNOC_THREADS if set, else all cores)\n"
-          "  json=PATH  machine-readable results file\n"
-          "             (default %s; json= disables)\n",
-          bench_name_.c_str(), default_json.c_str());
-      std::exit(0);
-    }
-    threads_ = static_cast<int>(args.GetInt("threads", 0));
-    json_path_ = args.GetString("json", default_json);
+    Init(args, default_json, /*extra_usage=*/"");
     args.CheckAllConsumed();
-    runner_ = std::make_unique<SweepRunner>(threads_);
+  }
+
+  /// For benches with their own flags: the caller parses an ArgMap, passes
+  /// it here (the harness consumes `threads=` / `json=` / `help=`, printing
+  /// `extra_usage` after the standard lines on help=), then reads its own
+  /// keys and calls args.CheckAllConsumed() itself.
+  SweepHarness(ArgMap& args, std::string bench_name,
+               std::string default_json = "bench_results.json",
+               const std::string& extra_usage = "")
+      : bench_name_(std::move(bench_name)) {
+    Init(args, default_json, extra_usage);
   }
 
   int threads() const { return runner_->num_threads(); }
@@ -103,18 +102,28 @@ class SweepHarness {
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const NetworkSimConfig& c = records_[i].first;
       const NetworkSimResult& r = records_[i].second;
+      // Failed points (invalid config, deadlock, undeliverable traffic)
+      // keep their slot with a status and message instead of silently
+      // vanishing or poisoning the table with zeros.
+      std::string outcome_json =
+          "\"status\": \"" + ToString(r.outcome.status) + "\"";
+      if (!r.outcome.ok()) {
+        outcome_json +=
+            ", \"message\": \"" + EscapeJson(r.outcome.message) + "\"";
+      }
       std::fprintf(
           f,
           "    {\"topology\": \"%s\", \"scheme\": \"%s\", "
           "\"pattern\": \"%s\", \"injection_rate\": %s, \"num_vcs\": %d, "
           "\"seed\": %llu, \"accepted_ppc\": %s, \"avg_latency\": %s, "
-          "\"p99_latency\": %s, \"max_min_ratio\": %s, \"saturated\": %s}%s\n",
+          "\"p99_latency\": %s, \"max_min_ratio\": %s, \"saturated\": %s, "
+          "%s}%s\n",
           ToString(c.topology).c_str(), ToString(c.scheme).c_str(),
           MakePattern(c.pattern)->Name().c_str(), Num(c.injection_rate).c_str(),
           c.num_vcs, static_cast<unsigned long long>(c.seed),
           Num(r.accepted_ppc).c_str(), Num(r.avg_latency).c_str(),
           Num(r.p99_latency).c_str(), Num(r.max_min_ratio).c_str(),
-          r.saturated ? "true" : "false",
+          r.saturated ? "true" : "false", outcome_json.c_str(),
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -124,6 +133,24 @@ class SweepHarness {
   }
 
  private:
+  void Init(ArgMap& args, const std::string& default_json,
+            const std::string& extra_usage) {
+    if (args.GetBool("help", false)) {
+      std::printf(
+          "usage: bench_%s [threads=N] [json=PATH]%s\n"
+          "  threads=N  worker threads for the simulation sweep\n"
+          "             (default 0 = $VIXNOC_THREADS if set, else all cores)\n"
+          "  json=PATH  machine-readable results file\n"
+          "             (default %s; json= disables)\n%s",
+          bench_name_.c_str(), extra_usage.empty() ? "" : " [...]",
+          default_json.c_str(), extra_usage.c_str());
+      std::exit(0);
+    }
+    threads_ = static_cast<int>(args.GetInt("threads", 0));
+    json_path_ = args.GetString("json", default_json);
+    runner_ = std::make_unique<SweepRunner>(threads_);
+  }
+
   /// JSON has no NaN/Inf; non-finite metrics (e.g. latency with zero
   /// delivered packets) become null.
   static std::string Num(double v) {
@@ -131,6 +158,30 @@ class SweepHarness {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.10g", v);
     return buf;
+  }
+
+  /// Minimal JSON string escape for outcome messages (quotes, backslashes,
+  /// control characters).
+  static std::string EscapeJson(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
   }
 
   std::string bench_name_;

@@ -4,7 +4,11 @@
 #  1. standard Release-ish build + full ctest suite;
 #  2. ThreadSanitizer build (-DVIXNOC_SANITIZE=thread) running sweep_test,
 #     which drives SweepRunner at 1/2/8 threads — any data race in the
-#     parallel sweep path fails the script.
+#     parallel sweep path fails the script;
+#  3. ASan+UBSan build (-DVIXNOC_SANITIZE=address,undefined) running the
+#     fault/robustness/sweep tests — the error-recovery paths (SimError
+#     unwinding out of half-built networks, watchdog aborts mid-run,
+#     fault-schedule sampling) are exactly where leaks and UB would hide.
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -22,5 +26,14 @@ cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j --target sweep_test
 "${PREFIX}-tsan/tests/sweep_test"
+
+echo "== tier1: ASan+UBSan fault/robustness tests (${PREFIX}-asan) =="
+cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVIXNOC_SANITIZE=address,undefined
+cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
+  sweep_test
+"${PREFIX}-asan/tests/fault_test"
+"${PREFIX}-asan/tests/robustness_test"
+"${PREFIX}-asan/tests/sweep_test"
 
 echo "== tier1: OK =="

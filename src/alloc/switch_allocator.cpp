@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "common/error.hpp"
+
 #include "alloc/augmenting_path.hpp"
 #include "alloc/islip.hpp"
 #include "alloc/packet_chaining.hpp"
@@ -48,12 +50,23 @@ int VirtualInputsForScheme(AllocScheme scheme, int num_vcs) {
 std::unique_ptr<SwitchAllocator> MakeSwitchAllocator(AllocScheme scheme,
                                                      const SwitchGeometry& g,
                                                      ArbiterKind kind) {
+  VIXNOC_REQUIRE(g.Valid(),
+                 "invalid switch geometry: %d inports, %d outports, %d VCs, "
+                 "%d virtual inputs (need positive sizes and num_vcs "
+                 "divisible by num_vins)",
+                 g.num_inports, g.num_outports, g.num_vcs, g.num_vins);
   // kVix admits any sub-group count in [2, num_vcs] (1:k crossbars); every
   // other scheme has a fixed virtual-input geometry.
   if (scheme == AllocScheme::kVix) {
-    VIXNOC_CHECK(g.num_vins >= 2 && g.num_vins <= g.num_vcs);
+    VIXNOC_REQUIRE(g.num_vins >= 2 && g.num_vins <= g.num_vcs,
+                   "%s requires virtual inputs in [2, num_vcs=%d], got %d",
+                   ToString(scheme).c_str(), g.num_vcs, g.num_vins);
   } else {
-    VIXNOC_CHECK(g.num_vins == VirtualInputsForScheme(scheme, g.num_vcs));
+    VIXNOC_REQUIRE(g.num_vins == VirtualInputsForScheme(scheme, g.num_vcs),
+                   "%s requires %d virtual input(s) for %d VCs, got %d",
+                   ToString(scheme).c_str(),
+                   VirtualInputsForScheme(scheme, g.num_vcs), g.num_vcs,
+                   g.num_vins);
   }
   switch (scheme) {
     case AllocScheme::kInputFirst:

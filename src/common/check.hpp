@@ -3,21 +3,57 @@
 // VIXNOC_CHECK is always on (simulation correctness beats a few percent of
 // speed; a silently-corrupt cycle-accurate model is worthless).
 // VIXNOC_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+//
+// Both abort the process: they guard invariants whose violation means the
+// simulation state is already corrupt. Recoverable validation (bad configs,
+// malformed input) uses VIXNOC_REQUIRE (common/error.hpp), which throws a
+// vixnoc::SimError that sweep drivers catch per simulation point.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
-namespace vixnoc::detail {
+namespace vixnoc {
+namespace detail {
+
+/// Thread-local description of the simulation point currently running on
+/// this thread ("scheme=vix topology=mesh rate=0.25 seed=7"). Printed by
+/// CheckFailed and appended to SimError messages so aborts and errors in
+/// parallel sweeps are attributable to a point. Empty when no point is
+/// active.
+inline thread_local char g_sim_context[192] = {};
 
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file,
                                      int line) {
   std::fprintf(stderr, "vixnoc: check failed: %s at %s:%d\n", expr, file,
                line);
+  if (g_sim_context[0] != '\0') {
+    std::fprintf(stderr, "vixnoc: while simulating %s\n", g_sim_context);
+  }
   std::abort();
 }
 
-}  // namespace vixnoc::detail
+}  // namespace detail
+
+/// RAII setter for the thread-local sim-point context. Nesting overwrites;
+/// destruction restores the empty state (points never nest in practice).
+class ScopedSimContext {
+ public:
+  ScopedSimContext(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(detail::g_sim_context, sizeof detail::g_sim_context, fmt,
+                   args);
+    va_end(args);
+  }
+  ~ScopedSimContext() { detail::g_sim_context[0] = '\0'; }
+
+  ScopedSimContext(const ScopedSimContext&) = delete;
+  ScopedSimContext& operator=(const ScopedSimContext&) = delete;
+};
+
+}  // namespace vixnoc
 
 #define VIXNOC_CHECK(expr)                                    \
   do {                                                        \

@@ -1,6 +1,7 @@
 #include "common/csv.hpp"
 
 #include "common/check.hpp"
+#include "common/error.hpp"
 
 namespace vixnoc {
 
@@ -22,9 +23,10 @@ std::string Escape(const std::string& cell) {
 CsvWriter::CsvWriter(const std::string& path,
                      std::vector<std::string> header)
     : path_(path), width_(header.size()) {
-  VIXNOC_CHECK(!header.empty());
+  VIXNOC_REQUIRE(!header.empty(), "CSV header must be non-empty");
   file_ = std::fopen(path.c_str(), "w");
-  VIXNOC_CHECK(file_ != nullptr);
+  VIXNOC_REQUIRE(file_ != nullptr, "cannot open CSV file for writing: %s",
+                 path.c_str());
   WriteRow(header);
 }
 
@@ -33,7 +35,9 @@ CsvWriter::~CsvWriter() {
 }
 
 void CsvWriter::AddRow(const std::vector<std::string>& row) {
-  VIXNOC_CHECK(row.size() == width_);
+  VIXNOC_REQUIRE(row.size() == width_,
+                 "CSV row has %zu cells but the header has %zu",
+                 row.size(), width_);
   WriteRow(row);
 }
 

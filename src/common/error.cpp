@@ -1,0 +1,27 @@
+#include "common/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace vixnoc::detail {
+
+void ThrowSimError(const char* file, int line, const char* fmt, ...) {
+  char body[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+
+  char full[768];
+  if (g_sim_context[0] != '\0') {
+    std::snprintf(full, sizeof full, "%s (at %s:%d, while simulating %s)",
+                  body, file, line, g_sim_context);
+  } else {
+    std::snprintf(full, sizeof full, "%s (at %s:%d)", body, file, line);
+  }
+  throw SimError(full);
+}
+
+}  // namespace vixnoc::detail

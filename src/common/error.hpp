@@ -1,0 +1,41 @@
+// Recoverable errors.
+//
+// VIXNOC_REQUIRE validates configs and external input: on failure it throws
+// vixnoc::SimError instead of aborting, so a driver running many simulation
+// points (SweepRunner) can mark one point failed and keep the rest alive.
+// Use VIXNOC_CHECK (common/check.hpp) only for invariants whose violation
+// means in-memory state is already corrupt.
+//
+//   VIXNOC_REQUIRE(config.buffer_depth >= 1,
+//                  "buffer_depth must be >= 1, got %d", config.buffer_depth);
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vixnoc {
+
+/// A recoverable simulation error: invalid configuration, malformed input,
+/// or a detected-but-survivable runtime condition. The message includes the
+/// failing source location and, when a simulation point is active on this
+/// thread, its scheme/topology/rate context (see ScopedSimContext).
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+namespace detail {
+
+[[noreturn]] void ThrowSimError(const char* file, int line, const char* fmt,
+                                ...) __attribute__((format(printf, 3, 4)));
+
+}  // namespace detail
+}  // namespace vixnoc
+
+#define VIXNOC_REQUIRE(expr, ...)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::vixnoc::detail::ThrowSimError(__FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                  \
+  } while (false)

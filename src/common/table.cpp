@@ -4,16 +4,19 @@
 #include <cinttypes>
 
 #include "common/check.hpp"
+#include "common/error.hpp"
 
 namespace vixnoc {
 
 TablePrinter::TablePrinter(std::vector<std::string> header)
     : header_(std::move(header)) {
-  VIXNOC_CHECK(!header_.empty());
+  VIXNOC_REQUIRE(!header_.empty(), "table header must be non-empty");
 }
 
 void TablePrinter::AddRow(std::vector<std::string> row) {
-  VIXNOC_CHECK(row.size() == header_.size());
+  VIXNOC_REQUIRE(row.size() == header_.size(),
+                 "table row has %zu cells but the header has %zu",
+                 row.size(), header_.size());
   rows_.push_back(std::move(row));
 }
 

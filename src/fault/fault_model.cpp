@@ -1,0 +1,162 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vixnoc {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix for the corruption hash.
+std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Seeded partial Fisher–Yates: the first `count` elements of `pool` after
+/// the call are a uniform sample without replacement.
+template <typename T>
+void SampleFront(std::vector<T>* pool, std::size_t count, Rng* rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng->NextBounded(pool->size() - i));
+    std::swap((*pool)[i], (*pool)[j]);
+  }
+}
+
+std::size_t CountFor(double rate, std::size_t population) {
+  return static_cast<std::size_t>(
+      std::llround(rate * static_cast<double>(population)));
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const Topology& topology, const FaultConfig& config,
+                       std::uint64_t seed)
+    : config_(config), seed_(seed), radix_(topology.Radix()) {
+  VIXNOC_REQUIRE(config.link_down_rate >= 0.0 && config.link_down_rate <= 1.0,
+                 "link_down_rate must be in [0,1], got %g",
+                 config.link_down_rate);
+  VIXNOC_REQUIRE(config.transient_rate >= 0.0 && config.transient_rate <= 1.0,
+                 "transient_rate must be in [0,1], got %g",
+                 config.transient_rate);
+  VIXNOC_REQUIRE(
+      config.router_stall_rate >= 0.0 && config.router_stall_rate <= 1.0,
+      "router_stall_rate must be in [0,1], got %g", config.router_stall_rate);
+  VIXNOC_REQUIRE(
+      config.corruption_rate >= 0.0 && config.corruption_rate <= 1.0,
+      "corruption_rate must be in [0,1], got %g", config.corruption_rate);
+  if (config.transient_rate > 0.0) {
+    VIXNOC_REQUIRE(config.transient_period >= 1 &&
+                       config.transient_duration >= 1 &&
+                       config.transient_duration < config.transient_period,
+                   "transient outage needs 1 <= duration < period, got "
+                   "duration=%llu period=%llu",
+                   static_cast<unsigned long long>(config.transient_duration),
+                   static_cast<unsigned long long>(config.transient_period));
+  }
+  if (config.router_stall_rate > 0.0) {
+    VIXNOC_REQUIRE(config.stall_period >= 1 && config.stall_duration >= 1 &&
+                       config.stall_duration < config.stall_period,
+                   "router stall needs 1 <= duration < period, got "
+                   "duration=%llu period=%llu",
+                   static_cast<unsigned long long>(config.stall_duration),
+                   static_cast<unsigned long long>(config.stall_period));
+  }
+
+  const int num_routers = topology.NumRouters();
+  permanent_mask_.assign(static_cast<std::size_t>(num_routers) * radix_,
+                         false);
+
+  // Candidate faults cover inter-router channels only: failing an NI link
+  // trivially severs a node and says nothing interesting about the fabric.
+  std::vector<std::pair<RouterId, PortId>> candidates;
+  for (RouterId r = 0; r < num_routers; ++r) {
+    const std::vector<OutputLinkInfo> links = topology.LinksFor(r);
+    for (PortId o = 0; o < radix_; ++o) {
+      if (links[o].neighbor >= 0) candidates.emplace_back(r, o);
+    }
+  }
+
+  for (const auto& [r, o] : config.forced_link_down) {
+    VIXNOC_REQUIRE(r >= 0 && r < num_routers && o >= 0 && o < radix_,
+                   "forced_link_down names router %d port %d outside the "
+                   "%d-router radix-%d topology",
+                   r, o, num_routers, radix_);
+    VIXNOC_REQUIRE(topology.LinksFor(r)[o].neighbor >= 0,
+                   "forced_link_down (router %d, port %d) is not an "
+                   "inter-router link",
+                   r, o);
+  }
+
+  Rng rng(seed_);
+
+  // Permanent link faults: sampled set plus the forced list (deduplicated).
+  const std::size_t num_permanent =
+      std::min(CountFor(config.link_down_rate, candidates.size()),
+               candidates.size());
+  SampleFront(&candidates, num_permanent, &rng);
+  permanent_down_.assign(candidates.begin(),
+                         candidates.begin() + num_permanent);
+  for (const auto& link : config.forced_link_down) {
+    if (std::find(permanent_down_.begin(), permanent_down_.end(), link) ==
+        permanent_down_.end()) {
+      permanent_down_.push_back(link);
+    }
+  }
+  for (const auto& [r, o] : permanent_down_) {
+    permanent_mask_[static_cast<std::size_t>(r) * radix_ + o] = true;
+  }
+
+  // Transient outages are drawn from the links that are still alive.
+  std::vector<std::pair<RouterId, PortId>> alive;
+  for (const auto& link : candidates) {
+    if (!permanent_mask_[static_cast<std::size_t>(link.first) * radix_ +
+                         link.second]) {
+      alive.push_back(link);
+    }
+  }
+  const std::size_t num_transient =
+      std::min(CountFor(config.transient_rate, candidates.size()),
+               alive.size());
+  SampleFront(&alive, num_transient, &rng);
+  for (std::size_t i = 0; i < num_transient; ++i) {
+    transient_links_.push_back(
+        TransientLink{alive[i].first, alive[i].second,
+                      rng.NextBounded(config.transient_period)});
+  }
+
+  const std::size_t num_stalls = std::min(
+      CountFor(config.router_stall_rate, static_cast<std::size_t>(num_routers)),
+      static_cast<std::size_t>(num_routers));
+  std::vector<RouterId> routers(num_routers);
+  for (RouterId r = 0; r < num_routers; ++r) routers[r] = r;
+  SampleFront(&routers, num_stalls, &rng);
+  for (std::size_t i = 0; i < num_stalls; ++i) {
+    stalls_.push_back(
+        StallWindow{routers[i], rng.NextBounded(config.stall_period)});
+  }
+
+  // Map the corruption rate onto a straight u64 comparison against the
+  // mixed hash (rate 1.0 saturates to "always").
+  corruption_threshold_ = static_cast<std::uint64_t>(
+      std::ldexp(config.corruption_rate, 64) >= std::ldexp(1.0, 64)
+          ? ~0ull
+          : std::ldexp(config.corruption_rate, 64));
+}
+
+bool FaultModel::CorruptsTraversal(RouterId router, PortId out_port,
+                                   Cycle t) const {
+  if (corruption_threshold_ == 0) return false;
+  std::uint64_t h = seed_ ^ 0x9e3779b97f4a7c15ull;
+  h = Mix64(h ^ (static_cast<std::uint64_t>(router) << 32 ^
+                 static_cast<std::uint64_t>(out_port)));
+  h = Mix64(h ^ t);
+  return h < corruption_threshold_;
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,136 @@
+// Deterministic fault injection for network simulations.
+//
+// A FaultModel is built once per simulation point from the topology, a
+// FaultConfig, and a seed. The entire fault schedule — which links are
+// down, when transient outages start and end, which routers stall, which
+// link traversals corrupt a flit — is a pure function of those inputs:
+// identical at any thread count, on any platform, in any execution order.
+//
+// Fault semantics are chosen so that credits and buffers stay consistent:
+//  * link-down (permanent or transient) blocks *new* traversals of the
+//    link; flits already on the wire arrive, buffered flits wait, credits
+//    are never lost. Permanent faults exist from cycle 0, so routing
+//    (FaultAwareRouting) can detour around them consistently with
+//    lookahead route computation.
+//  * router-stall freezes a router's control pipeline (no VA/SA/ST) for a
+//    window; incoming flits and credits still land in its buffers, which
+//    the credit protocol guarantees have space.
+//  * corruption marks a flit's payload corrupted as it traverses a link;
+//    the flit still flows and is delivered, and the destination NI reports
+//    the corrupted packet (end-to-end detection).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+
+/// Fault-injection knobs carried by NetworkSimConfig. All rates are
+/// fractions in [0, 1]; everything defaults to "no faults", in which case
+/// the simulator takes none of the fault paths (zero cost).
+struct FaultConfig {
+  /// Fraction of inter-router links permanently down from cycle 0.
+  /// Routing detours around them where a minimal detour exists; packets
+  /// for unreachable destinations are reported, not injected.
+  double link_down_rate = 0.0;
+
+  /// Fraction of inter-router links with periodic transient outages: each
+  /// such link goes down for `transient_duration` cycles once every
+  /// `transient_period` cycles, at a seeded phase. Routing does not change;
+  /// traffic waits for the repair.
+  double transient_rate = 0.0;
+  Cycle transient_period = 2'000;
+  Cycle transient_duration = 200;
+
+  /// Fraction of routers whose control pipeline periodically freezes for
+  /// `stall_duration` cycles once every `stall_period` cycles.
+  double router_stall_rate = 0.0;
+  Cycle stall_period = 2'000;
+  Cycle stall_duration = 100;
+
+  /// Per-link-traversal probability that a flit's payload is corrupted
+  /// (decided by a seeded hash of (router, port, cycle) — deterministic
+  /// and order-independent).
+  double corruption_rate = 0.0;
+
+  /// Explicit permanent link-down faults (router, out_port), applied in
+  /// addition to the sampled `link_down_rate` set. For targeted studies
+  /// and tests.
+  std::vector<std::pair<RouterId, PortId>> forced_link_down;
+
+  /// Fault-schedule seed; 0 derives it from the simulation seed so every
+  /// sweep point gets an independent schedule by default.
+  std::uint64_t seed = 0;
+
+  bool Enabled() const {
+    return link_down_rate > 0.0 || transient_rate > 0.0 ||
+           router_stall_rate > 0.0 || corruption_rate > 0.0 ||
+           !forced_link_down.empty();
+  }
+};
+
+class FaultModel {
+ public:
+  /// Samples the fault schedule. Throws SimError on invalid config
+  /// (rates outside [0,1], durations not below their period, forced links
+  /// naming nonexistent or NI-attached ports).
+  FaultModel(const Topology& topology, const FaultConfig& config,
+             std::uint64_t seed);
+
+  const FaultConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
+
+  struct TransientLink {
+    RouterId router;
+    PortId out_port;
+    Cycle phase;  ///< outage starts at phase + k * transient_period
+  };
+  struct StallWindow {
+    RouterId router;
+    Cycle phase;  ///< stall starts at phase + k * stall_period
+  };
+
+  /// Permanently-down links, as (router, out_port) directed channels.
+  const std::vector<std::pair<RouterId, PortId>>& permanent_down() const {
+    return permanent_down_;
+  }
+  const std::vector<TransientLink>& transient_links() const {
+    return transient_links_;
+  }
+  const std::vector<StallWindow>& stalls() const { return stalls_; }
+
+  bool LinkPermanentlyDown(RouterId router, PortId out_port) const {
+    return permanent_mask_[static_cast<std::size_t>(router) * radix_ +
+                           out_port];
+  }
+
+  bool TransientDownAt(const TransientLink& link, Cycle t) const {
+    return (t + config_.transient_period - link.phase) %
+               config_.transient_period <
+           config_.transient_duration;
+  }
+  bool StalledAt(const StallWindow& stall, Cycle t) const {
+    return (t + config_.stall_period - stall.phase) % config_.stall_period <
+           config_.stall_duration;
+  }
+
+  /// Whether the flit traversing (router, out_port) at cycle t is
+  /// corrupted. Stateless seeded hash: at most one flit crosses a given
+  /// link per cycle, so the triple identifies the traversal.
+  bool CorruptsTraversal(RouterId router, PortId out_port, Cycle t) const;
+
+ private:
+  FaultConfig config_;
+  std::uint64_t seed_;
+  int radix_;
+  std::vector<std::pair<RouterId, PortId>> permanent_down_;
+  std::vector<TransientLink> transient_links_;
+  std::vector<StallWindow> stalls_;
+  std::vector<bool> permanent_mask_;  // routers * radix
+  std::uint64_t corruption_threshold_ = 0;  // rate mapped to a u64 compare
+};
+
+}  // namespace vixnoc

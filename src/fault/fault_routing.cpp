@@ -1,0 +1,95 @@
+#include "fault/fault_routing.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+FaultAwareRouting::FaultAwareRouting(
+    const Topology& topology,
+    const std::vector<std::pair<RouterId, PortId>>& dead_links)
+    : topology_(&topology),
+      base_(&topology.Routing()),
+      num_routers_(topology.NumRouters()) {
+  const int radix = topology.Radix();
+  std::vector<bool> dead(static_cast<std::size_t>(num_routers_) * radix,
+                         false);
+  for (const auto& [r, o] : dead_links) {
+    dead[static_cast<std::size_t>(r) * radix + o] = true;
+  }
+
+  // Surviving forward edges, and the reverse adjacency BFS runs over.
+  std::vector<std::vector<OutputLinkInfo>> links(num_routers_);
+  std::vector<std::vector<RouterId>> rev(num_routers_);
+  for (RouterId r = 0; r < num_routers_; ++r) {
+    links[r] = topology.LinksFor(r);
+    for (PortId o = 0; o < radix; ++o) {
+      if (links[r][o].neighbor >= 0 &&
+          !dead[static_cast<std::size_t>(r) * radix + o]) {
+        rev[links[r][o].neighbor].push_back(r);
+      }
+    }
+  }
+
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  next_hop_.assign(static_cast<std::size_t>(num_routers_) * num_routers_,
+                   kInvalidPort);
+  std::vector<int> dist(num_routers_);
+  std::queue<RouterId> frontier;
+  for (RouterId d = 0; d < num_routers_; ++d) {
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    dist[d] = 0;
+    frontier.push(d);
+    while (!frontier.empty()) {
+      const RouterId n = frontier.front();
+      frontier.pop();
+      for (RouterId r : rev[n]) {
+        if (dist[r] == kUnreached) {
+          dist[r] = dist[n] + 1;
+          frontier.push(r);
+        }
+      }
+    }
+    PortId* row = &next_hop_[static_cast<std::size_t>(d) * num_routers_];
+    for (RouterId r = 0; r < num_routers_; ++r) {
+      if (r == d) continue;
+      if (dist[r] == kUnreached) {
+        ++unreachable_pairs_;
+        continue;
+      }
+      // First (lowest-index) surviving port on a shortest path. Port-index
+      // order matches the mesh's E,W,N,S numbering, so fault-free routes
+      // coincide with XY dimension order.
+      for (PortId o = 0; o < radix; ++o) {
+        const OutputLinkInfo& link = links[r][o];
+        if (link.neighbor >= 0 &&
+            !dead[static_cast<std::size_t>(r) * radix + o] &&
+            dist[link.neighbor] == dist[r] - 1) {
+          row[r] = o;
+          break;
+        }
+      }
+      VIXNOC_CHECK(row[r] != kInvalidPort);
+    }
+  }
+}
+
+PortId FaultAwareRouting::Route(RouterId router, NodeId dst) const {
+  const RouterId dst_router = topology_->RouterOfNode(dst);
+  if (dst_router == router) return base_->Route(router, dst);
+  const PortId hop =
+      next_hop_[static_cast<std::size_t>(dst_router) * num_routers_ + router];
+  VIXNOC_CHECK(hop != kInvalidPort);  // callers gate injection on Reachable()
+  return hop;
+}
+
+bool FaultAwareRouting::Reachable(RouterId from, NodeId dst) const {
+  const RouterId dst_router = topology_->RouterOfNode(dst);
+  if (dst_router == from) return true;
+  return next_hop_[static_cast<std::size_t>(dst_router) * num_routers_ +
+                   from] != kInvalidPort;
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,76 @@
+// Fault-aware routing: minimal detours around permanently-dead links.
+//
+// Wraps a topology's base routing function with a per-destination next-hop
+// table computed by BFS over the surviving link graph. Where the base
+// (dimension-order) route survives, the table reproduces it exactly —
+// output ports are considered in index order, which prefers X-dimension
+// ports, so a fault-free mesh routes identically to XY DOR. Where a link
+// on the DOR path is dead, the table takes a minimal detour. Where no path
+// survives at all, the pair is *unreachable*: Reachable() reports it and
+// the simulation driver refuses to inject such packets instead of letting
+// them hang in a source queue forever.
+//
+// Detour paths are not guaranteed deadlock-free: a minimal detour can take
+// an XY-illegal (Y-then-X) turn, and such turns close channel-dependency
+// cycles once congestion fills the buffers around a fault region. (A
+// VC-floor escalation scheme keyed on illegal-turn counts was tried here
+// and measured strictly worse — restricting the VC range tightens the
+// very buffers the cycle runs through without making the escape network
+// acyclic.) Deadlock beyond the fault-degraded saturation point is
+// expected behavior; the forward-progress watchdog in network_sim detects
+// it and reports a structured outcome instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "router/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+
+class FaultAwareRouting final : public RoutingFunction {
+ public:
+  /// `dead_links` are directed (router, out_port) channels to avoid.
+  /// The topology must outlive this object.
+  FaultAwareRouting(
+      const Topology& topology,
+      const std::vector<std::pair<RouterId, PortId>>& dead_links);
+
+  /// Table route. For destinations attached to `router` this delegates to
+  /// the base routing (ejection ports never fault). It is a checked error
+  /// to ask for a route to an unreachable destination — callers gate
+  /// injection on Reachable().
+  PortId Route(RouterId router, NodeId dst) const override;
+
+  PortDimension DimensionOf(PortId port) const override {
+    return base_->DimensionOf(port);
+  }
+
+  std::uint8_t NextDatelineState(RouterId router, PortId out_port,
+                                 std::uint8_t state) const override {
+    return base_->NextDatelineState(router, out_port, state);
+  }
+  VcRange AllowedVcRange(PortId out_port, std::uint8_t state,
+                         int vcs_per_class) const override {
+    return base_->AllowedVcRange(out_port, state, vcs_per_class);
+  }
+
+  /// True when a packet sourced at a node of `from` can reach `dst` over
+  /// surviving links.
+  bool Reachable(RouterId from, NodeId dst) const;
+
+  /// Ordered (src_router, dst_router) pairs with no surviving path.
+  std::uint64_t NumUnreachablePairs() const { return unreachable_pairs_; }
+
+ private:
+  const Topology* topology_;
+  const RoutingFunction* base_;
+  int num_routers_;
+  /// next_hop_[dst_router * num_routers_ + router]: output port toward
+  /// dst_router, kInvalidPort when unreachable or co-located.
+  std::vector<PortId> next_hop_;
+  std::uint64_t unreachable_pairs_ = 0;
+};
+
+}  // namespace vixnoc

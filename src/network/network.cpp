@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "router/vc_assign.hpp"
 
 namespace vixnoc {
@@ -10,16 +11,41 @@ Network::Network(std::shared_ptr<Topology> topology,
                  const NetworkParams& params)
     : topology_(std::move(topology)), params_(params) {
   VIXNOC_CHECK(topology_ != nullptr);
-  VIXNOC_CHECK(params_.flit_delay >= 1);
-  VIXNOC_CHECK(params_.credit_delay >= 1);
-  VIXNOC_CHECK(params_.ni_link_delay >= 1);
-  VIXNOC_CHECK(params_.router.radix == topology_->Radix());
+  VIXNOC_REQUIRE(params_.flit_delay >= 1, "flit_delay must be >= 1, got %d",
+                 params_.flit_delay);
+  VIXNOC_REQUIRE(params_.credit_delay >= 1,
+                 "credit_delay must be >= 1, got %d", params_.credit_delay);
+  VIXNOC_REQUIRE(params_.ni_link_delay >= 1,
+                 "ni_link_delay must be >= 1, got %d", params_.ni_link_delay);
+  VIXNOC_REQUIRE(params_.router.radix == topology_->Radix(),
+                 "router radix %d does not match topology radix %d",
+                 params_.router.radix, topology_->Radix());
+  routing_ = params_.routing_override != nullptr ? params_.routing_override
+                                                 : &topology_->Routing();
 
   const int num_routers = topology_->NumRouters();
   routers_.reserve(num_routers);
   for (RouterId r = 0; r < num_routers; ++r) {
     routers_.push_back(std::make_unique<Router>(
-        r, params_.router, topology_->LinksFor(r), &topology_->Routing()));
+        r, params_.router, topology_->LinksFor(r), routing_));
+  }
+
+  if (params_.faults != nullptr) {
+    const FaultModel& fm = *params_.faults;
+    // Permanent faults are in force from cycle 0 so lookahead routing and
+    // the link masks can never disagree mid-flight.
+    for (const auto& [r, o] : fm.permanent_down()) {
+      VIXNOC_REQUIRE(r >= 0 && r < num_routers && o >= 0 &&
+                         o < topology_->Radix(),
+                     "fault model names router %d port %d outside this "
+                     "network",
+                     r, o);
+      routers_[r]->SetOutputBlocked(o, true);
+    }
+    if (!fm.stalls().empty()) {
+      router_stalled_.assign(num_routers, false);
+    }
+    corruption_active_ = fm.config().corruption_rate > 0.0;
   }
 
   upstream_.resize(static_cast<std::size_t>(num_routers) *
@@ -63,11 +89,16 @@ Network::Network(std::shared_ptr<Topology> topology,
 
 PacketId Network::EnqueuePacket(NodeId src, NodeId dst, int size_flits,
                                 std::uint64_t user_tag, int msg_class) {
-  VIXNOC_CHECK(src >= 0 && src < NumNodes());
-  VIXNOC_CHECK(dst >= 0 && dst < NumNodes());
-  VIXNOC_CHECK(size_flits >= 1);
-  VIXNOC_CHECK(msg_class >= 0 &&
-               msg_class < params_.router.num_message_classes);
+  VIXNOC_REQUIRE(src >= 0 && src < NumNodes(),
+                 "source node %d outside [0, %d)", src, NumNodes());
+  VIXNOC_REQUIRE(dst >= 0 && dst < NumNodes(),
+                 "destination node %d outside [0, %d)", dst, NumNodes());
+  VIXNOC_REQUIRE(size_flits >= 1, "packet size must be >= 1 flit, got %d",
+                 size_flits);
+  VIXNOC_REQUIRE(
+      msg_class >= 0 && msg_class < params_.router.num_message_classes,
+      "message class %d outside [0, %d)", msg_class,
+      params_.router.num_message_classes);
   const PacketId id = next_packet_id_++;
   nis_[src].source_queue.push_back(
       PendingPacket{id, dst, size_flits, now_, user_tag, msg_class});
@@ -111,7 +142,17 @@ void Network::HandleEjectedFlit(Ni& ni, const Flit& flit) {
   if (tracer_) {
     tracer_(FlitEvent{FlitEventKind::kEject, now_, -1, kInvalidPort, flit});
   }
-  if (!flit.IsTail()) return;
+  if (!flit.IsTail()) {
+    if (flit.corrupted) ni.corrupted_partial.push_back(flit.packet_id);
+    return;
+  }
+  bool corrupted = flit.corrupted;
+  if (!ni.corrupted_partial.empty()) {
+    auto it = std::remove(ni.corrupted_partial.begin(),
+                          ni.corrupted_partial.end(), flit.packet_id);
+    corrupted = corrupted || it != ni.corrupted_partial.end();
+    ni.corrupted_partial.erase(it, ni.corrupted_partial.end());
+  }
   ++counters_[ni.node].packets_ejected;
   ++counters_[flit.src].packets_delivered;
   if (eject_cb_) {
@@ -124,13 +165,14 @@ void Network::HandleEjectedFlit(Ni& ni, const Flit& flit) {
     rec.injected = flit.injected;
     rec.ejected = now_;
     rec.user_tag = flit.user_tag;
+    rec.corrupted = corrupted;
     eject_cb_(rec);
   }
 }
 
 void Network::StepNi(Ni& ni) {
   const RouterConfig& rc = params_.router;
-  const RoutingFunction& routing = topology_->Routing();
+  const RoutingFunction& routing = *routing_;
 
   // Start at most one new packet per cycle: pick an injection VC with the
   // same policy routers use for output-VC assignment, steering VIX packets
@@ -213,14 +255,30 @@ void Network::StepNi(Ni& ni) {
   }
 }
 
+void Network::UpdateFaultMasks() {
+  const FaultModel& fm = *params_.faults;
+  for (const FaultModel::TransientLink& link : fm.transient_links()) {
+    routers_[link.router]->SetOutputBlocked(link.out_port,
+                                            fm.TransientDownAt(link, now_));
+  }
+  for (const FaultModel::StallWindow& stall : fm.stalls()) {
+    router_stalled_[stall.router] = fm.StalledAt(stall, now_);
+  }
+}
+
 void Network::Step() {
   DeliverDue();
+
+  if (params_.faults != nullptr) UpdateFaultMasks();
 
   for (Ni& ni : nis_) StepNi(ni);
 
   sent_flits_.clear();
   sent_credits_.clear();
   for (auto& router : routers_) {
+    // A stalled router's control pipeline is frozen: no VA/SA/ST this
+    // cycle. Deliveries into its buffers (handled above) still land.
+    if (!router_stalled_.empty() && router_stalled_[router->id()]) continue;
     const std::size_t flit_mark = sent_flits_.size();
     const std::size_t credit_mark = sent_credits_.size();
     router->Step(now_, &sent_flits_, &sent_credits_);
@@ -234,6 +292,11 @@ void Network::Step() {
       const OutputLinkInfo& link = router->link(sf.out_port);
       Event ev;
       ev.flit = sf.flit;
+      if (corruption_active_ && !link.IsEjection() &&
+          params_.faults->CorruptsTraversal(router->id(), sf.out_port,
+                                            now_)) {
+        ev.flit.corrupted = true;
+      }
       if (link.IsEjection()) {
         ev.kind = Event::Kind::kFlitToNi;
         ev.target = link.eject_node;
@@ -282,6 +345,14 @@ bool Network::Quiescent() const {
 
 void Network::ClearCounters() {
   for (auto& c : counters_) c = NodeCounters{};
+}
+
+std::vector<std::uint32_t> Network::OccupancySnapshot() const {
+  std::vector<std::uint32_t> occupancy(routers_.size());
+  for (std::size_t r = 0; r < routers_.size(); ++r) {
+    occupancy[r] = static_cast<std::uint32_t>(routers_[r]->TotalBufferedFlits());
+  }
+  return occupancy;
 }
 
 std::uint64_t Network::TotalSourceQueueFlits() const {

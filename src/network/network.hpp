@@ -14,6 +14,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "fault/fault_model.hpp"
 #include "router/router.hpp"
 #include "topology/topology.hpp"
 
@@ -29,6 +30,13 @@ struct NetworkParams {
   int credit_delay = 2;
   /// Cycles from NI injection decision to the router input buffer.
   int ni_link_delay = 1;
+  /// Fault schedule driving link-down / router-stall / corruption masks.
+  /// Null (the default) takes none of the fault paths.
+  std::shared_ptr<const FaultModel> faults;
+  /// Replaces the topology's routing function for every router and NI —
+  /// how fault-aware detour routing (fault/fault_routing.hpp) is installed.
+  /// Must outlive the network. Null uses topology.Routing().
+  const RoutingFunction* routing_override = nullptr;
 };
 
 /// Everything known about a delivered packet, passed to the eject callback.
@@ -41,6 +49,8 @@ struct PacketRecord {
   Cycle injected = 0;  ///< head flit left the NI
   Cycle ejected = 0;   ///< tail flit arrived at the destination NI
   std::uint64_t user_tag = 0;
+  /// Any of the packet's flits was payload-corrupted by a link fault.
+  bool corrupted = false;
 };
 
 class Network {
@@ -95,6 +105,10 @@ class Network {
   const NodeCounters& counters(NodeId node) const { return counters_[node]; }
   void ClearCounters();
 
+  /// Flits buffered inside each router right now — the per-router occupancy
+  /// snapshot attached to watchdog (deadlock) reports.
+  std::vector<std::uint32_t> OccupancySnapshot() const;
+
   std::size_t SourceQueueLength(NodeId node) const {
     return nis_[node].source_queue.size();
   }
@@ -141,6 +155,10 @@ class Network {
     std::vector<int> credits;    ///< per injection VC
     std::vector<bool> vc_busy;   ///< NI-side allocation of injection VCs
     int rr = 0;                  ///< round-robin pointer over active txs
+    /// Packets with a corrupted non-tail flit already ejected here; the
+    /// tail flit resolves them into PacketRecord::corrupted. Touched only
+    /// when fault injection is active.
+    std::vector<PacketId> corrupted_partial;
   };
 
   struct Event {
@@ -173,9 +191,13 @@ class Network {
   void DeliverDue();
   void StepNi(Ni& ni);
   void HandleEjectedFlit(Ni& ni, const Flit& flit);
+  void UpdateFaultMasks();
 
   std::shared_ptr<Topology> topology_;
   NetworkParams params_;
+  const RoutingFunction* routing_;  ///< override or topology routing
+  std::vector<bool> router_stalled_;  ///< non-empty only with stall faults
+  bool corruption_active_ = false;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<Upstream> upstream_;  // routers * radix
   std::vector<Ni> nis_;

@@ -50,6 +50,12 @@ struct Flit {
   /// VC classes after crossing a dateline, breaking ring deadlock cycles.
   std::uint8_t dateline = 0;
 
+  /// Payload-corruption marker set by fault injection (fault/fault_model.hpp)
+  /// when the flit traverses a faulty link. Control state stays intact —
+  /// the flit flows and is delivered — and the destination NI surfaces the
+  /// corruption in the packet's PacketRecord (end-to-end detection).
+  bool corrupted = false;
+
   bool IsHead() const {
     return type == FlitType::kHead || type == FlitType::kHeadTail;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alloc/augmenting_path.hpp"
+#include "common/error.hpp"
 
 namespace vixnoc {
 
@@ -10,12 +11,20 @@ Router::Router(RouterId id, const RouterConfig& config,
                std::vector<OutputLinkInfo> links,
                const RoutingFunction* routing)
     : id_(id), config_(config), routing_(routing), links_(std::move(links)) {
-  VIXNOC_CHECK(static_cast<int>(links_.size()) == config_.radix);
-  VIXNOC_CHECK(config_.num_vcs >= 1);
-  VIXNOC_CHECK(config_.buffer_depth >= 1);
+  VIXNOC_REQUIRE(static_cast<int>(links_.size()) == config_.radix,
+                 "router %d: %zu output links for radix %d", id_,
+                 links_.size(), config_.radix);
+  VIXNOC_REQUIRE(config_.num_vcs >= 1, "num_vcs must be >= 1, got %d",
+                 config_.num_vcs);
+  VIXNOC_REQUIRE(config_.buffer_depth >= 1,
+                 "buffer_depth must be >= 1, got %d", config_.buffer_depth);
   VIXNOC_CHECK(routing_ != nullptr);
-  VIXNOC_CHECK(config_.num_message_classes >= 1);
-  VIXNOC_CHECK(config_.num_vcs % config_.num_message_classes == 0);
+  VIXNOC_REQUIRE(config_.num_message_classes >= 1,
+                 "num_message_classes must be >= 1, got %d",
+                 config_.num_message_classes);
+  VIXNOC_REQUIRE(config_.num_vcs % config_.num_message_classes == 0,
+                 "num_vcs (%d) must be divisible by num_message_classes (%d)",
+                 config_.num_vcs, config_.num_message_classes);
 
   input_vcs_.resize(static_cast<std::size_t>(config_.radix) *
                     config_.num_vcs);
@@ -45,6 +54,7 @@ Router::Router(RouterId id, const RouterConfig& config,
   va_prefs_.reserve(input_vcs_.size());
   nonspec_wants_.assign(config_.radix, false);
   just_activated_.assign(input_vcs_.size(), false);
+  output_blocked_.assign(config_.radix, false);
   flits_per_out_.assign(config_.radix, 0);
   out_used_scratch_.assign(config_.radix, false);
   xin_used_scratch_.assign(
@@ -108,6 +118,8 @@ void Router::RunVcAllocation() {
     OutputPort& op = outputs_[out_port];
     // Routing functions must never steer a packet to an unconnected port.
     VIXNOC_CHECK(op.link.IsConnected());
+    // Down link: the packet waits in its buffer without claiming a VC.
+    if (num_blocked_ > 0 && output_blocked_[out_port]) continue;
 
     // Lookahead route computation for the downstream router; ejection ports
     // terminate at an NI, so there is no next hop.
@@ -214,6 +226,9 @@ void Router::BuildSaRequests() {
         continue;  // VA this cycle, SA earliest next cycle (Fig 6a)
       }
       const OutputPort& op = outputs_[v.out_port];
+      // Down link: established packets hold their VC but send nothing until
+      // the link is repaired.
+      if (num_blocked_ > 0 && output_blocked_[v.out_port]) continue;
       // Ejection consumes flits unconditionally (the NI drains one flit per
       // ejection port per cycle by construction of the crossbar).
       if (!op.link.IsEjection() && op.vcs[v.out_vc].credits == 0) continue;
@@ -313,6 +328,21 @@ bool Router::Quiescent() const {
 
 int Router::BufferOccupancy(PortId in_port, VcId vc) const {
   return static_cast<int>(ivc(in_port, vc).buffer.size());
+}
+
+int Router::TotalBufferedFlits() const {
+  int total = 0;
+  for (const InputVc& v : input_vcs_) {
+    total += static_cast<int>(v.buffer.size());
+  }
+  return total;
+}
+
+void Router::SetOutputBlocked(PortId out_port, bool blocked) {
+  VIXNOC_CHECK(out_port >= 0 && out_port < config_.radix);
+  if (output_blocked_[out_port] == blocked) return;
+  output_blocked_[out_port] = blocked;
+  num_blocked_ += blocked ? 1 : -1;
 }
 
 int Router::CreditsFor(PortId out_port, VcId out_vc) const {

@@ -163,8 +163,18 @@ class Router {
 
   /// Occupancy of input VC buffer (in_port, vc), in flits.
   int BufferOccupancy(PortId in_port, VcId vc) const;
+  /// Total flits buffered across every input VC — the per-router occupancy
+  /// snapshot reported by the forward-progress watchdog.
+  int TotalBufferedFlits() const;
   /// Free credits the router believes exist for (out_port, out_vc).
   int CreditsFor(PortId out_port, VcId out_vc) const;
+
+  /// Fault hook: while an output port is blocked (its link is down), no VA
+  /// grant targets it and no SA request leaves through it. Flits wait in
+  /// their buffers and credits are untouched, so a later unblock resumes
+  /// cleanly. Zero cost while nothing is blocked.
+  void SetOutputBlocked(PortId out_port, bool blocked);
+  bool OutputBlocked(PortId out_port) const { return output_blocked_[out_port]; }
 
   const RouterActivity& activity() const { return activity_; }
   void ClearActivity();
@@ -223,6 +233,10 @@ class Router {
   /// Input VCs granted VA this cycle; excluded from SA when the router is
   /// configured non-speculative.
   std::vector<bool> just_activated_;
+  /// Fault masks (see SetOutputBlocked). num_blocked_ keeps the hot path
+  /// free of per-candidate checks while no fault is active.
+  std::vector<bool> output_blocked_;  // radix
+  int num_blocked_ = 0;
 
   // Per-cycle scratch, sized once at construction so the hot loop never
   // touches the allocator.

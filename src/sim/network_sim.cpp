@@ -1,17 +1,122 @@
 #include "sim/network_sim.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "fault/fault_routing.hpp"
 #include "traffic/injection.hpp"
 
 namespace vixnoc {
 
-NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
-  VIXNOC_CHECK(config.injection_rate >= 0.0 && config.injection_rate <= 1.0);
+std::string ToString(SimStatus status) {
+  switch (status) {
+    case SimStatus::kOk:
+      return "ok";
+    case SimStatus::kDeadlock:
+      return "deadlock";
+    case SimStatus::kUndeliverable:
+      return "undeliverable";
+    case SimStatus::kInvariantViolation:
+      return "invariant-violation";
+  }
+  return "unknown";
+}
 
-  auto topology = config.topology_factory ? config.topology_factory()
-                                          : MakeTopology64(config.topology);
+void ValidateNetworkSimConfig(const NetworkSimConfig& config) {
+  VIXNOC_REQUIRE(
+      config.injection_rate >= 0.0 && config.injection_rate <= 1.0,
+      "injection_rate must be in [0, 1], got %g", config.injection_rate);
+  VIXNOC_REQUIRE(config.num_vcs >= 1, "num_vcs must be >= 1, got %d",
+                 config.num_vcs);
+  VIXNOC_REQUIRE(config.buffer_depth >= 1, "buffer_depth must be >= 1, got %d",
+                 config.buffer_depth);
+  VIXNOC_REQUIRE(config.packet_size >= 1, "packet_size must be >= 1, got %d",
+                 config.packet_size);
+  VIXNOC_REQUIRE(config.pipeline_stages == 3 || config.pipeline_stages == 5,
+                 "pipeline_stages must be 3 or 5, got %d",
+                 config.pipeline_stages);
+  if (config.scheme == AllocScheme::kVix) {
+    const int vins =
+        config.vix_virtual_inputs > 0 ? config.vix_virtual_inputs : 2;
+    VIXNOC_REQUIRE(vins >= 2 && vins <= config.num_vcs,
+                   "VIX virtual inputs must be in [2, num_vcs=%d], got %d",
+                   config.num_vcs, vins);
+    VIXNOC_REQUIRE(config.num_vcs % vins == 0,
+                   "num_vcs (%d) must be divisible by VIX virtual inputs (%d)",
+                   config.num_vcs, vins);
+  }
+  if (config.bursty) {
+    VIXNOC_REQUIRE(config.burst_on_rate > 0.0 && config.burst_on_rate <= 1.0,
+                   "burst_on_rate must be in (0, 1], got %g",
+                   config.burst_on_rate);
+    VIXNOC_REQUIRE(
+        config.burst_on_rate >= config.injection_rate,
+        "burst_on_rate (%g) must be >= the average injection_rate (%g)",
+        config.burst_on_rate, config.injection_rate);
+    VIXNOC_REQUIRE(config.mean_burst_cycles >= 1.0,
+                   "mean_burst_cycles must be >= 1, got %g",
+                   config.mean_burst_cycles);
+  }
+
+  const FaultConfig& f = config.faults;
+  VIXNOC_REQUIRE(f.link_down_rate >= 0.0 && f.link_down_rate <= 1.0,
+                 "faults.link_down_rate must be in [0, 1], got %g",
+                 f.link_down_rate);
+  VIXNOC_REQUIRE(f.transient_rate >= 0.0 && f.transient_rate <= 1.0,
+                 "faults.transient_rate must be in [0, 1], got %g",
+                 f.transient_rate);
+  VIXNOC_REQUIRE(f.router_stall_rate >= 0.0 && f.router_stall_rate <= 1.0,
+                 "faults.router_stall_rate must be in [0, 1], got %g",
+                 f.router_stall_rate);
+  VIXNOC_REQUIRE(f.corruption_rate >= 0.0 && f.corruption_rate <= 1.0,
+                 "faults.corruption_rate must be in [0, 1], got %g",
+                 f.corruption_rate);
+  const bool permanent_faults =
+      f.link_down_rate > 0.0 || !f.forced_link_down.empty();
+  if (permanent_faults && !config.topology_factory) {
+    VIXNOC_REQUIRE(config.topology != TopologyKind::kTorus,
+                   "permanent link faults are unsupported on the torus: "
+                   "detour routing breaks the dateline VC deadlock-freedom "
+                   "argument");
+  }
+  // A transient outage or stall window parks all affected traffic for its
+  // whole duration; the watchdog must outlast it or a healthy run is
+  // misreported as deadlocked.
+  if (config.watchdog_cycles > 0) {
+    if (f.transient_rate > 0.0) {
+      VIXNOC_REQUIRE(config.watchdog_cycles > f.transient_duration,
+                     "watchdog_cycles (%lld) must exceed "
+                     "faults.transient_duration (%lld)",
+                     static_cast<long long>(config.watchdog_cycles),
+                     static_cast<long long>(f.transient_duration));
+    }
+    if (f.router_stall_rate > 0.0) {
+      VIXNOC_REQUIRE(config.watchdog_cycles > f.stall_duration,
+                     "watchdog_cycles (%lld) must exceed "
+                     "faults.stall_duration (%lld)",
+                     static_cast<long long>(config.watchdog_cycles),
+                     static_cast<long long>(f.stall_duration));
+    }
+  }
+}
+
+NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
+  // Attributes any abort or SimError below to the offending sim point.
+  ScopedSimContext sim_ctx(
+      "scheme=%s topology=%s rate=%g seed=%llu",
+      ToString(config.scheme).c_str(), ToString(config.topology).c_str(),
+      config.injection_rate,
+      static_cast<unsigned long long>(config.seed));
+  ValidateNetworkSimConfig(config);
+
+  std::shared_ptr<Topology> topology =
+      config.topology_factory ? config.topology_factory()
+                              : MakeTopology64(config.topology);
   NetworkParams params;
   params.router.radix = topology->Radix();
   params.router.num_vcs = config.num_vcs;
@@ -26,13 +131,30 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
   params.router.atomic_vc_alloc = config.atomic_vc_alloc;
   params.router.prioritize_nonspeculative = config.prioritize_nonspeculative;
   params.router.va_organization = config.va_organization;
-  VIXNOC_CHECK(config.pipeline_stages == 3 || config.pipeline_stages == 5);
   if (config.pipeline_stages == 5) {
     params.router.speculative_sa = false;  // VA and SA in separate stages
     params.flit_delay = 4;                 // ST + LT + RC at the next hop
   }
 
-  Network net(std::shared_ptr<Topology>(std::move(topology)), params);
+  // Fault schedule and detour routing are pure functions of the config, so
+  // results are identical regardless of how a sweep is threaded. The
+  // routing override must outlive the network (raw pointer in params).
+  std::unique_ptr<FaultAwareRouting> fault_routing;
+  if (config.faults.Enabled()) {
+    const std::uint64_t fault_seed =
+        config.faults.seed != 0 ? config.faults.seed : config.seed;
+    auto faults =
+        std::make_shared<const FaultModel>(*topology, config.faults,
+                                           fault_seed);
+    if (!faults->permanent_down().empty()) {
+      fault_routing = std::make_unique<FaultAwareRouting>(
+          *topology, faults->permanent_down());
+    }
+    params.routing_override = fault_routing.get();
+    params.faults = std::move(faults);
+  }
+
+  Network net(topology, params);
   const int num_nodes = net.NumNodes();
 
   auto pattern = MakePattern(config.pattern);
@@ -55,7 +177,11 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
   Histogram latency_hist(/*bucket_width=*/4.0, /*num_buckets=*/4096);
   RunningStat interval_latency;  // latency of packets ejected this interval
   std::uint64_t interval_packets = 0;
+  std::uint64_t packets_corrupted = 0;
+  Cycle last_delivery = 0;
   net.SetEjectCallback([&](const PacketRecord& rec) {
+    last_delivery = rec.ejected;
+    if (rec.corrupted) ++packets_corrupted;
     if (rec.created >= measure_start && rec.created < measure_end) {
       latency.Add(static_cast<double>(rec.ejected - rec.created));
       net_latency.Add(static_cast<double>(rec.ejected - rec.injected));
@@ -69,10 +195,12 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
 
   std::vector<NodeCounters> at_measure_start(num_nodes);
   std::vector<NodeCounters> at_measure_end(num_nodes);
+  bool measure_window_closed = false;
   RouterActivity activity_snapshot;
   std::uint64_t offered_packets = 0;
 
   NetworkSimResult result;
+  SimOutcome outcome;
   for (Cycle t = 0; t < sim_end; ++t) {
     if (config.sample_interval > 0 && t > 0 &&
         t % config.sample_interval == 0) {
@@ -98,55 +226,101 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
         at_measure_end[n] = net.counters(n);
       }
       activity_snapshot = net.TotalActivity();
+      measure_window_closed = true;
     }
     // Injection at every node, including during drain (holding the load
     // keeps measured packets under realistic contention).
     for (NodeId n = 0; n < num_nodes; ++n) {
       if (injector->ShouldInject(n, rng)) {
+        // Draw the destination before the reachability gate so the RNG
+        // stream — and therefore every reachable packet — is identical to
+        // the fault-free run.
         const NodeId dst = pattern->Dest(n, num_nodes, rng);
+        if (fault_routing != nullptr &&
+            !fault_routing->Reachable(net.topology().RouterOfNode(n), dst)) {
+          ++outcome.unreachable_packets;
+          continue;
+        }
         net.EnqueuePacket(n, dst, config.packet_size);
         if (t >= measure_start && t < measure_end) ++offered_packets;
       }
     }
     net.Step();
+    if (config.watchdog_cycles > 0 &&
+        net.SuspectedDeadlock(config.watchdog_cycles)) {
+      outcome.status = SimStatus::kDeadlock;
+      outcome.cycle = net.now();
+      outcome.router_occupancy = net.OccupancySnapshot();
+      outcome.message = "no flit movement for " +
+                        std::to_string(config.watchdog_cycles) +
+                        " cycles with flits in flight (detected at cycle " +
+                        std::to_string(net.now()) + ")";
+      break;
+    }
   }
 
   result.num_nodes = num_nodes;
   result.measure_cycles = config.measure;
   result.offered_ppc = config.injection_rate;
+  result.packets_corrupted = packets_corrupted;
 
-  std::uint64_t delivered_total = 0;
-  std::uint64_t flits_total = 0;
-  double min_node = 1e300, max_node = 0.0;
-  for (NodeId n = 0; n < num_nodes; ++n) {
-    const std::uint64_t delivered = at_measure_end[n].packets_delivered -
-                                    at_measure_start[n].packets_delivered;
-    const std::uint64_t flits =
-        at_measure_end[n].flits_ejected - at_measure_start[n].flits_ejected;
-    delivered_total += delivered;
-    flits_total += flits;
-    const double node_ppc =
-        static_cast<double>(delivered) / static_cast<double>(config.measure);
-    min_node = std::min(min_node, node_ppc);
-    max_node = std::max(max_node, node_ppc);
+  // A deadlock before the measurement window closes leaves the end-of-window
+  // snapshot unset; report the structured outcome and keep the metrics zero
+  // rather than publishing garbage.
+  if (measure_window_closed) {
+    std::uint64_t delivered_total = 0;
+    std::uint64_t flits_total = 0;
+    double min_node = 1e300, max_node = 0.0;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      const std::uint64_t delivered = at_measure_end[n].packets_delivered -
+                                      at_measure_start[n].packets_delivered;
+      const std::uint64_t flits =
+          at_measure_end[n].flits_ejected - at_measure_start[n].flits_ejected;
+      delivered_total += delivered;
+      flits_total += flits;
+      const double node_ppc =
+          static_cast<double>(delivered) / static_cast<double>(config.measure);
+      min_node = std::min(min_node, node_ppc);
+      max_node = std::max(max_node, node_ppc);
+    }
+    result.accepted_ppc =
+        static_cast<double>(delivered_total) /
+        (static_cast<double>(config.measure) * num_nodes);
+    result.accepted_fpc =
+        static_cast<double>(flits_total) / static_cast<double>(config.measure);
+    result.min_node_ppc = min_node;
+    result.max_node_ppc = max_node;
+    result.max_min_ratio = min_node > 0.0 ? max_node / min_node : 0.0;
+    result.avg_latency = latency.Mean();
+    result.avg_net_latency = net_latency.Mean();
+    result.p99_latency = latency_hist.Quantile(0.99);
+    result.packets_measured = latency.Count();
+    const double offered_meas =
+        static_cast<double>(offered_packets) /
+        (static_cast<double>(config.measure) * num_nodes);
+    result.saturated = result.accepted_ppc < 0.95 * offered_meas;
+    result.activity = activity_snapshot;
   }
-  result.accepted_ppc =
-      static_cast<double>(delivered_total) /
-      (static_cast<double>(config.measure) * num_nodes);
-  result.accepted_fpc =
-      static_cast<double>(flits_total) / static_cast<double>(config.measure);
-  result.min_node_ppc = min_node;
-  result.max_node_ppc = max_node;
-  result.max_min_ratio = min_node > 0.0 ? max_node / min_node : 0.0;
-  result.avg_latency = latency.Mean();
-  result.avg_net_latency = net_latency.Mean();
-  result.p99_latency = latency_hist.Quantile(0.99);
-  result.packets_measured = latency.Count();
-  const double offered_meas =
-      static_cast<double>(offered_packets) /
-      (static_cast<double>(config.measure) * num_nodes);
-  result.saturated = result.accepted_ppc < 0.95 * offered_meas;
-  result.activity = activity_snapshot;
+
+  if (outcome.status == SimStatus::kOk && config.faults.Enabled()) {
+    if (outcome.unreachable_packets > 0) {
+      outcome.status = SimStatus::kUndeliverable;
+      outcome.message = std::to_string(outcome.unreachable_packets) +
+                        " packets had no surviving path to their destination";
+    } else if (config.watchdog_cycles > 0 && !net.Quiescent() &&
+               !result.saturated &&
+               net.now() - last_delivery > config.watchdog_cycles) {
+      // Flits are in flight but nothing has been *delivered* for a whole
+      // watchdog window — livelock, or traffic wedged short of the full
+      // no-movement deadlock criterion. (Injection continues through the
+      // drain by design, so mere non-quiescence at the end is normal.)
+      outcome.status = SimStatus::kUndeliverable;
+      outcome.message = "no packet delivered since cycle " +
+                        std::to_string(last_delivery) +
+                        " with flits still in flight at end of drain";
+    }
+  }
+  result.outcome = std::move(outcome);
   return result;
 }
 

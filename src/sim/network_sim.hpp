@@ -6,14 +6,53 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "fault/fault_model.hpp"
 #include "network/network.hpp"
 #include "router/vc_assign.hpp"
 #include "traffic/patterns.hpp"
 
 namespace vixnoc {
+
+/// How a simulation point ended. Anything but kOk means the metric fields
+/// of the result must not be trusted as steady-state measurements.
+enum class SimStatus {
+  kOk,
+  /// The forward-progress watchdog fired: flits in flight but none moved
+  /// for watchdog_cycles. SimOutcome carries the cycle and a per-router
+  /// occupancy snapshot.
+  kDeadlock,
+  /// The run completed but traffic could not be delivered: destinations
+  /// unreachable over the surviving (fault-degraded) link graph, or no
+  /// packet delivered for a whole watchdog window at the end of the drain
+  /// with flits still in flight (livelock).
+  kUndeliverable,
+  /// The point failed with a recoverable error (SimError): invalid
+  /// configuration or a validation failure. Set by SweepRunner when a
+  /// worker catches the exception.
+  kInvariantViolation,
+};
+
+std::string ToString(SimStatus status);
+
+/// Structured verdict attached to every NetworkSimResult — the alternative
+/// to silently reporting bogus throughput for a degraded or wedged run.
+struct SimOutcome {
+  SimStatus status = SimStatus::kOk;
+  std::string message;  ///< empty for kOk
+  /// Cycle at which the problem was detected (deadlock only).
+  Cycle cycle = 0;
+  /// Flits buffered in each router when the watchdog fired (deadlock only).
+  std::vector<std::uint32_t> router_occupancy;
+  /// Packets whose destination was unreachable over surviving links; they
+  /// are counted, not injected (they could only hang forever).
+  std::uint64_t unreachable_packets = 0;
+
+  bool ok() const { return status == SimStatus::kOk; }
+};
 
 struct NetworkSimConfig {
   TopologyKind topology = TopologyKind::kMesh;
@@ -56,6 +95,17 @@ struct NetworkSimConfig {
   /// `sample_interval` cycles over the whole run (including warmup) — for
   /// convergence checks and transient studies.
   Cycle sample_interval = 0;
+  /// Fault-injection schedule (see fault/fault_model.hpp). Default-constructed
+  /// = disabled, and the sim takes none of the fault code paths (results are
+  /// bitwise identical to builds without the subsystem). The schedule is
+  /// seeded from `faults.seed`, falling back to `seed` when zero, so it is
+  /// a pure function of the config — independent of thread count.
+  FaultConfig faults;
+  /// Forward-progress watchdog: abort the run with SimStatus::kDeadlock when
+  /// flits are in flight but none has moved for this many cycles. 0 disables.
+  /// Keep this above faults.transient_period, or a transient outage that
+  /// parks all traffic can masquerade as deadlock.
+  Cycle watchdog_cycles = 5'000;
   std::uint64_t seed = 1;
   Cycle warmup = 10'000;
   Cycle measure = 30'000;
@@ -89,9 +139,21 @@ struct NetworkSimResult {
   RouterActivity activity;       ///< summed over measurement window
   Cycle measure_cycles = 0;
   int num_nodes = 0;
+  /// Packets delivered (any time) with at least one payload-corrupted flit.
+  std::uint64_t packets_corrupted = 0;
+  /// How the run ended; check outcome.ok() before trusting the metrics.
+  SimOutcome outcome;
   /// Populated when sample_interval > 0.
   std::vector<IntervalSample> timeline;
 };
+
+/// Throws SimError with an actionable message when the config cannot run:
+/// rates outside [0,1], non-positive VC/buffer/packet sizes, unsupported
+/// pipeline depth, VIX virtual inputs not dividing num_vcs, degenerate
+/// bursty parameters, or permanent link faults on a torus (the dateline
+/// VC-partitioning proof does not survive detours). RunNetworkSim calls
+/// this itself; it is exported so sweep builders can fail fast.
+void ValidateNetworkSimConfig(const NetworkSimConfig& config);
 
 NetworkSimResult RunNetworkSim(const NetworkSimConfig& config);
 

@@ -1,8 +1,10 @@
 #include "sim/sweep.hpp"
 
 #include <cstdlib>
+#include <string>
 
 #include "common/check.hpp"
+#include "common/error.hpp"
 
 namespace vixnoc {
 
@@ -50,7 +52,22 @@ void SweepRunner::WorkerLoop() {
     }
 
     // The point runs unlocked: RunNetworkSim touches only its own state.
-    NetworkSimResult result = RunNetworkSim(*config);
+    // A throwing point (invalid config, SimError) must not escape the
+    // worker thread — that would std::terminate the process and wedge
+    // Run() waiting on a slot that never completes. It becomes a failed
+    // result instead, and the pool stays usable for later batches.
+    NetworkSimResult result;
+    try {
+      result = RunNetworkSim(*config);
+    } catch (const SimError& e) {
+      result = NetworkSimResult{};
+      result.outcome.status = SimStatus::kInvariantViolation;
+      result.outcome.message = e.what();
+    } catch (const std::exception& e) {
+      result = NetworkSimResult{};
+      result.outcome.status = SimStatus::kInvariantViolation;
+      result.outcome.message = std::string("unexpected exception: ") + e.what();
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -52,6 +52,11 @@ class SweepRunner {
 
   /// Runs every point and blocks until all complete. results[i] is the
   /// point configs[i] would produce through a direct RunNetworkSim call.
+  /// A point that throws (SimError from an invalid config, or any other
+  /// std::exception) does not kill the worker or wedge the batch: its slot
+  /// comes back with outcome.status == SimStatus::kInvariantViolation and
+  /// the exception message, the remaining points run normally, and the
+  /// pool accepts further batches.
   std::vector<NetworkSimResult> Run(
       const std::vector<NetworkSimConfig>& configs);
 

@@ -5,12 +5,19 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/error.hpp"
 
 namespace vixnoc {
 
 void PacketTrace::Add(const TraceRecord& record) {
-  VIXNOC_CHECK(record.size_flits >= 1);
-  VIXNOC_CHECK(records_.empty() || records_.back().cycle <= record.cycle);
+  VIXNOC_REQUIRE(record.size_flits >= 1,
+                 "trace record needs size_flits >= 1, got %d",
+                 record.size_flits);
+  VIXNOC_REQUIRE(
+      records_.empty() || records_.back().cycle <= record.cycle,
+      "trace records must be in non-decreasing cycle order (%lld after %lld)",
+      static_cast<long long>(record.cycle),
+      static_cast<long long>(records_.back().cycle));
   records_.push_back(record);
 }
 
@@ -41,10 +48,15 @@ PacketTrace PacketTrace::FromText(const std::string& text, int num_nodes) {
     const int fields =
         std::sscanf(line.c_str(), "%lld %lld %lld %lld", &cycle, &src, &dst,
                     &size);
-    VIXNOC_CHECK(fields == 4);
-    VIXNOC_CHECK(cycle >= 0 && src >= 0 && dst >= 0 && size >= 1);
+    VIXNOC_REQUIRE(fields == 4,
+                   "malformed trace line (want \"cycle src dst size\"): %s",
+                   line.c_str());
+    VIXNOC_REQUIRE(cycle >= 0 && src >= 0 && dst >= 0 && size >= 1,
+                   "trace line has out-of-range fields: %s", line.c_str());
     if (num_nodes > 0) {
-      VIXNOC_CHECK(src < num_nodes && dst < num_nodes);
+      VIXNOC_REQUIRE(src < num_nodes && dst < num_nodes,
+                     "trace line names node >= num_nodes (%d): %s",
+                     num_nodes, line.c_str());
     }
     r.cycle = static_cast<Cycle>(cycle);
     r.src = static_cast<NodeId>(src);
@@ -57,7 +69,8 @@ PacketTrace PacketTrace::FromText(const std::string& text, int num_nodes) {
 
 void PacketTrace::Save(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  VIXNOC_CHECK(f != nullptr);
+  VIXNOC_REQUIRE(f != nullptr, "cannot open trace file for writing: %s",
+                 path.c_str());
   const std::string text = ToText();
   const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
@@ -66,7 +79,8 @@ void PacketTrace::Save(const std::string& path) const {
 
 PacketTrace PacketTrace::Load(const std::string& path, int num_nodes) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  VIXNOC_CHECK(f != nullptr);
+  VIXNOC_REQUIRE(f != nullptr, "cannot open trace file for reading: %s",
+                 path.c_str());
   std::string text;
   char buf[4096];
   std::size_t n;

@@ -73,6 +73,12 @@ void ExpectIdentical(const NetworkSimResult& a, const NetworkSimResult& b) {
   EXPECT_EQ(a.activity.cycles_with_requests, b.activity.cycles_with_requests);
   EXPECT_EQ(a.measure_cycles, b.measure_cycles);
   EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.packets_corrupted, b.packets_corrupted);
+  EXPECT_EQ(a.outcome.status, b.outcome.status);
+  EXPECT_EQ(a.outcome.message, b.outcome.message);
+  EXPECT_EQ(a.outcome.cycle, b.outcome.cycle);
+  EXPECT_EQ(a.outcome.router_occupancy, b.outcome.router_occupancy);
+  EXPECT_EQ(a.outcome.unreachable_packets, b.outcome.unreachable_packets);
   ASSERT_EQ(a.timeline.size(), b.timeline.size());
   for (std::size_t i = 0; i < a.timeline.size(); ++i) {
     EXPECT_EQ(a.timeline[i].start, b.timeline[i].start);
@@ -143,6 +149,46 @@ TEST(SweepRunnerTest, ProgressCallbackCountsEveryPoint) {
   runner.Run(points);
   EXPECT_EQ(calls, points.size());
   EXPECT_EQ(last_done, points.size());
+}
+
+// A point whose config is invalid throws SimError inside a worker. The
+// batch must still complete: the bad slot comes back as
+// kInvariantViolation with the message, every other slot matches the
+// serial run bit for bit, and the pool stays usable for another batch.
+TEST(SweepRunnerTest, ThrowingPointDoesNotWedgeThePool) {
+  std::vector<NetworkSimConfig> points = TestBatch();
+  const std::size_t bad = points.size() / 2;
+  points[bad].injection_rate = 2.0;  // ValidateNetworkSimConfig throws
+
+  std::vector<NetworkSimResult> serial;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    serial.push_back(i == bad ? NetworkSimResult{}
+                              : RunNetworkSim(points[i]));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    SweepRunner runner(threads);
+    const std::vector<NetworkSimResult> results = runner.Run(points);
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "point=" << i);
+      if (i == bad) {
+        EXPECT_EQ(results[i].outcome.status, SimStatus::kInvariantViolation);
+        EXPECT_NE(results[i].outcome.message.find("injection_rate"),
+                  std::string::npos)
+            << results[i].outcome.message;
+      } else {
+        ExpectIdentical(serial[i], results[i]);
+      }
+    }
+
+    // The pool survived the exception and accepts further batches.
+    std::vector<NetworkSimConfig> good(points.begin(), points.begin() + 2);
+    const std::vector<NetworkSimResult> again = runner.Run(good);
+    ASSERT_EQ(again.size(), 2u);
+    ExpectIdentical(serial[0], again[0]);
+  }
 }
 
 TEST(ResolveThreadCountTest, ExplicitRequestWins) {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "app/app_sim.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "network/network.hpp"
 #include "router/router.hpp"
@@ -169,7 +170,7 @@ TEST(Vnet, InvalidClassCountRejected) {
   config.buffer_depth = 3;
   config.num_message_classes = 4;  // 6 % 4 != 0
   PortIsDestRouting routing;
-  EXPECT_DEATH(Router(0, config, TestLinks(), &routing), "check failed");
+  EXPECT_THROW(Router(0, config, TestLinks(), &routing), SimError);
 }
 
 }  // namespace
