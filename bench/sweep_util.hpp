@@ -111,6 +111,30 @@ class SweepHarness {
         outcome_json +=
             ", \"message\": \"" + EscapeJson(r.outcome.message) + "\"";
       }
+      if (r.telemetry.enabled) {
+        // Telemetry aggregates ride along per point when the config enabled
+        // the collector (measurement-window scope, like the core metrics).
+        const TelemetrySummary& t = r.telemetry;
+        char tele[512];
+        std::snprintf(
+            tele, sizeof tele,
+            ", \"telemetry\": {\"sa_requests\": %llu, \"sa_grants\": %llu, "
+            "\"crossbar_utilization\": %s, "
+            "\"vin_conflict_distinct_output\": %llu, "
+            "\"vin_conflict_same_output\": %llu, "
+            "\"same_output_conflict_rate\": %s, "
+            "\"distinct_output_conflict_rate\": %s, "
+            "\"output_conflict_cycles\": %llu}",
+            static_cast<unsigned long long>(t.sa_requests),
+            static_cast<unsigned long long>(t.sa_grants),
+            Num(t.crossbar_utilization).c_str(),
+            static_cast<unsigned long long>(t.vin_conflict_distinct_output),
+            static_cast<unsigned long long>(t.vin_conflict_same_output),
+            Num(t.same_output_conflict_rate).c_str(),
+            Num(t.distinct_output_conflict_rate).c_str(),
+            static_cast<unsigned long long>(t.output_conflict_cycles));
+        outcome_json += tele;
+      }
       std::fprintf(
           f,
           "    {\"topology\": \"%s\", \"scheme\": \"%s\", "

@@ -8,7 +8,11 @@
 #  3. ASan+UBSan build (-DVIXNOC_SANITIZE=address,undefined) running the
 #     fault/robustness/sweep tests — the error-recovery paths (SimError
 #     unwinding out of half-built networks, watchdog aborts mid-run,
-#     fault-schedule sampling) are exactly where leaks and UB would hide.
+#     fault-schedule sampling) are exactly where leaks and UB would hide;
+#  4. telemetry gate: telemetry_test (pins bitwise identity of
+#     telemetry-off runs against frozen goldens AND off-vs-on identity),
+#     then a bench_ext_telemetry run whose JSONL packet trace is
+#     schema-validated with python3 (skipped if python3 is absent).
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -35,5 +39,33 @@ cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
 "${PREFIX}-asan/tests/fault_test"
 "${PREFIX}-asan/tests/robustness_test"
 "${PREFIX}-asan/tests/sweep_test"
+
+echo "== tier1: telemetry gate (${PREFIX}) =="
+# telemetry_test asserts (a) telemetry-off results are bitwise identical to
+# the pre-telemetry goldens and (b) telemetry-on results are bitwise
+# identical to telemetry-off — the zero-overhead contract.
+"${PREFIX}/tests/telemetry_test"
+TRACE_JSONL="${PREFIX}/telemetry_trace.jsonl"
+"${PREFIX}/bench/bench_ext_telemetry" "trace=${TRACE_JSONL}" \
+  "json=${PREFIX}/telemetry_bench_results.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${TRACE_JSONL}" <<'EOF'
+import json, sys
+keys = {"packet", "event", "cycle", "router", "src", "dst"}
+events = {"inject", "vc_alloc", "sa_grant", "eject"}
+n = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        ev = json.loads(line)
+        assert set(ev) == keys, f"bad key set: {sorted(ev)}"
+        assert ev["event"] in events, f"bad event kind: {ev['event']}"
+        assert ev["cycle"] >= 0 and ev["packet"] >= 0 and ev["router"] >= -1
+        n += 1
+assert n > 0, "empty trace"
+print(f"telemetry trace schema OK ({n} events)")
+EOF
+else
+  echo "python3 not found; skipping JSONL schema validation"
+fi
 
 echo "== tier1: OK =="

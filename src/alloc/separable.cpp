@@ -49,12 +49,17 @@ void SeparableInputFirstAllocator::Allocate(
   // Phase 1: each crossbar input's arbiter picks one requesting VC.
   for (int xin = 0; xin < xin_count; ++xin) {
     bool any = false;
+    int req_count = 0;
     for (int sub = 0; sub < vpv; ++sub) {
       const bool req =
           out_port_of[static_cast<std::size_t>(xin) * vpv + sub] !=
           kInvalidPort;
       vc_request_scratch_[sub] = req;
       any |= req;
+      req_count += req ? 1 : 0;
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->input_requests[xin] += static_cast<std::uint64_t>(req_count);
     }
     if (!any) {
       phase1_vc_[xin] = -1;
@@ -71,14 +76,22 @@ void SeparableInputFirstAllocator::Allocate(
 
   // Phase 2: each output arbiter picks one crossbar input among phase-1
   // winners requesting it.
+  bool any_output_conflict = false;
   for (PortId o = 0; o < geom_.num_outports; ++o) {
     bool any = false;
+    int competitor_count = 0;
     for (int xin = 0; xin < xin_count; ++xin) {
       const bool req = phase1_vc_[xin] >= 0 && phase1_out_[xin] == o;
       out_request_scratch_[xin] = req;
       any |= req;
+      competitor_count += req ? 1 : 0;
     }
     if (!any) continue;
+    if (telemetry_ != nullptr) {
+      telemetry_->output_requests[o] +=
+          static_cast<std::uint64_t>(competitor_count);
+      any_output_conflict |= competitor_count >= 2;
+    }
     const int xin = output_arbiters_[o]->Pick(out_request_scratch_);
     VIXNOC_DCHECK(xin >= 0);
     output_arbiters_[o]->Commit(xin);
@@ -86,12 +99,19 @@ void SeparableInputFirstAllocator::Allocate(
     if (update_on_grant_only_) {
       input_arbiters_[xin]->Commit(sub);
     }
+    if (telemetry_ != nullptr) {
+      ++telemetry_->input_grants[xin];
+      ++telemetry_->output_grants[o];
+    }
     SaGrant grant;
     grant.in_port = xin / geom_.num_vins;
     grant.vin = xin % geom_.num_vins;
     grant.vc = geom_.VcOf(grant.vin, sub);
     grant.out_port = o;
     grants->push_back(grant);
+  }
+  if (telemetry_ != nullptr && any_output_conflict) {
+    ++telemetry_->output_conflict_cycles;
   }
 }
 

@@ -16,6 +16,8 @@
 // vc's virtual input is vc / (num_vcs / num_vins).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +78,41 @@ struct SaGrant {
   PortId out_port = kInvalidPort;
 };
 
+/// Per-arbiter telemetry counters exposed by separable allocators (the
+/// schemes built from Arbiter instances). Filled only while a telemetry
+/// sink is attached via SwitchAllocator::set_telemetry; the hot path pays
+/// one pointer test per Allocate otherwise.
+struct AllocTelemetry {
+  /// Per crossbar input (in_port * num_vins + vin): VCs presented to the
+  /// input arbiter, and picks that were ultimately granted by an output
+  /// arbiter. requests >> grants means head-of-line serialization at this
+  /// virtual input.
+  std::vector<std::uint64_t> input_requests;
+  std::vector<std::uint64_t> input_grants;
+  /// Per output port: phase-1 winners presented to the output arbiter, and
+  /// grants it issued. The gap is output-side conflict loss.
+  std::vector<std::uint64_t> output_requests;
+  std::vector<std::uint64_t> output_grants;
+  /// Cycles in which some output arbiter saw two or more competing
+  /// crossbar inputs.
+  std::uint64_t output_conflict_cycles = 0;
+
+  void Resize(const SwitchGeometry& g) {
+    input_requests.assign(g.NumCrossbarInputs(), 0);
+    input_grants.assign(g.NumCrossbarInputs(), 0);
+    output_requests.assign(g.num_outports, 0);
+    output_grants.assign(g.num_outports, 0);
+    output_conflict_cycles = 0;
+  }
+  void Clear() {
+    std::fill(input_requests.begin(), input_requests.end(), 0);
+    std::fill(input_grants.begin(), input_grants.end(), 0);
+    std::fill(output_requests.begin(), output_requests.end(), 0);
+    std::fill(output_grants.begin(), output_grants.end(), 0);
+    output_conflict_cycles = 0;
+  }
+};
+
 /// Abstract switch allocator. Implementations are stateful (rotating
 /// priorities, chains); Reset() restores the post-construction state.
 class SwitchAllocator {
@@ -98,8 +135,15 @@ class SwitchAllocator {
 
   virtual std::string Name() const = 0;
 
+  /// Attach (or detach, with nullptr) a per-arbiter telemetry sink. Only
+  /// the separable allocators fill it; matching-based schemes (WF, AP)
+  /// have no per-arbiter structure and leave it untouched. The sink must
+  /// be sized for this allocator's geometry and outlive the attachment.
+  void set_telemetry(AllocTelemetry* sink) { telemetry_ = sink; }
+
  protected:
   SwitchGeometry geom_;
+  AllocTelemetry* telemetry_ = nullptr;
 };
 
 /// Returns true iff `grants` is structurally legal for `geom` against

@@ -1,5 +1,7 @@
 #include "arbiter/arbiter.hpp"
 
+#include "common/error.hpp"
+
 namespace vixnoc {
 
 int RoundRobinArbiter::Pick(const std::vector<bool>& requests) const {
@@ -65,7 +67,11 @@ std::unique_ptr<Arbiter> MakeArbiter(ArbiterKind kind, int num_requesters) {
     case ArbiterKind::kMatrix:
       return std::make_unique<MatrixArbiter>(num_requesters);
   }
-  VIXNOC_CHECK(false);
+  // Setup-path error policy (common/error.hpp): an out-of-range kind (e.g.
+  // a bad cast from parsed input) is a recoverable configuration error, not
+  // corrupted in-memory state — throw SimError so sweep drivers can mark
+  // the point failed instead of aborting the whole process.
+  VIXNOC_REQUIRE(false, "unknown arbiter kind %d", static_cast<int>(kind));
   return nullptr;
 }
 

@@ -11,10 +11,16 @@ double Histogram::Quantile(double q) const {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];
     if (cum > target) {
+      // The overflow bucket covers [num_buckets * width, inf): a midpoint
+      // is meaningless there and would silently understate the tail, so
+      // report its lower bound — "the quantile is at least this".
+      if (i == counts_.size() - 1) {
+        return static_cast<double>(i) * width_;
+      }
       return (static_cast<double>(i) + 0.5) * width_;
     }
   }
-  return static_cast<double>(counts_.size()) * width_;
+  return static_cast<double>(counts_.size() - 1) * width_;
 }
 
 }  // namespace vixnoc

@@ -67,8 +67,13 @@ class Histogram {
   std::uint64_t TotalCount() const { return total_; }
   std::size_t NumBuckets() const { return counts_.size(); }
   std::uint64_t BucketCount(std::size_t i) const { return counts_[i]; }
+  /// Samples that landed at or beyond num_buckets * width. A non-zero count
+  /// means quantiles near the tail are lower bounds, not point estimates.
+  std::uint64_t OverflowCount() const { return counts_.back(); }
 
-  /// Approximate p-quantile (q in [0,1]) from bucket midpoints.
+  /// Approximate p-quantile (q in [0,1]) from bucket midpoints. Quantiles
+  /// that land in the overflow bucket are reported as that bucket's lower
+  /// bound (num_buckets * width): the true value is at least this large.
   double Quantile(double q) const;
 
  private:

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "router/vc_assign.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vixnoc {
 
@@ -28,6 +29,12 @@ Network::Network(std::shared_ptr<Topology> topology,
   for (RouterId r = 0; r < num_routers; ++r) {
     routers_.push_back(std::make_unique<Router>(
         r, params_.router, topology_->LinksFor(r), routing_));
+  }
+
+  if (params_.telemetry != nullptr) {
+    params_.telemetry->AttachRouters(num_routers, routers_[0]->geometry(),
+                                     params_.router.buffer_depth);
+    for (auto& router : routers_) router->SetTelemetry(params_.telemetry);
   }
 
   if (params_.faults != nullptr) {
@@ -73,6 +80,12 @@ Network::Network(std::shared_ptr<Topology> topology,
     VIXNOC_CHECK(ni.port == topology_->EjectPortOfNode(n));
     ni.credits.assign(params_.router.num_vcs, params_.router.buffer_depth);
     ni.vc_busy.assign(params_.router.num_vcs, false);
+    // Per-node stream offset from the routers' (id + 1) spacing so NI and
+    // router streams never coincide.
+    ni.vc_rng.Reseed(params_.router.vc_rng_seed +
+                     0x9e3779b97f4a7c15ull *
+                         (static_cast<std::uint64_t>(topology_->NumRouters()) +
+                          static_cast<std::uint64_t>(n) + 1));
     Upstream& up = upstream_[static_cast<std::size_t>(ni.router) *
                                  topology_->Radix() +
                              ni.port];
@@ -142,6 +155,14 @@ void Network::HandleEjectedFlit(Ni& ni, const Flit& flit) {
   if (tracer_) {
     tracer_(FlitEvent{FlitEventKind::kEject, now_, -1, kInvalidPort, flit});
   }
+  if (params_.telemetry != nullptr && flit.IsTail()) {
+    params_.telemetry->OnPacketEjected();
+    if (params_.telemetry->SampleTrace(flit.packet_id)) {
+      params_.telemetry->RecordTraceEvent(PacketTraceEvent{
+          flit.packet_id, PacketTraceEvent::Kind::kEject, now_, -1, flit.src,
+          flit.dst});
+    }
+  }
   if (!flit.IsTail()) {
     if (flit.corrupted) ni.corrupted_partial.push_back(flit.packet_id);
     return;
@@ -193,7 +214,7 @@ void Network::StepNi(Ni& ni) {
     layout.interleaved = rc.interleaved_vins;
     layout.first_vc = cls_base;
     const int pick = PickOutputVc(rc.vc_policy, views, layout,
-                                  routing.DimensionOf(route_out));
+                                  routing.DimensionOf(route_out), &ni.vc_rng);
     if (pick >= 0) {
       const VcId vc = cls_base + pick;
       ni.vc_busy[vc] = true;
@@ -231,7 +252,15 @@ void Network::StepNi(Ni& ni) {
     --ni.credits[tx.vc];
     ++tx.sent;
     ++counters_[ni.node].flits_injected;
-    if (tx.sent == 1) ++counters_[ni.node].packets_injected;
+    if (tx.sent == 1) {
+      ++counters_[ni.node].packets_injected;
+      if (params_.telemetry != nullptr &&
+          params_.telemetry->SampleTrace(tx.id)) {
+        params_.telemetry->RecordTraceEvent(
+            PacketTraceEvent{tx.id, PacketTraceEvent::Kind::kInject, now_, -1,
+                             ni.node, tx.dst});
+      }
+    }
     if (tracer_) {
       tracer_(
           FlitEvent{FlitEventKind::kInject, now_, -1, kInvalidPort, flit});
@@ -328,6 +357,8 @@ void Network::Step() {
   }
 
   if (!sent_flits_.empty()) last_progress_ = now_;
+
+  if (params_.telemetry != nullptr) params_.telemetry->Tick(now_);
 
   ++now_;
 }

@@ -20,6 +20,8 @@
 
 namespace vixnoc {
 
+class TelemetryCollector;
+
 /// Timing of the links around the 3-stage router pipeline (Fig 6b).
 struct NetworkParams {
   RouterConfig router;
@@ -37,6 +39,10 @@ struct NetworkParams {
   /// how fault-aware detour routing (fault/fault_routing.hpp) is installed.
   /// Must outlive the network. Null uses topology.Routing().
   const RoutingFunction* routing_override = nullptr;
+  /// Observability sink (telemetry/telemetry.hpp); must outlive the
+  /// network. Null (the default) keeps every hot path at one pointer test
+  /// and the simulation bitwise identical to an uninstrumented run.
+  TelemetryCollector* telemetry = nullptr;
 };
 
 /// Everything known about a delivered packet, passed to the eject callback.
@@ -159,6 +165,9 @@ class Network {
     /// tail flit resolves them into PacketRecord::corrupted. Touched only
     /// when fault injection is active.
     std::vector<PacketId> corrupted_partial;
+    /// Injection-VC randomness; drawn from only under
+    /// VcAssignPolicy::kRandomFree (per-node stream, like routers').
+    Rng vc_rng;
   };
 
   struct Event {

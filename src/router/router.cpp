@@ -4,6 +4,7 @@
 
 #include "alloc/augmenting_path.hpp"
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vixnoc {
 
@@ -59,6 +60,16 @@ Router::Router(RouterId id, const RouterConfig& config,
   out_used_scratch_.assign(config_.radix, false);
   xin_used_scratch_.assign(
       static_cast<std::size_t>(config_.radix) * config_.NumVins(), false);
+  // Distinct stream per router: mix the id into the base seed before the
+  // SplitMix expansion inside Reseed.
+  vc_rng_.Reseed(config_.vc_rng_seed +
+                 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(id_) + 1));
+}
+
+void Router::SetTelemetry(TelemetryCollector* collector) {
+  tcol_ = collector;
+  rt_ = collector != nullptr ? &collector->router(id_) : nullptr;
+  allocator_->set_telemetry(rt_ != nullptr ? &rt_->alloc : nullptr);
 }
 
 void Router::ClearActivity() {
@@ -173,7 +184,7 @@ void Router::RunVcAllocation() {
     layout.interleaved = config_.interleaved_vins;
     layout.first_vc = cls_base + range.lo;
     const int pick = PickOutputVc(config_.vc_policy, vc_view_scratch_,
-                                  layout, downstream_dim);
+                                  layout, downstream_dim, &vc_rng_);
     if (pick < 0) continue;  // all usable VCs busy: stall
     const VcId out_vc = cls_base + range.lo + pick;
 
@@ -316,7 +327,62 @@ void Router::Step(Cycle now, std::vector<SentFlit>* sent_flits,
   allocator_->Allocate(sa_requests_, &sa_grants_);
   VIXNOC_DCHECK(GrantsAreLegal(allocator_->geometry(), sa_requests_,
                                sa_grants_));
+  if (rt_ != nullptr) CollectCycleTelemetry(now);
   CommitGrants(now, sent_flits, sent_credits);
+}
+
+void Router::CollectCycleTelemetry(Cycle now) {
+  rt_->RecordAllocationCycle(sa_requests_, sa_grants_);
+
+  for (PortId p = 0; p < config_.radix; ++p) {
+    int occupancy = 0;
+    for (VcId c = 0; c < config_.num_vcs; ++c) {
+      const InputVc& v = ivc(p, c);
+      occupancy += static_cast<int>(v.buffer.size());
+      RouterTelemetry::VcState s;
+      if (v.buffer.empty()) {
+        s = RouterTelemetry::VcState::kEmpty;
+      } else if (!v.active) {
+        s = RouterTelemetry::VcState::kVaStall;
+      } else if (rt_->WasGranted(p, c)) {
+        s = RouterTelemetry::VcState::kMoving;
+      } else {
+        const OutputPort& op = outputs_[v.out_port];
+        const bool link_down =
+            num_blocked_ > 0 && output_blocked_[v.out_port];
+        const bool no_credit =
+            !op.link.IsEjection() && op.vcs[v.out_vc].credits == 0;
+        s = (link_down || no_credit) ? RouterTelemetry::VcState::kCreditStall
+                                     : RouterTelemetry::VcState::kSaStall;
+      }
+      rt_->RecordVcState(p, c, s);
+    }
+    rt_->RecordPortOccupancy(p, occupancy);
+  }
+
+  if (tcol_->tracing()) {
+    // VA and SA milestones for sampled packets. Grants have not been
+    // committed yet, so every granted VC's moving flit is still at the
+    // front of its buffer.
+    const int total = config_.radix * config_.num_vcs;
+    for (int idx = 0; idx < total; ++idx) {
+      if (!just_activated_[idx]) continue;
+      const InputVc& v = input_vcs_[idx];
+      if (v.buffer.empty()) continue;
+      const Flit& head = v.buffer.front();
+      if (!tcol_->SampleTrace(head.packet_id)) continue;
+      tcol_->RecordTraceEvent(PacketTraceEvent{
+          head.packet_id, PacketTraceEvent::Kind::kVcAlloc, now, id_,
+          head.src, head.dst});
+    }
+    for (const SaGrant& g : sa_grants_) {
+      const Flit& f = ivc(g.in_port, g.vc).buffer.front();
+      if (!f.IsHead() || !tcol_->SampleTrace(f.packet_id)) continue;
+      tcol_->RecordTraceEvent(PacketTraceEvent{
+          f.packet_id, PacketTraceEvent::Kind::kSaGrant, now, id_, f.src,
+          f.dst});
+    }
+  }
 }
 
 bool Router::Quiescent() const {

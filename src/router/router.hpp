@@ -13,12 +13,16 @@
 #include <vector>
 
 #include "alloc/switch_allocator.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "router/flit.hpp"
 #include "router/routing.hpp"
 #include "router/vc_assign.hpp"
 
 namespace vixnoc {
+
+class RouterTelemetry;
+class TelemetryCollector;
 
 /// How the VA stage resolves competition for output VCs.
 enum class VaOrganization {
@@ -75,6 +79,10 @@ struct RouterConfig {
   /// inputs, so num_vcs must also be divisible by classes * virtual inputs
   /// for an even mapping (checked at construction).
   int num_message_classes = 1;
+  /// Base seed for the VA-stage RNG (each router derives a per-id stream
+  /// from it). Drawn from only under VcAssignPolicy::kRandomFree, so every
+  /// deterministic policy is bitwise independent of this value.
+  std::uint64_t vc_rng_seed = 0;
 
   int VcsPerClass() const { return num_vcs / num_message_classes; }
 
@@ -176,6 +184,12 @@ class Router {
   void SetOutputBlocked(PortId out_port, bool blocked);
   bool OutputBlocked(PortId out_port) const { return output_blocked_[out_port]; }
 
+  /// Attach this router to a telemetry collector (nullptr detaches). The
+  /// router records into collector->router(id()); with no collector the
+  /// per-cycle cost is one pointer test and simulation results are bitwise
+  /// identical (telemetry never mutates router state or draws randomness).
+  void SetTelemetry(TelemetryCollector* collector);
+
   const RouterActivity& activity() const { return activity_; }
   void ClearActivity();
 
@@ -221,6 +235,10 @@ class Router {
   void BuildSaRequests();
   void CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
                     std::vector<SentCredit>* sent_credits);
+  /// Records this cycle's counters and trace events into rt_/tcol_. Runs
+  /// between Allocate and CommitGrants, while requests, grants and buffer
+  /// heads are all still observable.
+  void CollectCycleTelemetry(Cycle now);
 
   RouterId id_;
   RouterConfig config_;
@@ -252,6 +270,12 @@ class Router {
 
   RouterActivity activity_;
   std::vector<std::uint64_t> flits_per_out_;  // radix
+
+  /// VA-stage randomness (kRandomFree only); per-router stream derived from
+  /// config_.vc_rng_seed and id_ so results are thread-count independent.
+  Rng vc_rng_;
+  TelemetryCollector* tcol_ = nullptr;
+  RouterTelemetry* rt_ = nullptr;  ///< == &tcol_->router(id_)
 };
 
 }  // namespace vixnoc

@@ -1,6 +1,7 @@
 #include "router/vc_assign.hpp"
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace vixnoc {
 
@@ -44,10 +45,30 @@ bool GroupPresent(const std::vector<OutputVcView>& views,
 
 int PickOutputVc(VcAssignPolicy policy,
                  const std::vector<OutputVcView>& views,
-                 const VinLayout& layout, PortDimension downstream_dim) {
+                 const VinLayout& layout, PortDimension downstream_dim,
+                 Rng* rng) {
   VIXNOC_DCHECK(!views.empty());
   VIXNOC_DCHECK(layout.num_vins >= 1 &&
                 layout.total_vcs % layout.num_vins == 0);
+
+  if (policy == VcAssignPolicy::kRandomFree) {
+    // Control arm for steering-policy studies: uniform over the free
+    // candidates, blind to virtual inputs. One NextBounded draw per free
+    // choice; no draw when zero or one candidate is free.
+    VIXNOC_DCHECK(rng != nullptr);
+    int free_count = 0;
+    for (const OutputVcView& v : views) free_count += v.allocated ? 0 : 1;
+    if (free_count == 0) return -1;
+    int target = free_count == 1
+                     ? 0
+                     : static_cast<int>(rng->NextBounded(
+                           static_cast<std::uint64_t>(free_count)));
+    for (int i = 0; i < static_cast<int>(views.size()); ++i) {
+      if (views[i].allocated) continue;
+      if (target-- == 0) return i;
+    }
+    return -1;  // unreachable
+  }
 
   if (policy == VcAssignPolicy::kMaxCredits || layout.num_vins == 1) {
     return BestInGroup(views, layout, -1);

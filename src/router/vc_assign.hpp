@@ -26,6 +26,7 @@ enum class VcAssignPolicy {
   kMaxCredits,    ///< baseline: free VC with most credits
   kVixDimension,  ///< VIX: dimension-preferred sub-group, balance fallback
   kVixBalance,    ///< VIX ablation: pure load balancing across sub-groups
+  kRandomFree,    ///< control arm: uniform over free VCs, ignoring sub-groups
 };
 
 /// Snapshot of one output VC's allocation state, provided by the router.
@@ -47,11 +48,17 @@ struct VinLayout {
   }
 };
 
+class Rng;
+
 /// Picks a candidate index (into `views`), or -1 if none is free.
 /// `downstream_dim` is the dimension of the port the packet will request at
 /// the downstream router (kLocal when the next hop ejects or is unknown).
+/// `rng` is consulted only by kRandomFree (the others never draw from it,
+/// so deterministic policies stay bitwise reproducible regardless of what
+/// stream is passed); it must be non-null for that policy.
 int PickOutputVc(VcAssignPolicy policy,
                  const std::vector<OutputVcView>& views,
-                 const VinLayout& layout, PortDimension downstream_dim);
+                 const VinLayout& layout, PortDimension downstream_dim,
+                 Rng* rng = nullptr);
 
 }  // namespace vixnoc

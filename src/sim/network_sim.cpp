@@ -84,6 +84,22 @@ void ValidateNetworkSimConfig(const NetworkSimConfig& config) {
                    "detour routing breaks the dateline VC deadlock-freedom "
                    "argument");
   }
+  if (config.telemetry.enabled) {
+    VIXNOC_REQUIRE(config.telemetry.window_cycles >= 1,
+                   "telemetry.window_cycles must be >= 1, got %llu",
+                   static_cast<unsigned long long>(
+                       config.telemetry.window_cycles));
+    VIXNOC_REQUIRE(config.telemetry.max_windows >= 2,
+                   "telemetry.max_windows must be >= 2, got %zu",
+                   config.telemetry.max_windows);
+    if (config.telemetry.trace_sample_period > 0) {
+      VIXNOC_REQUIRE(config.telemetry.max_trace_events >= 1,
+                     "telemetry.max_trace_events must be >= 1 when tracing, "
+                     "got %zu",
+                     config.telemetry.max_trace_events);
+    }
+  }
+
   // A transient outage or stall window parks all affected traffic for its
   // whole duration; the watchdog must outlast it or a healthy run is
   // misreported as deadlocked.
@@ -131,6 +147,9 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
   params.router.atomic_vc_alloc = config.atomic_vc_alloc;
   params.router.prioritize_nonspeculative = config.prioritize_nonspeculative;
   params.router.va_organization = config.va_organization;
+  // Only kRandomFree ever draws from the VA RNG, so seeding it is free for
+  // every deterministic policy.
+  params.router.vc_rng_seed = config.seed;
   if (config.pipeline_stages == 5) {
     params.router.speculative_sa = false;  // VA and SA in separate stages
     params.flit_delay = 4;                 // ST + LT + RC at the next hop
@@ -152,6 +171,12 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
     }
     params.routing_override = fault_routing.get();
     params.faults = std::move(faults);
+  }
+
+  std::unique_ptr<TelemetryCollector> telemetry;
+  if (config.telemetry.enabled) {
+    telemetry = std::make_unique<TelemetryCollector>(config.telemetry);
+    params.telemetry = telemetry.get();
   }
 
   Network net(topology, params);
@@ -220,6 +245,7 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
         at_measure_start[n] = net.counters(n);
       }
       net.ClearActivity();
+      if (telemetry != nullptr) telemetry->ResetCounters();
     }
     if (t == measure_end) {
       for (NodeId n = 0; n < num_nodes; ++n) {
@@ -227,6 +253,9 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
       }
       activity_snapshot = net.TotalActivity();
       measure_window_closed = true;
+      // Counter aggregates are frozen here; windows and trace (snapshotted
+      // again after the loop) keep running through the drain.
+      if (telemetry != nullptr) result.telemetry = telemetry->Summarize();
     }
     // Injection at every node, including during drain (holding the load
     // keeps measured packets under realistic contention).
@@ -263,6 +292,15 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
   result.measure_cycles = config.measure;
   result.offered_ppc = config.injection_rate;
   result.packets_corrupted = packets_corrupted;
+
+  if (telemetry != nullptr) {
+    // A run that ended before measure_end has no frozen counter snapshot;
+    // fall back to end-of-run aggregates so the telemetry is never silently
+    // empty (outcome.status already marks the metrics untrustworthy).
+    if (!measure_window_closed) result.telemetry = telemetry->Summarize();
+    result.telemetry.windows = telemetry->windows();
+    result.telemetry.trace = telemetry->trace_events();
+  }
 
   // A deadlock before the measurement window closes leaves the end-of-window
   // snapshot unset; report the structured outcome and keep the metrics zero

@@ -13,6 +13,7 @@
 #include "fault/fault_model.hpp"
 #include "network/network.hpp"
 #include "router/vc_assign.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/patterns.hpp"
 
 namespace vixnoc {
@@ -106,6 +107,11 @@ struct NetworkSimConfig {
   /// Keep this above faults.transient_period, or a transient outage that
   /// parks all traffic can masquerade as deadlock.
   Cycle watchdog_cycles = 5'000;
+  /// Router/allocator observability (telemetry/telemetry.hpp). Disabled by
+  /// default; enabling it never changes simulation results, only records
+  /// them. Counter aggregates cover the measurement window; the time series
+  /// and packet trace cover the whole run.
+  TelemetryConfig telemetry;
   std::uint64_t seed = 1;
   Cycle warmup = 10'000;
   Cycle measure = 30'000;
@@ -145,6 +151,8 @@ struct NetworkSimResult {
   SimOutcome outcome;
   /// Populated when sample_interval > 0.
   std::vector<IntervalSample> timeline;
+  /// Populated when config.telemetry.enabled (telemetry.enabled mirrors it).
+  TelemetrySummary telemetry;
 };
 
 /// Throws SimError with an actionable message when the config cannot run:

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "arbiter/arbiter.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace vixnoc {
@@ -94,6 +95,63 @@ TEST(Matrix, LeastRecentlyGrantedProperty) {
   EXPECT_EQ(arb.Pick(Req({0, 2}, 4)), 2);
 }
 
+TEST(Matrix, CommitDemotesWinnerBelowEveryOtherRequester) {
+  // After Commit(w), w must lose every pairwise contest — the matrix clears
+  // w's entire priority row, not just the bit against the runner-up.
+  const int n = 5;
+  for (int w = 0; w < n; ++w) {
+    MatrixArbiter arb(n);
+    arb.Commit(w);
+    for (int other = 0; other < n; ++other) {
+      if (other == w) continue;
+      EXPECT_EQ(arb.Pick(Req({w, other}, n)), other)
+          << "after Commit(" << w << "), " << w << " still beats " << other;
+    }
+  }
+}
+
+TEST(Matrix, StarvationFreeOverFullRotation) {
+  // Under persistent full contention every requester must win within one
+  // n-grant rotation: LRG priority means a waiting requester climbs one rank
+  // per grant it loses, so its wait can never exceed n - 1 grants.
+  const int n = 6;
+  MatrixArbiter arb(n);
+  const std::vector<bool> all(n, true);
+  std::vector<int> waiting(n, 0);
+  for (int t = 0; t < 600; ++t) {
+    const int w = arb.Pick(all);
+    ASSERT_GE(w, 0);
+    for (int i = 0; i < n; ++i) {
+      if (i == w) {
+        waiting[i] = 0;
+      } else {
+        ++waiting[i];
+        EXPECT_LE(waiting[i], n - 1) << "requester " << i << " starved at " << t;
+      }
+    }
+    arb.Commit(w);
+  }
+}
+
+TEST(Matrix, AgreesWithRoundRobinOnSingleRequesterInputs) {
+  // With exactly one bit set there is nothing to arbitrate: both policies
+  // must return that bit and committing it must not change this.
+  const int n = 4;
+  MatrixArbiter matrix(n);
+  RoundRobinArbiter rr(n);
+  Rng rng(29);
+  for (int t = 0; t < 200; ++t) {
+    const int i = static_cast<int>(rng.NextBounded(n));
+    const auto reqs = Req({i}, n);
+    const int mw = matrix.Pick(reqs);
+    const int rw = rr.Pick(reqs);
+    EXPECT_EQ(mw, i);
+    EXPECT_EQ(mw, rw);
+    matrix.Commit(mw);
+    rr.Commit(rw);
+  }
+}
+
 TEST(Matrix, FairUnderFullContention) {
   MatrixArbiter arb(6);
   std::vector<int> wins(6, 0);
@@ -152,6 +210,12 @@ TEST_P(ArbiterKindTest, SizeOneAlwaysGrantsZero) {
 INSTANTIATE_TEST_SUITE_P(AllKinds, ArbiterKindTest,
                          ::testing::Values(ArbiterKind::kRoundRobin,
                                            ArbiterKind::kMatrix));
+
+TEST(MakeArbiter, UnknownKindThrowsSimError) {
+  // A corrupted kind must surface as a recoverable SimError (so sweep drivers
+  // can mark the point failed), not a process abort.
+  EXPECT_THROW(MakeArbiter(static_cast<ArbiterKind>(99), 4), SimError);
+}
 
 }  // namespace
 }  // namespace vixnoc

@@ -173,6 +173,21 @@ TEST(Histogram, MedianOfUniform) {
   EXPECT_NEAR(h.Quantile(0.0), 0.5, 1.0);
 }
 
+TEST(Histogram, TailQuantileInOverflowBucketIsLowerBound) {
+  // Regression: quantiles landing in the overflow bucket must report the
+  // bucket's lower bound (num_buckets * width), never a fabricated midpoint
+  // (the old code returned (idx + 0.5) * width == 45 here, silently
+  // understating "at least 40" as a point estimate).
+  Histogram h(10.0, 4);  // covered range [0, 40) + overflow
+  for (int i = 0; i < 90; ++i) h.Add(5.0);
+  for (int i = 0; i < 10; ++i) h.Add(1000.0);
+  EXPECT_EQ(h.OverflowCount(), 10u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 40.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 40.0);
+  // Quantiles below the overflow mass are unaffected.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+}
+
 TEST(Histogram, NegativeClampsToZeroBucket) {
   Histogram h(1.0, 10);
   h.Add(-5.0);

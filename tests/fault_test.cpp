@@ -351,5 +351,41 @@ TEST(FaultSweep, MixedFailureBatchCompletes) {
   EXPECT_GT(results[3].packets_measured, 0u);
 }
 
+// Measurement-window delta accounting under fault schedules: stall windows
+// sized so routers freeze *across* the measure_end boundary (stalls start
+// at phase-seeded offsets within each 1500-cycle period and last 600
+// cycles; with warmup=1000 and measure=2000, many straddle t=3000). The
+// per-node deltas are (end snapshot - start snapshot) of monotonically
+// increasing counters, so whatever the fault schedule does, they must be
+// non-negative and bounded — a wraparound or inverted-snapshot bug would
+// surface as a huge or negative node throughput.
+TEST(FaultMeasurement, StallAcrossMeasureEndKeepsNodeDeltasSane) {
+  NetworkSimConfig c;
+  c.injection_rate = 0.05;
+  c.seed = 5;
+  c.warmup = 1'000;
+  c.measure = 2'000;
+  c.drain = 1'000;
+  c.faults.router_stall_rate = 0.25;
+  c.faults.stall_period = 1'500;
+  c.faults.stall_duration = 600;
+  c.watchdog_cycles = 4'000;  // must exceed stall_duration
+  const NetworkSimResult r = RunNetworkSim(c);
+
+  ASSERT_TRUE(r.outcome.ok()) << r.outcome.message;
+  EXPECT_GT(r.packets_measured, 0u);
+  // NodeCounters are uint64: a negative delta would wrap to ~1.8e19 and
+  // blow straight through these bounds.
+  EXPECT_GE(r.min_node_ppc, 0.0);
+  EXPECT_LE(r.min_node_ppc, r.max_node_ppc);
+  EXPECT_LE(r.max_node_ppc, 1.0);
+  // A quarter of the routers are stalled 40% of the time, so accepted
+  // throughput is degraded but must stay near the offered load's order of
+  // magnitude, not explode.
+  EXPECT_GT(r.accepted_ppc, 0.0);
+  EXPECT_LE(r.accepted_ppc, 2.0 * c.injection_rate);
+  EXPECT_GE(r.max_min_ratio, 1.0);
+}
+
 }  // namespace
 }  // namespace vixnoc
