@@ -50,11 +50,20 @@ class SweepHarness {
   int threads() const { return runner_->num_threads(); }
 
   /// Runs one batch of points in parallel; may be called repeatedly. Wall
-  /// clock and per-point records accumulate across calls.
+  /// clock and per-point records accumulate across calls. With
+  /// `checkpoint=DIR`, each batch caches its completed points under
+  /// `DIR/batch_<k>/` — re-running an interrupted bench resumes from the
+  /// cache and produces results bitwise identical to a straight run.
   std::vector<NetworkSimResult> Run(
       const std::vector<NetworkSimConfig>& points) {
+    if (!checkpoint_dir_.empty()) {
+      runner_->SetCheckpointDir(checkpoint_dir_ + "/batch_" +
+                                std::to_string(batches_));
+    }
+    ++batches_;
     const auto start = std::chrono::steady_clock::now();
     std::vector<NetworkSimResult> results = runner_->Run(points);
+    resumed_points_ += runner_->resumed_points();
     wall_seconds_ += std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -83,17 +92,26 @@ class SweepHarness {
       std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
       return 1;
     }
+    // Checkpoint provenance: whether this file was produced with a point
+    // cache, and how many points came from it rather than fresh runs.
+    std::string provenance;
+    if (!checkpoint_dir_.empty()) {
+      provenance = "  \"checkpoint_dir\": \"" + EscapeJson(checkpoint_dir_) +
+                   "\",\n  \"resumed_points\": " +
+                   std::to_string(resumed_points_) + ",\n";
+    }
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"%s\",\n"
                  "  \"threads\": %d,\n"
                  "  \"points\": %zu,\n"
+                 "%s"
                  "  \"wall_seconds\": %s,\n"
                  "  \"sim_cycles\": %llu,\n"
                  "  \"sim_cycles_per_second\": %s,\n"
                  "  \"results\": [\n",
                  bench_name_.c_str(), threads(), records_.size(),
-                 Num(wall_seconds_).c_str(),
+                 provenance.c_str(), Num(wall_seconds_).c_str(),
                  static_cast<unsigned long long>(sim_cycles_),
                  Num(wall_seconds_ > 0
                          ? static_cast<double>(sim_cycles_) / wall_seconds_
@@ -161,17 +179,21 @@ class SweepHarness {
             const std::string& extra_usage) {
     if (args.GetBool("help", false)) {
       std::printf(
-          "usage: bench_%s [threads=N] [json=PATH]%s\n"
-          "  threads=N  worker threads for the simulation sweep\n"
-          "             (default 0 = $VIXNOC_THREADS if set, else all cores)\n"
-          "  json=PATH  machine-readable results file\n"
-          "             (default %s; json= disables)\n%s",
+          "usage: bench_%s [threads=N] [json=PATH] [checkpoint=DIR]%s\n"
+          "  threads=N       worker threads for the simulation sweep\n"
+          "                  (default 0 = $VIXNOC_THREADS if set, else all "
+          "cores)\n"
+          "  json=PATH       machine-readable results file\n"
+          "                  (default %s; json= disables)\n"
+          "  checkpoint=DIR  cache completed points under DIR; re-running\n"
+          "                  after an interruption resumes from the cache\n%s",
           bench_name_.c_str(), extra_usage.empty() ? "" : " [...]",
           default_json.c_str(), extra_usage.c_str());
       std::exit(0);
     }
     threads_ = static_cast<int>(args.GetInt("threads", 0));
     json_path_ = args.GetString("json", default_json);
+    checkpoint_dir_ = args.GetString("checkpoint", "");
     runner_ = std::make_unique<SweepRunner>(threads_);
   }
 
@@ -210,7 +232,10 @@ class SweepHarness {
 
   std::string bench_name_;
   std::string json_path_;
+  std::string checkpoint_dir_;
   int threads_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t resumed_points_ = 0;
   std::unique_ptr<SweepRunner> runner_;
   double wall_seconds_ = 0.0;
   std::uint64_t sim_cycles_ = 0;

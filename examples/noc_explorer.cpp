@@ -10,10 +10,19 @@
 // ideal|pc|islip|sparoflo pattern=uniform|transpose|bitcomp|bitrev|tornado
 // rate=<packets/cycle/node> vcs= depth= packet= seed= warmup= measure=
 // drain= pipeline=3|5 sweep=0|1 csv=<path> threads=<N>
+// checkpoint=<path> checkpoint_every=<N> restore=<path>
 //
 // threads=N sets the SweepRunner worker count for sweep=1 (default 0 =
 // $VIXNOC_THREADS if set, else all cores); results are identical to a
 // serial sweep regardless of thread count.
+//
+// Checkpointing: in single-run mode, checkpoint=path checkpoint_every=N
+// saves the full simulation state every N cycles (atomic overwrite), and
+// restore=path resumes a run from such a file — the resumed run's output
+// is bitwise identical to an uninterrupted one. In sweep mode,
+// checkpoint=dir caches each completed point's result under the directory,
+// so re-running the same command after an interruption only simulates the
+// missing points.
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -86,6 +95,14 @@ int main(int argc, char** argv) {
   const std::string csv_path = args.GetString("csv", "");
   const int threads =
       ResolveThreadCount(static_cast<int>(args.GetInt("threads", 0)));
+  const std::string checkpoint = args.GetString("checkpoint", "");
+  config.checkpoint_every =
+      static_cast<Cycle>(args.GetInt("checkpoint_every", 0));
+  config.restore_path = args.GetString("restore", "");
+  if (!sweep) config.checkpoint_path = checkpoint;
+  if (!config.checkpoint_path.empty() && config.checkpoint_every == 0) {
+    config.checkpoint_every = 1'000;  // a sensible default cadence
+  }
   args.CheckAllConsumed();
 
   std::unique_ptr<CsvWriter> csv;
@@ -104,7 +121,13 @@ int main(int argc, char** argv) {
       config.injection_rate = rate;
       points.push_back(config);
     }
-    const std::vector<NetworkSimResult> results = RunSweep(points, threads);
+    SweepRunner runner(threads);
+    if (!checkpoint.empty()) runner.SetCheckpointDir(checkpoint);
+    const std::vector<NetworkSimResult> results = runner.Run(points);
+    if (runner.resumed_points() > 0) {
+      std::printf("resumed %zu/%zu points from %s\n",
+                  runner.resumed_points(), points.size(), checkpoint.c_str());
+    }
     for (std::size_t i = 0; i < points.size(); ++i) {
       PrintResult(points[i], results[i]);
       if (csv) csv->AddRow(CsvRow(points[i], results[i]));

@@ -68,4 +68,50 @@ else
   echo "python3 not found; skipping JSONL schema validation"
 fi
 
+echo "== tier1: checkpoint/restore gate (${PREFIX}) =="
+# snapshot_test pins the core contract (restore-then-run is bitwise
+# identical to an uninterrupted run; corrupted checkpoints throw SimError).
+"${PREFIX}/tests/snapshot_test"
+# End-to-end save/kill/resume through the CLI: a run that checkpoints and a
+# run restored from that checkpoint must produce byte-identical CSVs.
+CKPT_DIR="${PREFIX}/ckpt_gate"
+rm -rf "${CKPT_DIR}" && mkdir -p "${CKPT_DIR}"
+EXPLORER="${PREFIX}/examples/noc_explorer"
+COMMON=(rate=0.1 warmup=500 measure=1500 drain=500 seed=7)
+"${EXPLORER}" "${COMMON[@]}" "csv=${CKPT_DIR}/straight.csv" >/dev/null
+"${EXPLORER}" "${COMMON[@]}" "checkpoint=${CKPT_DIR}/state.ckpt" \
+  checkpoint_every=900 "csv=${CKPT_DIR}/saving.csv" >/dev/null
+"${EXPLORER}" "${COMMON[@]}" "restore=${CKPT_DIR}/state.ckpt" \
+  "csv=${CKPT_DIR}/resumed.csv" >/dev/null
+cmp "${CKPT_DIR}/straight.csv" "${CKPT_DIR}/saving.csv"
+cmp "${CKPT_DIR}/straight.csv" "${CKPT_DIR}/resumed.csv"
+echo "CLI save/restore CSVs byte-identical"
+# Bench resume: an interrupted sweep re-run over its point cache must emit
+# the same results as a straight run (field-by-field JSON compare).
+BENCH="${PREFIX}/bench/bench_ext_telemetry"
+if [ -x "${BENCH}" ] && command -v python3 >/dev/null 2>&1; then
+  "${BENCH}" "json=${CKPT_DIR}/straight.json" >/dev/null
+  "${BENCH}" "json=${CKPT_DIR}/first.json" \
+    "checkpoint=${CKPT_DIR}/bench_cache" >/dev/null
+  rm -f "${CKPT_DIR}"/bench_cache/batch_0/point_2.ckpt
+  "${BENCH}" "json=${CKPT_DIR}/resumed.json" \
+    "checkpoint=${CKPT_DIR}/bench_cache" >/dev/null
+  python3 - "${CKPT_DIR}/straight.json" "${CKPT_DIR}/resumed.json" <<'EOF'
+import json, sys
+straight = json.load(open(sys.argv[1]))
+resumed = json.load(open(sys.argv[2]))
+assert resumed.get("resumed_points", 0) > 0, "no points resumed from cache"
+a, b = straight["results"], resumed["results"]
+assert len(a) == len(b), f"point count differs: {len(a)} vs {len(b)}"
+for i, (ra, rb) in enumerate(zip(a, b)):
+    for key in sorted(set(ra) | set(rb)):
+        assert ra.get(key) == rb.get(key), (
+            f"point {i} field {key!r}: {ra.get(key)!r} != {rb.get(key)!r}")
+print(f"bench resume results identical ({len(a)} points, "
+      f"{resumed['resumed_points']} from cache)")
+EOF
+else
+  echo "bench_ext_telemetry or python3 not found; skipping bench resume gate"
+fi
+
 echo "== tier1: OK =="

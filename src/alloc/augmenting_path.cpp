@@ -1,4 +1,6 @@
 #include "alloc/augmenting_path.hpp"
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <algorithm>
 
@@ -84,6 +86,20 @@ void AugmentingPathAllocator::Allocate(const std::vector<SaRequest>& requests,
 void AugmentingPathAllocator::Reset() {
   std::fill(vc_rr_.begin(), vc_rr_.end(), 0);
   last_iterations_ = 0;
+}
+
+void AugmentingPathAllocator::SaveState(SnapshotWriter& w) const {
+  w.VecI32(vc_rr_);
+  w.I32(last_iterations_);
+}
+
+void AugmentingPathAllocator::LoadState(SnapshotReader& r) {
+  std::vector<int> rr = r.VecI32();
+  VIXNOC_REQUIRE(rr.size() == vc_rr_.size(),
+                 "restored AP VC pointers have %zu entries, expected %zu",
+                 rr.size(), vc_rr_.size());
+  vc_rr_ = std::move(rr);
+  last_iterations_ = r.I32();
 }
 
 }  // namespace vixnoc

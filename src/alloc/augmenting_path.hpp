@@ -33,6 +33,8 @@ class AugmentingPathAllocator final : public SwitchAllocator {
   void Allocate(const std::vector<SaRequest>& requests,
                 std::vector<SaGrant>* grants) override;
   void Reset() override;
+  void SaveState(SnapshotWriter& w) const override;
+  void LoadState(SnapshotReader& r) override;
   std::string Name() const override { return "augmenting-path"; }
 
   /// Number of augmenting-path iterations executed on the last Allocate

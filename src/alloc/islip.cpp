@@ -1,4 +1,6 @@
 #include "alloc/islip.hpp"
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <algorithm>
 
@@ -98,6 +100,26 @@ void IslipAllocator::Reset() {
   std::fill(grant_ptr_.begin(), grant_ptr_.end(), 0);
   std::fill(accept_ptr_.begin(), accept_ptr_.end(), 0);
   std::fill(vc_rr_.begin(), vc_rr_.end(), 0);
+}
+
+void IslipAllocator::SaveState(SnapshotWriter& w) const {
+  w.VecI32(grant_ptr_);
+  w.VecI32(accept_ptr_);
+  w.VecI32(vc_rr_);
+}
+
+void IslipAllocator::LoadState(SnapshotReader& r) {
+  std::vector<int> grant = r.VecI32();
+  std::vector<int> accept = r.VecI32();
+  std::vector<int> rr = r.VecI32();
+  VIXNOC_REQUIRE(grant.size() == grant_ptr_.size() &&
+                     accept.size() == accept_ptr_.size() &&
+                     rr.size() == vc_rr_.size(),
+                 "restored iSLIP pointer state does not match this "
+                 "allocator's geometry");
+  grant_ptr_ = std::move(grant);
+  accept_ptr_ = std::move(accept);
+  vc_rr_ = std::move(rr);
 }
 
 }  // namespace vixnoc

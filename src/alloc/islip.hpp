@@ -20,6 +20,8 @@ class IslipAllocator final : public SwitchAllocator {
   void Allocate(const std::vector<SaRequest>& requests,
                 std::vector<SaGrant>* grants) override;
   void Reset() override;
+  void SaveState(SnapshotWriter& w) const override;
+  void LoadState(SnapshotReader& r) override;
   std::string Name() const override {
     return "islip-" + std::to_string(iterations_);
   }

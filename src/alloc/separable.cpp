@@ -1,4 +1,6 @@
 #include "alloc/separable.hpp"
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <algorithm>
 
@@ -124,6 +126,16 @@ std::string SeparableInputFirstAllocator::Name() const {
   if (geom_.num_vins == 1) return "separable-input-first";
   if (geom_.num_vins == geom_.num_vcs) return "separable-vix-ideal";
   return "separable-vix-" + std::to_string(geom_.num_vins);
+}
+
+void SeparableInputFirstAllocator::SaveState(SnapshotWriter& w) const {
+  for (const auto& a : input_arbiters_) a->SaveState(w);
+  for (const auto& a : output_arbiters_) a->SaveState(w);
+}
+
+void SeparableInputFirstAllocator::LoadState(SnapshotReader& r) {
+  for (auto& a : input_arbiters_) a->LoadState(r);
+  for (auto& a : output_arbiters_) a->LoadState(r);
 }
 
 }  // namespace vixnoc

@@ -28,6 +28,8 @@ class SeparableInputFirstAllocator final : public SwitchAllocator {
   void Allocate(const std::vector<SaRequest>& requests,
                 std::vector<SaGrant>* grants) override;
   void Reset() override;
+  void SaveState(SnapshotWriter& w) const override;
+  void LoadState(SnapshotReader& r) override;
   std::string Name() const override;
 
  private:

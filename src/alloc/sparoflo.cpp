@@ -1,4 +1,6 @@
 #include "alloc/sparoflo.hpp"
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <algorithm>
 
@@ -122,6 +124,20 @@ void SparofloAllocator::Reset() {
   for (auto& a : output_arbiters_) a->Reset();
   for (auto& a : conflict_arbiters_) a->Reset();
   last_killed_grants_ = 0;
+}
+
+void SparofloAllocator::SaveState(SnapshotWriter& w) const {
+  for (const auto& a : input_arbiters_) a->SaveState(w);
+  for (const auto& a : output_arbiters_) a->SaveState(w);
+  for (const auto& a : conflict_arbiters_) a->SaveState(w);
+  w.I32(last_killed_grants_);
+}
+
+void SparofloAllocator::LoadState(SnapshotReader& r) {
+  for (auto& a : input_arbiters_) a->LoadState(r);
+  for (auto& a : output_arbiters_) a->LoadState(r);
+  for (auto& a : conflict_arbiters_) a->LoadState(r);
+  last_killed_grants_ = r.I32();
 }
 
 }  // namespace vixnoc

@@ -28,6 +28,9 @@
 
 namespace vixnoc {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Static shape of one router's switch.
 struct SwitchGeometry {
   int num_inports = 0;   ///< physical input ports (P)
@@ -134,6 +137,14 @@ class SwitchAllocator {
   virtual void Reset() = 0;
 
   virtual std::string Name() const = 0;
+
+  /// Checkpoint/restore of the allocator's mutable priority state
+  /// (rotating pointers, matrix arbiters, chains); geometry and scratch are
+  /// construction-time and excluded. Restoring into an allocator built with
+  /// the same configuration makes subsequent Allocate calls bitwise
+  /// identical to one that never stopped.
+  virtual void SaveState(SnapshotWriter& w) const = 0;
+  virtual void LoadState(SnapshotReader& r) = 0;
 
   /// Attach (or detach, with nullptr) a per-arbiter telemetry sink. Only
   /// the separable allocators fill it; matching-based schemes (WF, AP)

@@ -1,4 +1,6 @@
 #include "alloc/wavefront.hpp"
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 #include <algorithm>
 
@@ -65,6 +67,21 @@ void WavefrontAllocator::Allocate(const std::vector<SaRequest>& requests,
 void WavefrontAllocator::Reset() {
   priority_diagonal_ = 0;
   std::fill(vc_rr_.begin(), vc_rr_.end(), 0);
+}
+
+void WavefrontAllocator::SaveState(SnapshotWriter& w) const {
+  w.I32(priority_diagonal_);
+  w.VecI32(vc_rr_);
+}
+
+void WavefrontAllocator::LoadState(SnapshotReader& r) {
+  priority_diagonal_ = r.I32();
+  std::vector<int> rr = r.VecI32();
+  VIXNOC_REQUIRE(rr.size() == vc_rr_.size(),
+                 "restored wavefront VC pointers have %zu entries, expected "
+                 "%zu",
+                 rr.size(), vc_rr_.size());
+  vc_rr_ = std::move(rr);
 }
 
 }  // namespace vixnoc

@@ -1,6 +1,7 @@
 #include "arbiter/arbiter.hpp"
 
 #include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vixnoc {
 
@@ -16,6 +17,17 @@ int RoundRobinArbiter::Pick(const std::vector<bool>& requests) const {
 void RoundRobinArbiter::Commit(int winner) {
   VIXNOC_DCHECK(winner >= 0 && winner < n_);
   next_priority_ = (winner + 1) % n_;
+}
+
+void RoundRobinArbiter::SaveState(SnapshotWriter& w) const {
+  w.I32(next_priority_);
+}
+
+void RoundRobinArbiter::LoadState(SnapshotReader& r) {
+  const int p = r.I32();
+  VIXNOC_REQUIRE(p >= 0 && p < n_,
+                 "restored round-robin pointer %d outside [0, %d)", p, n_);
+  next_priority_ = p;
 }
 
 MatrixArbiter::MatrixArbiter(int num_requesters)
@@ -58,6 +70,16 @@ void MatrixArbiter::Commit(int winner) {
     pri_[static_cast<std::size_t>(winner) * n_ + j] = false;
     pri_[static_cast<std::size_t>(j) * n_ + winner] = true;
   }
+}
+
+void MatrixArbiter::SaveState(SnapshotWriter& w) const { w.VecBool(pri_); }
+
+void MatrixArbiter::LoadState(SnapshotReader& r) {
+  std::vector<bool> pri = r.VecBool();
+  VIXNOC_REQUIRE(pri.size() == pri_.size(),
+                 "restored matrix arbiter state has %zu entries, expected %zu",
+                 pri.size(), pri_.size());
+  pri_ = std::move(pri);
 }
 
 std::unique_ptr<Arbiter> MakeArbiter(ArbiterKind kind, int num_requesters) {

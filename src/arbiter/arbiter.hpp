@@ -15,6 +15,9 @@
 
 namespace vixnoc {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class Arbiter {
  public:
   explicit Arbiter(int num_requesters) : n_(num_requesters) {
@@ -37,6 +40,12 @@ class Arbiter {
   /// Reset priority state to the post-construction value.
   virtual void Reset() = 0;
 
+  /// Checkpoint/restore of the priority state (snapshot/snapshot.hpp).
+  /// Restoring makes subsequent Pick/Commit sequences bitwise identical to
+  /// an arbiter that never stopped.
+  virtual void SaveState(SnapshotWriter& w) const = 0;
+  virtual void LoadState(SnapshotReader& r) = 0;
+
  protected:
   int n_;
 };
@@ -51,6 +60,8 @@ class RoundRobinArbiter final : public Arbiter {
   int Pick(const std::vector<bool>& requests) const override;
   void Commit(int winner) override;
   void Reset() override { next_priority_ = 0; }
+  void SaveState(SnapshotWriter& w) const override;
+  void LoadState(SnapshotReader& r) override;
 
   int PriorityPointer() const { return next_priority_; }
 
@@ -68,6 +79,8 @@ class MatrixArbiter final : public Arbiter {
   int Pick(const std::vector<bool>& requests) const override;
   void Commit(int winner) override;
   void Reset() override;
+  void SaveState(SnapshotWriter& w) const override;
+  void LoadState(SnapshotReader& r) override;
 
  private:
   // pri_[i * n_ + j]: requester i has priority over requester j.

@@ -6,6 +6,7 @@
 // high-quality 64-bit streams with a tiny state.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/check.hpp"
@@ -82,6 +83,14 @@ class Rng {
 
   /// Bernoulli trial.
   bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  /// Raw generator state, for checkpoint/restore. Restoring a captured
+  /// state resumes the stream at exactly the next draw.
+  using State = std::array<std::uint64_t, 4>;
+  State state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const State& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {

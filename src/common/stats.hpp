@@ -37,6 +37,32 @@ class RunningStat {
   }
   double StdDev() const { return std::sqrt(Variance()); }
 
+  /// Raw accumulator state, for checkpoint/restore. Restoring a captured
+  /// state makes subsequent Add() calls bitwise identical to a stat that
+  /// never stopped.
+  struct State {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State state() const { return {n_, mean_, m2_, sum_, min_, max_}; }
+  void set_state(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    sum_ = s.sum;
+    if (n_ == 0) {
+      min_ = std::numeric_limits<double>::infinity();
+      max_ = -std::numeric_limits<double>::infinity();
+    } else {
+      min_ = s.min;
+      max_ = s.max;
+    }
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -75,6 +101,16 @@ class Histogram {
   /// that land in the overflow bucket are reported as that bucket's lower
   /// bound (num_buckets * width): the true value is at least this large.
   double Quantile(double q) const;
+
+  /// Raw bucket state, for checkpoint/restore. `counts` must match this
+  /// histogram's bucket count (checked) — the geometry itself (width,
+  /// bucket count) is construction-time configuration, not restored state.
+  const std::vector<std::uint64_t>& raw_counts() const { return counts_; }
+  void set_state(std::vector<std::uint64_t> counts, std::uint64_t total) {
+    VIXNOC_CHECK(counts.size() == counts_.size());
+    counts_ = std::move(counts);
+    total_ = total;
+  }
 
  private:
   double width_;

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "router/vc_assign.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vixnoc {
@@ -419,6 +421,193 @@ RouterActivity Network::TotalActivity() const {
 
 void Network::ClearActivity() {
   for (auto& router : routers_) router->ClearActivity();
+}
+
+std::uint64_t Network::StructureFingerprint() const {
+  const RouterConfig& rc = params_.router;
+  const std::uint64_t fields[] = {
+      static_cast<std::uint64_t>(topology_->NumRouters()),
+      static_cast<std::uint64_t>(topology_->NumNodes()),
+      static_cast<std::uint64_t>(topology_->Radix()),
+      static_cast<std::uint64_t>(params_.flit_delay),
+      static_cast<std::uint64_t>(params_.credit_delay),
+      static_cast<std::uint64_t>(params_.ni_link_delay),
+      static_cast<std::uint64_t>(rc.num_vcs),
+      static_cast<std::uint64_t>(rc.buffer_depth),
+      static_cast<std::uint64_t>(rc.scheme),
+      static_cast<std::uint64_t>(rc.arbiter_kind),
+      static_cast<std::uint64_t>(rc.vc_policy),
+      static_cast<std::uint64_t>(rc.vix_virtual_inputs),
+      static_cast<std::uint64_t>(rc.interleaved_vins),
+      static_cast<std::uint64_t>(rc.ap_rotate_vcs),
+      static_cast<std::uint64_t>(rc.speculative_sa),
+      static_cast<std::uint64_t>(rc.va_organization),
+      static_cast<std::uint64_t>(rc.prioritize_nonspeculative),
+      static_cast<std::uint64_t>(rc.atomic_vc_alloc),
+      static_cast<std::uint64_t>(rc.num_message_classes),
+      rc.vc_rng_seed,
+  };
+  return Fnv1a64(fields, sizeof(fields));
+}
+
+void Network::SaveState(SnapshotWriter& w) const {
+  w.U64(now_);
+  w.U64(last_progress_);
+  w.U64(next_packet_id_);
+  w.U64(in_flight_events_);
+  // Event wheel. A slot's index determines its due cycle relative to now_
+  // (slot = cycle % wheel size), and the wheel size is a pure function of
+  // the link delays covered by the structure fingerprint, so serializing
+  // slot-by-slot round-trips exactly.
+  w.U32(static_cast<std::uint32_t>(wheel_.size()));
+  for (const auto& slot : wheel_) {
+    w.U32(static_cast<std::uint32_t>(slot.size()));
+    for (const Event& ev : slot) {
+      w.U8(static_cast<std::uint8_t>(ev.kind));
+      w.I32(ev.target);
+      w.I32(ev.port);
+      w.I32(ev.vc);
+      SaveFlit(w, ev.flit);
+    }
+  }
+  for (const NodeCounters& c : counters_) SaveNodeCounters(w, c);
+  for (const Ni& ni : nis_) {
+    w.U32(static_cast<std::uint32_t>(ni.source_queue.size()));
+    for (const PendingPacket& p : ni.source_queue) {
+      w.U64(p.id);
+      w.I32(p.dst);
+      w.I32(p.size);
+      w.U64(p.created);
+      w.U64(p.user_tag);
+      w.I32(p.msg_class);
+    }
+    w.U32(static_cast<std::uint32_t>(ni.active.size()));
+    for (const ActiveTx& tx : ni.active) {
+      w.U64(tx.id);
+      w.I32(tx.dst);
+      w.I32(tx.size);
+      w.I32(tx.sent);
+      w.U64(tx.created);
+      w.U64(tx.injected);
+      w.U64(tx.user_tag);
+      w.I32(tx.route_out);
+      w.I32(tx.vc);
+      w.I32(tx.msg_class);
+    }
+    w.VecI32(ni.credits);
+    w.VecBool(ni.vc_busy);
+    w.I32(ni.rr);
+    w.VecU64(ni.corrupted_partial);
+    SaveRng(w, ni.vc_rng);
+  }
+  for (const auto& router : routers_) router->SaveState(w);
+}
+
+void Network::LoadState(SnapshotReader& r) {
+  now_ = r.U64();
+  last_progress_ = r.U64();
+  next_packet_id_ = r.U64();
+  const std::uint64_t in_flight = r.U64();
+  const std::uint32_t num_slots = r.U32();
+  VIXNOC_REQUIRE(num_slots == wheel_.size(),
+                 "restored event wheel has %u slots, this network has %zu "
+                 "(link delays differ)",
+                 num_slots, wheel_.size());
+  std::uint64_t counted = 0;
+  for (auto& slot : wheel_) {
+    slot.clear();
+    const std::uint32_t n = r.U32();
+    slot.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Event ev;
+      const std::uint8_t kind = r.U8();
+      VIXNOC_REQUIRE(kind <= static_cast<std::uint8_t>(Event::Kind::kCreditToNi),
+                     "restored link event has invalid kind %u", kind);
+      ev.kind = static_cast<Event::Kind>(kind);
+      ev.target = r.I32();
+      ev.port = r.I32();
+      ev.vc = r.I32();
+      ev.flit = LoadFlit(r);
+      slot.push_back(std::move(ev));
+    }
+    counted += n;
+  }
+  VIXNOC_REQUIRE(counted == in_flight,
+                 "restored wheel holds %llu events but the checkpoint "
+                 "recorded %llu in flight",
+                 static_cast<unsigned long long>(counted),
+                 static_cast<unsigned long long>(in_flight));
+  in_flight_events_ = in_flight;
+  for (NodeCounters& c : counters_) LoadNodeCounters(r, &c);
+  for (Ni& ni : nis_) {
+    ni.source_queue.clear();
+    const std::uint32_t nq = r.U32();
+    for (std::uint32_t i = 0; i < nq; ++i) {
+      PendingPacket p;
+      p.id = r.U64();
+      p.dst = r.I32();
+      p.size = r.I32();
+      p.created = r.U64();
+      p.user_tag = r.U64();
+      p.msg_class = r.I32();
+      ni.source_queue.push_back(std::move(p));
+    }
+    ni.active.clear();
+    const std::uint32_t na = r.U32();
+    ni.active.reserve(na);
+    for (std::uint32_t i = 0; i < na; ++i) {
+      ActiveTx tx;
+      tx.id = r.U64();
+      tx.dst = r.I32();
+      tx.size = r.I32();
+      tx.sent = r.I32();
+      tx.created = r.U64();
+      tx.injected = r.U64();
+      tx.user_tag = r.U64();
+      tx.route_out = r.I32();
+      tx.vc = r.I32();
+      tx.msg_class = r.I32();
+      ni.active.push_back(std::move(tx));
+    }
+    std::vector<int> credits = r.VecI32();
+    VIXNOC_REQUIRE(credits.size() == ni.credits.size(),
+                   "restored NI credit vector has %zu VCs, expected %zu",
+                   credits.size(), ni.credits.size());
+    ni.credits = std::move(credits);
+    std::vector<bool> busy = r.VecBool();
+    VIXNOC_REQUIRE(busy.size() == ni.vc_busy.size(),
+                   "restored NI vc_busy vector has %zu VCs, expected %zu",
+                   busy.size(), ni.vc_busy.size());
+    ni.vc_busy = std::move(busy);
+    ni.rr = r.I32();
+    ni.corrupted_partial = r.VecU64();
+    LoadRng(r, &ni.vc_rng);
+  }
+  for (auto& router : routers_) router->LoadState(r);
+  // Fault masks are a pure function of (fault model, now_) plus the
+  // permanent blocks installed at construction; transient masks are
+  // recomputed at the top of the next Step.
+}
+
+void Network::SaveCheckpoint(const std::string& path) const {
+  SnapshotWriter w;
+  w.BeginSection("network");
+  SaveState(w);
+  w.EndSection();
+  WriteSnapshotFile(path, w.Finish(StructureFingerprint()));
+}
+
+void Network::RestoreCheckpoint(const std::string& path) {
+  SnapshotReader r(ReadSnapshotFile(path));
+  VIXNOC_REQUIRE(r.fingerprint() == StructureFingerprint(),
+                 "checkpoint '%s' was taken on a network with a different "
+                 "structure (fingerprint %llx, this network is %llx)",
+                 path.c_str(),
+                 static_cast<unsigned long long>(r.fingerprint()),
+                 static_cast<unsigned long long>(StructureFingerprint()));
+  r.OpenSection("network");
+  LoadState(r);
+  r.CloseSection();
 }
 
 }  // namespace vixnoc

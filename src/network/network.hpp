@@ -10,6 +10,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -20,6 +21,8 @@
 
 namespace vixnoc {
 
+class SnapshotReader;
+class SnapshotWriter;
 class TelemetryCollector;
 
 /// Timing of the links around the 3-stage router pipeline (Fig 6b).
@@ -128,6 +131,27 @@ class Network {
   Router& router(RouterId id) { return *routers_[id]; }
   const Router& router(RouterId id) const { return *routers_[id]; }
   int NumRouters() const { return static_cast<int>(routers_.size()); }
+
+  /// Checkpoint/restore of all mutable network state: the cycle counter,
+  /// every router, every NI (source queues, active transmissions, credits),
+  /// the in-flight link events, and the per-node counters. Fault masks and
+  /// the telemetry/eject/tracer attachments are reconstructed by the owner,
+  /// not serialized. Restoring into a Network built from the same topology
+  /// and NetworkParams makes subsequent Step calls bitwise identical to a
+  /// network that never stopped; a geometry mismatch throws SimError.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
+
+  /// Convenience wrappers writing/reading a standalone checkpoint file with
+  /// a single "network" section, fingerprinted by the network's structural
+  /// shape (see snapshot/snapshot.hpp for the file format). RunNetworkSim
+  /// embeds the same section in its richer checkpoint instead.
+  void SaveCheckpoint(const std::string& path) const;
+  void RestoreCheckpoint(const std::string& path);
+
+  /// FNV-1a fingerprint of the structural shape (topology, router config,
+  /// link delays) used to reject restoring into a mismatched network.
+  std::uint64_t StructureFingerprint() const;
 
  private:
   struct PendingPacket {

@@ -7,6 +7,9 @@
 
 namespace vixnoc {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class FlitType : std::uint8_t {
   kHead,      ///< first flit of a multi-flit packet; carries routing info
   kBody,      ///< middle flit
@@ -63,6 +66,11 @@ struct Flit {
     return type == FlitType::kTail || type == FlitType::kHeadTail;
   }
 };
+
+/// Checkpoint encoding of a flit, field by field in declaration order
+/// (implemented in router.cpp).
+void SaveFlit(SnapshotWriter& w, const Flit& f);
+Flit LoadFlit(SnapshotReader& r);
 
 /// Helper: flit type for position `seq` within a packet of `size` flits.
 inline FlitType FlitTypeFor(int seq, int size) {

@@ -4,6 +4,8 @@
 
 #include "alloc/augmenting_path.hpp"
 #include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace vixnoc {
@@ -413,6 +415,145 @@ void Router::SetOutputBlocked(PortId out_port, bool blocked) {
 
 int Router::CreditsFor(PortId out_port, VcId out_vc) const {
   return outputs_[out_port].vcs[out_vc].credits;
+}
+
+void SaveFlit(SnapshotWriter& w, const Flit& f) {
+  w.U64(f.packet_id);
+  w.I32(f.src);
+  w.I32(f.dst);
+  w.U8(static_cast<std::uint8_t>(f.type));
+  w.U16(f.seq);
+  w.U16(f.packet_size);
+  w.U64(f.created);
+  w.U64(f.injected);
+  w.I32(f.vc);
+  w.I32(f.route_out);
+  w.U64(f.user_tag);
+  w.U8(f.msg_class);
+  w.U8(f.dateline);
+  w.B(f.corrupted);
+}
+
+Flit LoadFlit(SnapshotReader& r) {
+  Flit f;
+  f.packet_id = r.U64();
+  f.src = r.I32();
+  f.dst = r.I32();
+  const std::uint8_t type = r.U8();
+  VIXNOC_REQUIRE(type <= static_cast<std::uint8_t>(FlitType::kHeadTail),
+                 "restored flit has invalid type %u", type);
+  f.type = static_cast<FlitType>(type);
+  f.seq = r.U16();
+  f.packet_size = r.U16();
+  f.created = r.U64();
+  f.injected = r.U64();
+  f.vc = r.I32();
+  f.route_out = r.I32();
+  f.user_tag = r.U64();
+  f.msg_class = r.U8();
+  f.dateline = r.U8();
+  f.corrupted = r.B();
+  return f;
+}
+
+void SaveRouterActivity(SnapshotWriter& w, const RouterActivity& a) {
+  w.U64(a.buffer_writes);
+  w.U64(a.buffer_reads);
+  w.U64(a.xbar_traversals);
+  w.U64(a.link_flits);
+  w.U64(a.sa_requests);
+  w.U64(a.sa_grants);
+  w.U64(a.va_requests);
+  w.U64(a.va_grants);
+  w.U64(a.cycles);
+  w.U64(a.cycles_with_requests);
+}
+
+RouterActivity LoadRouterActivity(SnapshotReader& r) {
+  RouterActivity a;
+  a.buffer_writes = r.U64();
+  a.buffer_reads = r.U64();
+  a.xbar_traversals = r.U64();
+  a.link_flits = r.U64();
+  a.sa_requests = r.U64();
+  a.sa_grants = r.U64();
+  a.va_requests = r.U64();
+  a.va_grants = r.U64();
+  a.cycles = r.U64();
+  a.cycles_with_requests = r.U64();
+  return a;
+}
+
+void Router::SaveState(SnapshotWriter& w) const {
+  // Input VCs: buffered flits plus the per-packet VC-allocation state.
+  for (const InputVc& iv : input_vcs_) {
+    w.U32(static_cast<std::uint32_t>(iv.buffer.size()));
+    for (const Flit& f : iv.buffer) SaveFlit(w, f);
+    w.B(iv.active);
+    w.I32(iv.out_port);
+    w.I32(iv.out_vc);
+    w.I32(iv.lookahead_out);
+    w.U8(iv.next_dateline);
+  }
+  // Output VCs: credit counters and allocation flags.
+  for (const OutputPort& op : outputs_) {
+    for (const OutputVc& ov : op.vcs) {
+      w.I32(ov.credits);
+      w.B(ov.allocated);
+    }
+  }
+  w.I32(va_rr_ptr_);
+  w.VecBool(just_activated_);
+  allocator_->SaveState(w);
+  SaveRouterActivity(w, activity_);
+  w.VecU64(flits_per_out_);
+  SaveRng(w, vc_rng_);
+}
+
+void Router::LoadState(SnapshotReader& r) {
+  const int depth = config_.buffer_depth;
+  for (InputVc& iv : input_vcs_) {
+    const std::uint32_t n = r.U32();
+    VIXNOC_REQUIRE(n <= static_cast<std::uint32_t>(depth),
+                   "restored input VC holds %u flits, buffer depth is %d", n,
+                   depth);
+    iv.buffer.clear();
+    for (std::uint32_t i = 0; i < n; ++i) iv.buffer.push_back(LoadFlit(r));
+    iv.active = r.B();
+    iv.out_port = r.I32();
+    iv.out_vc = r.I32();
+    iv.lookahead_out = r.I32();
+    iv.next_dateline = r.U8();
+  }
+  for (OutputPort& op : outputs_) {
+    for (OutputVc& ov : op.vcs) {
+      const int credits = r.I32();
+      VIXNOC_REQUIRE(credits >= 0 && credits <= depth,
+                     "restored credit count %d outside [0, %d]", credits,
+                     depth);
+      ov.credits = credits;
+      ov.allocated = r.B();
+    }
+  }
+  const int ptr = r.I32();
+  VIXNOC_REQUIRE(ptr >= 0 && ptr < static_cast<int>(input_vcs_.size()),
+                 "restored VA pointer %d outside [0, %zu)", ptr,
+                 input_vcs_.size());
+  va_rr_ptr_ = ptr;
+  std::vector<bool> just = r.VecBool();
+  VIXNOC_REQUIRE(just.size() == just_activated_.size(),
+                 "restored VA-grant mask has %zu entries, expected %zu",
+                 just.size(), just_activated_.size());
+  just_activated_ = std::move(just);
+  allocator_->LoadState(r);
+  activity_ = LoadRouterActivity(r);
+  std::vector<std::uint64_t> per_out = r.VecU64();
+  VIXNOC_REQUIRE(per_out.size() == flits_per_out_.size(),
+                 "restored per-output flit counters have %zu entries, "
+                 "expected %zu",
+                 per_out.size(), flits_per_out_.size());
+  flits_per_out_ = std::move(per_out);
+  LoadRng(r, &vc_rng_);
 }
 
 }  // namespace vixnoc

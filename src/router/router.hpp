@@ -128,6 +128,10 @@ struct RouterActivity {
   void Clear() { *this = RouterActivity{}; }
 };
 
+/// Checkpoint encoding of an activity block (implemented in router.cpp).
+void SaveRouterActivity(SnapshotWriter& w, const RouterActivity& a);
+RouterActivity LoadRouterActivity(SnapshotReader& r);
+
 class Router {
  public:
   /// `links[o]` describes output port o. `routing` may be shared across all
@@ -192,6 +196,16 @@ class Router {
 
   const RouterActivity& activity() const { return activity_; }
   void ClearActivity();
+
+  /// Checkpoint/restore of all mutable state: input VC buffers and packet
+  /// state, output VC credits/allocation, allocator and VA priorities,
+  /// activity counters, the VA RNG stream. Fault masks (SetOutputBlocked)
+  /// and the telemetry attachment are owner-managed and excluded — the
+  /// network re-derives them after restore. Restoring into a router built
+  /// with the same RouterConfig and links makes subsequent Step calls
+  /// bitwise identical to a router that never stopped.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
   /// Flits sent on output port `out` since the last ClearActivity() —
   /// per-link utilization for hotspot analysis.

@@ -1,6 +1,7 @@
 #include "sim/network_sim.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
@@ -9,9 +10,94 @@
 #include "common/check.hpp"
 #include "common/error.hpp"
 #include "fault/fault_routing.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
 #include "traffic/injection.hpp"
 
 namespace vixnoc {
+
+namespace {
+
+/// Scalar aggregates of a TelemetrySummary (windows and trace are handled
+/// by the callers: the checkpoint stores the collector's live state, the
+/// result cache stores them verbatim).
+void SaveTelemetryScalars(SnapshotWriter& w, const TelemetrySummary& s) {
+  w.B(s.enabled);
+  w.U64(s.cycles);
+  w.U64(s.sa_requests);
+  w.U64(s.sa_grants);
+  w.U64(s.input_arbiter_requests);
+  w.U64(s.input_arbiter_grants);
+  w.U64(s.output_arbiter_requests);
+  w.U64(s.output_arbiter_grants);
+  w.U64(s.output_conflict_cycles);
+  w.U64(s.port_multi_request_cycles);
+  w.U64(s.vin_conflict_distinct_output);
+  w.U64(s.vin_conflict_same_output);
+  w.U64(s.single_vin_serialized);
+  w.U64(s.stall_empty);
+  w.U64(s.stall_va);
+  w.U64(s.stall_credit);
+  w.U64(s.stall_sa);
+  w.U64(s.vc_moving);
+  w.F64(s.crossbar_utilization);
+  w.F64(s.same_output_conflict_rate);
+  w.F64(s.distinct_output_conflict_rate);
+  w.F64(s.mean_port_occupancy);
+  w.F64(s.p99_port_occupancy);
+}
+
+void LoadTelemetryScalars(SnapshotReader& r, TelemetrySummary* s) {
+  s->enabled = r.B();
+  s->cycles = r.U64();
+  s->sa_requests = r.U64();
+  s->sa_grants = r.U64();
+  s->input_arbiter_requests = r.U64();
+  s->input_arbiter_grants = r.U64();
+  s->output_arbiter_requests = r.U64();
+  s->output_arbiter_grants = r.U64();
+  s->output_conflict_cycles = r.U64();
+  s->port_multi_request_cycles = r.U64();
+  s->vin_conflict_distinct_output = r.U64();
+  s->vin_conflict_same_output = r.U64();
+  s->single_vin_serialized = r.U64();
+  s->stall_empty = r.U64();
+  s->stall_va = r.U64();
+  s->stall_credit = r.U64();
+  s->stall_sa = r.U64();
+  s->vc_moving = r.U64();
+  s->crossbar_utilization = r.F64();
+  s->same_output_conflict_rate = r.F64();
+  s->distinct_output_conflict_rate = r.F64();
+  s->mean_port_occupancy = r.F64();
+  s->p99_port_occupancy = r.F64();
+}
+
+void SaveSimOutcome(SnapshotWriter& w, const SimOutcome& o) {
+  w.U8(static_cast<std::uint8_t>(o.status));
+  w.Str(o.message);
+  w.U64(o.cycle);
+  w.VecU32(o.router_occupancy);
+  w.U64(o.unreachable_packets);
+  w.Str(o.checkpoint_path);
+}
+
+SimOutcome LoadSimOutcome(SnapshotReader& r) {
+  SimOutcome o;
+  const std::uint8_t status = r.U8();
+  VIXNOC_REQUIRE(
+      status <= static_cast<std::uint8_t>(SimStatus::kInvariantViolation),
+      "restored outcome has invalid status %u", status);
+  o.status = static_cast<SimStatus>(status);
+  o.message = r.Str();
+  o.cycle = r.U64();
+  o.router_occupancy = r.VecU32();
+  o.unreachable_packets = r.U64();
+  o.checkpoint_path = r.Str();
+  return o;
+}
+
+}  // namespace
 
 std::string ToString(SimStatus status) {
   switch (status) {
@@ -99,6 +185,15 @@ void ValidateNetworkSimConfig(const NetworkSimConfig& config) {
                      config.telemetry.max_trace_events);
     }
   }
+
+  VIXNOC_REQUIRE(config.checkpoint_every == 0 ||
+                     !config.checkpoint_path.empty(),
+                 "checkpoint_every=%llu needs a checkpoint_path",
+                 static_cast<unsigned long long>(config.checkpoint_every));
+  VIXNOC_REQUIRE(config.deadlock_checkpoint_path.empty() ||
+                     config.watchdog_cycles > 0,
+                 "deadlock_checkpoint_path needs the watchdog enabled "
+                 "(watchdog_cycles > 0)");
 
   // A transient outage or stall window parks all affected traffic for its
   // whole duration; the watchdog must outlast it or a healthy run is
@@ -226,7 +321,133 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
 
   NetworkSimResult result;
   SimOutcome outcome;
-  for (Cycle t = 0; t < sim_end; ++t) {
+
+  // --- Checkpoint/restore (snapshot/) ------------------------------------
+  // A checkpoint captures the state *before* any work of cycle `next`, so
+  // a restored run re-executes iteration `next` in full and every
+  // downstream decision — sampling, measurement snapshots, injection draws,
+  // router arbitration — replays bitwise identically. Serialization only
+  // reads state (no RNG draws), so saving never perturbs the run.
+  const std::uint64_t config_fp = NetworkSimConfigFingerprint(config);
+  const auto serialize_sim = [&](Cycle next) {
+    SnapshotWriter w;
+    w.BeginSection("sim");
+    w.U64(next);
+    SaveRng(w, rng);
+    w.Str(injector->Name());
+    injector->SaveState(w);
+    SaveRunningStat(w, latency);
+    SaveRunningStat(w, net_latency);
+    SaveHistogram(w, latency_hist);
+    SaveRunningStat(w, interval_latency);
+    w.U64(interval_packets);
+    w.U64(packets_corrupted);
+    w.U64(last_delivery);
+    w.U64(offered_packets);
+    w.B(measure_window_closed);
+    for (const NodeCounters& c : at_measure_start) SaveNodeCounters(w, c);
+    for (const NodeCounters& c : at_measure_end) SaveNodeCounters(w, c);
+    SaveRouterActivity(w, activity_snapshot);
+    w.U32(static_cast<std::uint32_t>(result.timeline.size()));
+    for (const IntervalSample& s : result.timeline) {
+      w.U64(s.start);
+      w.F64(s.accepted_ppc);
+      w.F64(s.avg_latency);
+      w.U64(s.packets);
+    }
+    w.U64(outcome.unreachable_packets);
+    // The counter aggregates frozen at measure_end (windows and trace are
+    // re-read from the collector after the loop).
+    const bool frozen = measure_window_closed && telemetry != nullptr;
+    w.B(frozen);
+    if (frozen) SaveTelemetryScalars(w, result.telemetry);
+    w.EndSection();
+    w.BeginSection("network");
+    net.SaveState(w);
+    w.EndSection();
+    if (telemetry != nullptr) {
+      w.BeginSection("telemetry");
+      telemetry->SaveState(w);
+      w.EndSection();
+    }
+    return w.Finish(config_fp);
+  };
+
+  Cycle start_cycle = 0;
+  if (!config.restore_path.empty()) {
+    SnapshotReader r(ReadSnapshotFile(config.restore_path));
+    VIXNOC_REQUIRE(r.fingerprint() == config_fp,
+                   "checkpoint '%s' was taken under a different simulation "
+                   "config (fingerprint %016llx, this config is %016llx)",
+                   config.restore_path.c_str(),
+                   static_cast<unsigned long long>(r.fingerprint()),
+                   static_cast<unsigned long long>(config_fp));
+    r.OpenSection("sim");
+    start_cycle = r.U64();
+    VIXNOC_REQUIRE(start_cycle <= sim_end,
+                   "checkpoint resumes at cycle %llu, past the end of this "
+                   "run (%llu)",
+                   static_cast<unsigned long long>(start_cycle),
+                   static_cast<unsigned long long>(sim_end));
+    LoadRng(r, &rng);
+    const std::string injector_name = r.Str();
+    VIXNOC_REQUIRE(injector_name == injector->Name(),
+                   "checkpoint used injection process '%s', this config "
+                   "builds '%s'",
+                   injector_name.c_str(), injector->Name().c_str());
+    injector->LoadState(r);
+    LoadRunningStat(r, &latency);
+    LoadRunningStat(r, &net_latency);
+    LoadHistogram(r, &latency_hist);
+    LoadRunningStat(r, &interval_latency);
+    interval_packets = r.U64();
+    packets_corrupted = r.U64();
+    last_delivery = r.U64();
+    offered_packets = r.U64();
+    measure_window_closed = r.B();
+    for (NodeCounters& c : at_measure_start) LoadNodeCounters(r, &c);
+    for (NodeCounters& c : at_measure_end) LoadNodeCounters(r, &c);
+    activity_snapshot = LoadRouterActivity(r);
+    const std::uint32_t nts = r.U32();
+    result.timeline.reserve(nts);
+    for (std::uint32_t i = 0; i < nts; ++i) {
+      IntervalSample s;
+      s.start = r.U64();
+      s.accepted_ppc = r.F64();
+      s.avg_latency = r.F64();
+      s.packets = r.U64();
+      result.timeline.push_back(s);
+    }
+    outcome.unreachable_packets = r.U64();
+    if (r.B()) LoadTelemetryScalars(r, &result.telemetry);
+    r.CloseSection();
+    r.OpenSection("network");
+    net.LoadState(r);
+    r.CloseSection();
+    if (telemetry != nullptr && r.HasSection("telemetry")) {
+      r.OpenSection("telemetry");
+      telemetry->LoadState(r);
+      r.CloseSection();
+    }
+  }
+
+  // Rolling pre-deadlock snapshots: two alternating in-memory blobs, so
+  // that when the watchdog fires the older one is guaranteed to predate
+  // the detection point by at least one full watchdog window.
+  const bool rolling_enabled = config.watchdog_cycles > 0 &&
+                               !config.deadlock_checkpoint_path.empty();
+  std::string rolling_prev;
+  std::string rolling_cur;
+
+  for (Cycle t = start_cycle; t < sim_end; ++t) {
+    if (config.checkpoint_every > 0 && t > 0 && t != start_cycle &&
+        t % config.checkpoint_every == 0) {
+      WriteSnapshotFile(config.checkpoint_path, serialize_sim(t));
+    }
+    if (rolling_enabled && t % config.watchdog_cycles == 0) {
+      rolling_prev = std::move(rolling_cur);
+      rolling_cur = serialize_sim(t);
+    }
     if (config.sample_interval > 0 && t > 0 &&
         t % config.sample_interval == 0) {
       IntervalSample sample;
@@ -284,6 +505,16 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
                         std::to_string(config.watchdog_cycles) +
                         " cycles with flits in flight (detected at cycle " +
                         std::to_string(net.now()) + ")";
+      if (rolling_enabled) {
+        // Persist the pre-deadlock state for post-mortem replay (restore it
+        // with tracing enabled to watch the final cycles wedge).
+        const std::string& blob =
+            rolling_prev.empty() ? rolling_cur : rolling_prev;
+        if (!blob.empty()) {
+          WriteSnapshotFile(config.deadlock_checkpoint_path, blob);
+          outcome.checkpoint_path = config.deadlock_checkpoint_path;
+        }
+      }
       break;
     }
   }
@@ -343,6 +574,8 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
   if (outcome.status == SimStatus::kOk && config.faults.Enabled()) {
     if (outcome.unreachable_packets > 0) {
       outcome.status = SimStatus::kUndeliverable;
+      outcome.cycle = net.now();
+      outcome.router_occupancy = net.OccupancySnapshot();
       outcome.message = std::to_string(outcome.unreachable_packets) +
                         " packets had no surviving path to their destination";
     } else if (config.watchdog_cycles > 0 && !net.Quiescent() &&
@@ -353,6 +586,8 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
       // no-movement deadlock criterion. (Injection continues through the
       // drain by design, so mere non-quiescence at the end is normal.)
       outcome.status = SimStatus::kUndeliverable;
+      outcome.cycle = net.now();
+      outcome.router_occupancy = net.OccupancySnapshot();
       outcome.message = "no packet delivered since cycle " +
                         std::to_string(last_delivery) +
                         " with flits still in flight at end of drain";
@@ -360,6 +595,166 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
   }
   result.outcome = std::move(outcome);
   return result;
+}
+
+std::uint64_t NetworkSimConfigFingerprint(const NetworkSimConfig& c) {
+  const auto dbl = [](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  };
+  std::vector<std::uint64_t> fields = {
+      static_cast<std::uint64_t>(c.topology),
+      static_cast<std::uint64_t>(c.scheme),
+      static_cast<std::uint64_t>(c.num_vcs),
+      static_cast<std::uint64_t>(c.buffer_depth),
+      static_cast<std::uint64_t>(c.packet_size),
+      dbl(c.injection_rate),
+      static_cast<std::uint64_t>(c.pattern),
+      static_cast<std::uint64_t>(c.arbiter),
+      static_cast<std::uint64_t>(c.vc_policy.has_value()),
+      static_cast<std::uint64_t>(
+          c.vc_policy.value_or(VcAssignPolicy::kMaxCredits)),
+      static_cast<std::uint64_t>(c.ap_rotate_vcs),
+      static_cast<std::uint64_t>(c.pipeline_stages),
+      static_cast<std::uint64_t>(c.vix_virtual_inputs),
+      static_cast<std::uint64_t>(c.interleaved_vins),
+      static_cast<std::uint64_t>(c.prioritize_nonspeculative),
+      static_cast<std::uint64_t>(c.va_organization),
+      static_cast<std::uint64_t>(c.atomic_vc_alloc),
+      static_cast<std::uint64_t>(c.bursty),
+      dbl(c.burst_on_rate),
+      dbl(c.mean_burst_cycles),
+      static_cast<std::uint64_t>(static_cast<bool>(c.topology_factory)),
+      static_cast<std::uint64_t>(c.sample_interval),
+      dbl(c.faults.link_down_rate),
+      dbl(c.faults.transient_rate),
+      static_cast<std::uint64_t>(c.faults.transient_period),
+      static_cast<std::uint64_t>(c.faults.transient_duration),
+      dbl(c.faults.router_stall_rate),
+      static_cast<std::uint64_t>(c.faults.stall_period),
+      static_cast<std::uint64_t>(c.faults.stall_duration),
+      dbl(c.faults.corruption_rate),
+      c.faults.seed,
+      static_cast<std::uint64_t>(c.watchdog_cycles),
+      c.seed,
+      static_cast<std::uint64_t>(c.warmup),
+      static_cast<std::uint64_t>(c.measure),
+      static_cast<std::uint64_t>(c.drain),
+  };
+  for (const auto& [router, port] : c.faults.forced_link_down) {
+    fields.push_back(static_cast<std::uint64_t>(router));
+    fields.push_back(static_cast<std::uint64_t>(port));
+  }
+  return Fnv1a64(fields.data(), fields.size() * sizeof(std::uint64_t));
+}
+
+void SaveNetworkSimResult(SnapshotWriter& w, const NetworkSimResult& r) {
+  w.F64(r.offered_ppc);
+  w.F64(r.accepted_ppc);
+  w.F64(r.accepted_fpc);
+  w.F64(r.avg_latency);
+  w.F64(r.avg_net_latency);
+  w.F64(r.p99_latency);
+  w.F64(r.min_node_ppc);
+  w.F64(r.max_node_ppc);
+  w.F64(r.max_min_ratio);
+  w.U64(r.packets_measured);
+  w.B(r.saturated);
+  SaveRouterActivity(w, r.activity);
+  w.U64(r.measure_cycles);
+  w.I32(r.num_nodes);
+  w.U64(r.packets_corrupted);
+  SaveSimOutcome(w, r.outcome);
+  w.U32(static_cast<std::uint32_t>(r.timeline.size()));
+  for (const IntervalSample& s : r.timeline) {
+    w.U64(s.start);
+    w.F64(s.accepted_ppc);
+    w.F64(s.avg_latency);
+    w.U64(s.packets);
+  }
+  SaveTelemetryScalars(w, r.telemetry);
+  w.U32(static_cast<std::uint32_t>(r.telemetry.windows.size()));
+  for (const TelemetryWindow& win : r.telemetry.windows) {
+    w.U64(win.start);
+    w.U64(win.width);
+    w.U64(win.sa_requests);
+    w.U64(win.sa_grants);
+    w.U64(win.vin_conflicts_distinct);
+    w.U64(win.vin_conflicts_same);
+    w.U64(win.packets_ejected);
+  }
+  w.U32(static_cast<std::uint32_t>(r.telemetry.trace.size()));
+  for (const PacketTraceEvent& ev : r.telemetry.trace) {
+    w.U64(ev.packet);
+    w.U8(static_cast<std::uint8_t>(ev.kind));
+    w.U64(ev.cycle);
+    w.I32(ev.router);
+    w.I32(ev.src);
+    w.I32(ev.dst);
+  }
+}
+
+NetworkSimResult LoadNetworkSimResult(SnapshotReader& r) {
+  NetworkSimResult out;
+  out.offered_ppc = r.F64();
+  out.accepted_ppc = r.F64();
+  out.accepted_fpc = r.F64();
+  out.avg_latency = r.F64();
+  out.avg_net_latency = r.F64();
+  out.p99_latency = r.F64();
+  out.min_node_ppc = r.F64();
+  out.max_node_ppc = r.F64();
+  out.max_min_ratio = r.F64();
+  out.packets_measured = r.U64();
+  out.saturated = r.B();
+  out.activity = LoadRouterActivity(r);
+  out.measure_cycles = r.U64();
+  out.num_nodes = r.I32();
+  out.packets_corrupted = r.U64();
+  out.outcome = LoadSimOutcome(r);
+  const std::uint32_t nts = r.U32();
+  out.timeline.reserve(nts);
+  for (std::uint32_t i = 0; i < nts; ++i) {
+    IntervalSample s;
+    s.start = r.U64();
+    s.accepted_ppc = r.F64();
+    s.avg_latency = r.F64();
+    s.packets = r.U64();
+    out.timeline.push_back(s);
+  }
+  LoadTelemetryScalars(r, &out.telemetry);
+  const std::uint32_t nw = r.U32();
+  out.telemetry.windows.reserve(nw);
+  for (std::uint32_t i = 0; i < nw; ++i) {
+    TelemetryWindow win;
+    win.start = r.U64();
+    win.width = r.U64();
+    win.sa_requests = r.U64();
+    win.sa_grants = r.U64();
+    win.vin_conflicts_distinct = r.U64();
+    win.vin_conflicts_same = r.U64();
+    win.packets_ejected = r.U64();
+    out.telemetry.windows.push_back(win);
+  }
+  const std::uint32_t nt = r.U32();
+  out.telemetry.trace.reserve(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    PacketTraceEvent ev;
+    ev.packet = r.U64();
+    const std::uint8_t kind = r.U8();
+    VIXNOC_REQUIRE(kind <= static_cast<std::uint8_t>(
+                               PacketTraceEvent::Kind::kEject),
+                   "restored trace event has invalid kind %u", kind);
+    ev.kind = static_cast<PacketTraceEvent::Kind>(kind);
+    ev.cycle = r.U64();
+    ev.router = r.I32();
+    ev.src = r.I32();
+    ev.dst = r.I32();
+    out.telemetry.trace.push_back(ev);
+  }
+  return out;
 }
 
 }  // namespace vixnoc

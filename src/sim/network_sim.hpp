@@ -18,6 +18,9 @@
 
 namespace vixnoc {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// How a simulation point ended. Anything but kOk means the metric fields
 /// of the result must not be trusted as steady-state measurements.
 enum class SimStatus {
@@ -44,13 +47,20 @@ std::string ToString(SimStatus status);
 struct SimOutcome {
   SimStatus status = SimStatus::kOk;
   std::string message;  ///< empty for kOk
-  /// Cycle at which the problem was detected (deadlock only).
+  /// Cycle at which the problem was detected (kDeadlock and kUndeliverable).
   Cycle cycle = 0;
-  /// Flits buffered in each router when the watchdog fired (deadlock only).
+  /// Flits buffered in each router when the problem was detected: the
+  /// watchdog's snapshot for kDeadlock, the end-of-drain snapshot for
+  /// kUndeliverable (a livelocked run's wedged traffic is visible here).
   std::vector<std::uint32_t> router_occupancy;
   /// Packets whose destination was unreachable over surviving links; they
   /// are counted, not injected (they could only hang forever).
   std::uint64_t unreachable_packets = 0;
+  /// Path of the rolling pre-deadlock checkpoint written when the watchdog
+  /// fired (kDeadlock with deadlock_checkpoint_path configured); empty
+  /// otherwise. Restore from it with tracing enabled to replay the final
+  /// cycles leading into the deadlock.
+  std::string checkpoint_path;
 
   bool ok() const { return status == SimStatus::kOk; }
 };
@@ -112,6 +122,25 @@ struct NetworkSimConfig {
   /// them. Counter aggregates cover the measurement window; the time series
   /// and packet trace cover the whole run.
   TelemetryConfig telemetry;
+  /// Checkpoint/restore (snapshot/snapshot.hpp). When `checkpoint_every`
+  /// is > 0, the full simulation state is written to `checkpoint_path`
+  /// (atomic overwrite) every `checkpoint_every` cycles. Setting
+  /// `restore_path` resumes a run from such a checkpoint instead of
+  /// starting at cycle 0; the resumed run is bitwise identical to one that
+  /// never stopped. Checkpoints carry a fingerprint of the
+  /// evolution-relevant config fields (see NetworkSimConfigFingerprint);
+  /// restoring under a config that would evolve differently throws
+  /// SimError. Telemetry and checkpoint knobs themselves are excluded from
+  /// the fingerprint, so a post-mortem replay may switch tracing on.
+  std::string checkpoint_path;
+  Cycle checkpoint_every = 0;
+  std::string restore_path;
+  /// When set (and the watchdog is enabled), keeps a rolling in-memory
+  /// snapshot refreshed every watchdog_cycles; if the watchdog fires, the
+  /// snapshot from at least one full watchdog window before detection is
+  /// written here and recorded in SimOutcome::checkpoint_path. Zero cost
+  /// when empty (the default).
+  std::string deadlock_checkpoint_path;
   std::uint64_t seed = 1;
   Cycle warmup = 10'000;
   Cycle measure = 30'000;
@@ -164,5 +193,22 @@ struct NetworkSimResult {
 void ValidateNetworkSimConfig(const NetworkSimConfig& config);
 
 NetworkSimResult RunNetworkSim(const NetworkSimConfig& config);
+
+/// FNV-1a fingerprint over the config fields that determine how the
+/// simulation evolves. Stamped into checkpoint files and checked on
+/// restore. Telemetry settings are excluded (observability never changes
+/// simulated state — the contract pinned by telemetry_test), as are the
+/// checkpoint knobs themselves, so a replay run may re-point paths or
+/// enable tracing without invalidating the checkpoint. A topology_factory
+/// cannot be hashed; only its presence is, so factory users must ensure
+/// the factory builds the same topology on both sides (the network-level
+/// geometry checks catch most mismatches).
+std::uint64_t NetworkSimConfigFingerprint(const NetworkSimConfig& config);
+
+/// Full-fidelity (de)serialization of a finished result — metrics,
+/// outcome, timeline and telemetry — used by SweepRunner's per-point
+/// result cache to resume partially completed sweeps.
+void SaveNetworkSimResult(SnapshotWriter& w, const NetworkSimResult& result);
+NetworkSimResult LoadNetworkSimResult(SnapshotReader& r);
 
 }  // namespace vixnoc

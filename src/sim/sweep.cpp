@@ -1,10 +1,12 @@
 #include "sim/sweep.hpp"
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "common/check.hpp"
 #include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vixnoc {
 
@@ -51,6 +53,32 @@ void SweepRunner::WorkerLoop() {
       config = &(*batch_)[index];
     }
 
+    // With a checkpoint directory, a cached result from an earlier
+    // (interrupted) run of the same batch satisfies the point without
+    // simulating. Any defect in the cache file — missing, truncated,
+    // corrupted, or written under a different config — falls through to a
+    // normal run; the cache is an accelerator, never a correctness input.
+    const std::string cache_path = PointCachePath(index);
+    if (!cache_path.empty()) {
+      try {
+        SnapshotReader r(ReadSnapshotFile(cache_path));
+        if (r.fingerprint() == NetworkSimConfigFingerprint(*config)) {
+          r.OpenSection("result");
+          NetworkSimResult cached = LoadNetworkSimResult(r);
+          r.CloseSection();
+          std::lock_guard<std::mutex> lock(mu_);
+          (*results_)[index] = std::move(cached);
+          ++resumed_;
+          ++done_;
+          if (progress_) progress_(done_, batch_->size());
+          if (done_ == batch_->size()) done_cv_.notify_all();
+          continue;
+        }
+      } catch (const SimError&) {
+        // Unreadable or corrupted cache entry: re-run the point below.
+      }
+    }
+
     // The point runs unlocked: RunNetworkSim touches only its own state.
     // A throwing point (invalid config, SimError) must not escape the
     // worker thread — that would std::terminate the process and wedge
@@ -59,6 +87,14 @@ void SweepRunner::WorkerLoop() {
     NetworkSimResult result;
     try {
       result = RunNetworkSim(*config);
+      if (!cache_path.empty()) {
+        SnapshotWriter w;
+        w.BeginSection("result");
+        SaveNetworkSimResult(w, result);
+        w.EndSection();
+        WriteSnapshotFile(cache_path,
+                          w.Finish(NetworkSimConfigFingerprint(*config)));
+      }
     } catch (const SimError& e) {
       result = NetworkSimResult{};
       result.outcome.status = SimStatus::kInvariantViolation;
@@ -79,6 +115,20 @@ void SweepRunner::WorkerLoop() {
   }
 }
 
+void SweepRunner::SetCheckpointDir(std::string dir) {
+  VIXNOC_CHECK(!dir.empty());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  VIXNOC_REQUIRE(!ec, "cannot create sweep checkpoint directory '%s': %s",
+                 dir.c_str(), ec.message().c_str());
+  checkpoint_dir_ = std::move(dir);
+}
+
+std::string SweepRunner::PointCachePath(std::size_t index) const {
+  if (checkpoint_dir_.empty()) return {};
+  return checkpoint_dir_ + "/point_" + std::to_string(index) + ".ckpt";
+}
+
 std::vector<NetworkSimResult> SweepRunner::Run(
     const std::vector<NetworkSimConfig>& configs) {
   std::vector<NetworkSimResult> results(configs.size());
@@ -91,6 +141,7 @@ std::vector<NetworkSimResult> SweepRunner::Run(
     results_ = &results;
     next_ = 0;
     done_ = 0;
+    resumed_ = 0;
   }
   work_cv_.notify_all();
 

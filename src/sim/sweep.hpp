@@ -50,6 +50,21 @@ class SweepRunner {
   using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
   void SetProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
+  /// Per-point result caching, making a killed sweep resumable. When set
+  /// (before Run; creates the directory), every completed point i writes
+  /// its full NetworkSimResult to `<dir>/point_<i>.ckpt`, stamped with
+  /// that point's config fingerprint. On a later Run over the same batch,
+  /// a point whose cache file exists and matches its config's fingerprint
+  /// is loaded instead of re-run — and because cached results were
+  /// produced by the same deterministic RunNetworkSim, a resumed sweep's
+  /// results are bitwise identical to an uninterrupted one. An unreadable
+  /// or mismatched cache file silently falls back to running the point.
+  void SetCheckpointDir(std::string dir);
+
+  /// Points of the most recent Run that were satisfied from the checkpoint
+  /// directory's cache instead of being simulated.
+  std::size_t resumed_points() const { return resumed_; }
+
   /// Runs every point and blocks until all complete. results[i] is the
   /// point configs[i] would produce through a direct RunNetworkSim call.
   /// A point that throws (SimError from an invalid config, or any other
@@ -62,8 +77,12 @@ class SweepRunner {
 
  private:
   void WorkerLoop();
+  /// Cache path for point `index`; empty when caching is off.
+  std::string PointCachePath(std::size_t index) const;
 
   std::vector<std::thread> workers_;
+  std::string checkpoint_dir_;
+  std::size_t resumed_ = 0;
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a batch / shutdown

@@ -1,0 +1,69 @@
+// Snapshot encoders for the small value types of common/ (RNG streams and
+// statistics accumulators). Header-only so any layer that already links
+// vixnoc_snapshot can serialize them without new dependencies.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace vixnoc {
+
+inline void SaveRng(SnapshotWriter& w, const Rng& rng) {
+  for (std::uint64_t s : rng.state()) w.U64(s);
+}
+
+inline void LoadRng(SnapshotReader& r, Rng* rng) {
+  Rng::State s;
+  for (auto& x : s) x = r.U64();
+  rng->set_state(s);
+}
+
+inline void SaveRunningStat(SnapshotWriter& w, const RunningStat& stat) {
+  const RunningStat::State s = stat.state();
+  w.U64(s.n);
+  w.F64(s.mean);
+  w.F64(s.m2);
+  w.F64(s.sum);
+  w.F64(s.min);
+  w.F64(s.max);
+}
+
+inline void LoadRunningStat(SnapshotReader& r, RunningStat* stat) {
+  RunningStat::State s;
+  s.n = r.U64();
+  s.mean = r.F64();
+  s.m2 = r.F64();
+  s.sum = r.F64();
+  s.min = r.F64();
+  s.max = r.F64();
+  stat->set_state(s);
+}
+
+inline void SaveHistogram(SnapshotWriter& w, const Histogram& h) {
+  w.U64(h.TotalCount());
+  w.VecU64(h.raw_counts());
+}
+
+inline void LoadHistogram(SnapshotReader& r, Histogram* h) {
+  const std::uint64_t total = r.U64();
+  h->set_state(r.VecU64(), total);
+}
+
+inline void SaveNodeCounters(SnapshotWriter& w, const NodeCounters& c) {
+  w.U64(c.packets_injected);
+  w.U64(c.packets_ejected);
+  w.U64(c.flits_injected);
+  w.U64(c.flits_ejected);
+  w.U64(c.packets_delivered);
+}
+
+inline void LoadNodeCounters(SnapshotReader& r, NodeCounters* c) {
+  c->packets_injected = r.U64();
+  c->packets_ejected = r.U64();
+  c->flits_injected = r.U64();
+  c->flits_ejected = r.U64();
+  c->packets_delivered = r.U64();
+}
+
+}  // namespace vixnoc

@@ -24,6 +24,9 @@
 
 namespace vixnoc {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Knobs carried by NetworkSimConfig. Default = disabled = zero cost.
 struct TelemetryConfig {
   bool enabled = false;
@@ -116,6 +119,11 @@ class RouterTelemetry {
   }
 
   const SwitchGeometry& geometry() const { return geom_; }
+
+  /// Checkpoint/restore of the counter block (per-cycle scratch excluded;
+  /// it is rebuilt by the next RecordAllocationCycle).
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
   /// Per-arbiter counters, filled by the attached separable allocator.
   AllocTelemetry alloc;
@@ -231,6 +239,14 @@ class TelemetryCollector {
 
   /// Aggregates current counter state (plus windows and trace so far).
   TelemetrySummary Summarize() const;
+
+  /// Checkpoint/restore of every router block, the window reservoir and the
+  /// trace buffer. Only called for a collector whose AttachRouters geometry
+  /// matches the saved one; the checkpoint's own config (window width,
+  /// trace sampling) may legitimately differ on a replay run — windows and
+  /// trace are restored as recorded and continue under the new config.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
   /// Emits the packet event trace as JSONL (schema: see PacketTraceEvent).
   void WriteTraceJsonl(std::FILE* f) const;

@@ -1,6 +1,8 @@
 #include "traffic/injection.hpp"
 
 #include "common/check.hpp"
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vixnoc {
 
@@ -34,6 +36,20 @@ bool OnOffInjection::ShouldInject(NodeId node, Rng& rng) {
     if (rng.NextBool(p_off_to_on_)) on_[node] = true;
   }
   return on_[node] && rng.NextBool(on_rate_);
+}
+
+void BernoulliInjection::SaveState(SnapshotWriter&) const {}
+
+void BernoulliInjection::LoadState(SnapshotReader&) {}
+
+void OnOffInjection::SaveState(SnapshotWriter& w) const { w.VecBool(on_); }
+
+void OnOffInjection::LoadState(SnapshotReader& r) {
+  std::vector<bool> on = r.VecBool();
+  VIXNOC_REQUIRE(on.size() == on_.size(),
+                 "restored on-off state has %zu nodes, expected %zu",
+                 on.size(), on_.size());
+  on_ = std::move(on);
 }
 
 }  // namespace vixnoc

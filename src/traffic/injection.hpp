@@ -17,6 +17,9 @@
 
 namespace vixnoc {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class InjectionProcess {
  public:
   virtual ~InjectionProcess() = default;
@@ -26,6 +29,12 @@ class InjectionProcess {
   virtual bool ShouldInject(NodeId node, Rng& rng) = 0;
 
   virtual std::string Name() const = 0;
+
+  /// Checkpoint/restore of the process's mutable state (the Markov state of
+  /// on-off traffic; Bernoulli is stateless). The caller's Rng stream is
+  /// serialized separately.
+  virtual void SaveState(SnapshotWriter& w) const = 0;
+  virtual void LoadState(SnapshotReader& r) = 0;
 };
 
 /// Independent Bernoulli(rate) trials.
@@ -34,6 +43,8 @@ class BernoulliInjection final : public InjectionProcess {
   explicit BernoulliInjection(double rate);
   bool ShouldInject(NodeId node, Rng& rng) override;
   std::string Name() const override { return "bernoulli"; }
+  void SaveState(SnapshotWriter& w) const override;
+  void LoadState(SnapshotReader& r) override;
 
  private:
   double rate_;
@@ -49,6 +60,8 @@ class OnOffInjection final : public InjectionProcess {
                  double mean_burst_cycles);
   bool ShouldInject(NodeId node, Rng& rng) override;
   std::string Name() const override { return "on-off"; }
+  void SaveState(SnapshotWriter& w) const override;
+  void LoadState(SnapshotReader& r) override;
 
   /// Fraction of time a node spends ON in steady state.
   double DutyCycle() const { return duty_; }

@@ -169,6 +169,11 @@ TEST(FaultSim, SeveredSourceReportsUndeliverable) {
   EXPECT_EQ(r.outcome.status, SimStatus::kUndeliverable);
   EXPECT_GT(r.outcome.unreachable_packets, 0u);
   EXPECT_FALSE(r.outcome.message.empty());
+  // Undeliverable outcomes carry the same diagnostics as deadlocks: the
+  // detection cycle and the end-of-drain per-router occupancy snapshot
+  // (regression: these used to be populated only for kDeadlock).
+  EXPECT_GT(r.outcome.cycle, 0u);
+  EXPECT_EQ(r.outcome.router_occupancy.size(), 16u);
   // Everyone else's traffic still flows.
   EXPECT_GT(r.packets_measured, 0u);
 }
