@@ -15,12 +15,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "network/network.hpp"
@@ -127,12 +127,7 @@ struct SweepTiming {
   double wall_seconds = 0.0;
 };
 
-std::string Num(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
-  return buf;
-}
+using bench::Num;
 
 }  // namespace
 }  // namespace vixnoc
@@ -147,6 +142,7 @@ int main(int argc, char** argv) {
   const std::string json_path = args.GetString("json", "bench_results.json");
   args.CheckAllConsumed();
 
+  bench::WarnIfDebugBuild("sim_speed");
   CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
@@ -219,7 +215,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"sim_speed\",\n  \"micro\": [\n");
+    std::fprintf(f, "{\n  \"bench\": \"sim_speed\",\n  \"build\": %s,\n  \"micro\": [\n",
+                 bench::BuildFlagsJson().c_str());
     for (std::size_t i = 0; i < reporter.results.size(); ++i) {
       const auto& r = reporter.results[i];
       std::fprintf(f,

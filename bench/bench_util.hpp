@@ -3,8 +3,15 @@
 // Every bench prints (a) the experiment's configuration, (b) a table in the
 // shape of the paper's table/figure, and (c) a paper-vs-measured summary of
 // the headline claim(s) it reproduces. EXPERIMENTS.md archives the output.
+//
+// Also hosts the one JSON vocabulary every bench shares: Num (finite-or-
+// null numbers), EscapeJson, and BuildFlagsJson — a provenance block
+// recording whether the binary was built with NDEBUG/optimization, so a
+// results file can never silently mix debug-build numbers into the
+// performance trajectory (scripts/bench_trajectory.py refuses them).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -31,5 +38,76 @@ inline void Note(const std::string& text) {
 }
 
 inline double PctGain(double a, double b) { return a / b - 1.0; }
+
+/// JSON has no NaN/Inf; non-finite metrics (e.g. latency with zero
+/// delivered packets) become null.
+inline std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+inline std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// True when the binary was compiled with NDEBUG (asserts compiled out) —
+/// the precondition for comparable performance numbers.
+inline constexpr bool BuiltWithNdebug() {
+#ifdef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Build-provenance JSON object: `{"ndebug": ..., "compiler": "..."}`.
+inline std::string BuildFlagsJson() {
+  std::string compiler =
+#if defined(__clang__)
+      "clang " __clang_version__;
+#elif defined(__GNUC__)
+      "gcc " + std::to_string(__GNUC__) + "." +
+      std::to_string(__GNUC_MINOR__) + "." +
+      std::to_string(__GNUC_PATCHLEVEL__);
+#else
+      "unknown";
+#endif
+  return std::string("{\"ndebug\": ") +
+         (BuiltWithNdebug() ? "true" : "false") + ", \"compiler\": \"" +
+         EscapeJson(compiler) + "\"}";
+}
+
+/// Loud stderr warning when a bench binary runs without NDEBUG; such
+/// numbers are not comparable to the committed trajectory.
+inline void WarnIfDebugBuild(const std::string& bench_name) {
+  if (!BuiltWithNdebug()) {
+    std::fprintf(stderr,
+                 "WARNING: bench_%s was built without NDEBUG (debug "
+                 "asserts on); performance numbers are not comparable to "
+                 "the committed trajectory\n",
+                 bench_name.c_str());
+  }
+}
 
 }  // namespace vixnoc::bench

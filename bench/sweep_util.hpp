@@ -12,7 +12,6 @@
 #pragma once
 
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -20,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "sim/sweep.hpp"
 #include "traffic/patterns.hpp"
@@ -103,6 +103,7 @@ class SweepHarness {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"%s\",\n"
+                 "  \"build\": %s,\n"
                  "  \"threads\": %d,\n"
                  "  \"points\": %zu,\n"
                  "%s"
@@ -110,7 +111,8 @@ class SweepHarness {
                  "  \"sim_cycles\": %llu,\n"
                  "  \"sim_cycles_per_second\": %s,\n"
                  "  \"results\": [\n",
-                 bench_name_.c_str(), threads(), records_.size(),
+                 bench_name_.c_str(), BuildFlagsJson().c_str(), threads(),
+                 records_.size(),
                  provenance.c_str(), Num(wall_seconds_).c_str(),
                  static_cast<unsigned long long>(sim_cycles_),
                  Num(wall_seconds_ > 0
@@ -195,39 +197,7 @@ class SweepHarness {
     json_path_ = args.GetString("json", default_json);
     checkpoint_dir_ = args.GetString("checkpoint", "");
     runner_ = std::make_unique<SweepRunner>(threads_);
-  }
-
-  /// JSON has no NaN/Inf; non-finite metrics (e.g. latency with zero
-  /// delivered packets) become null.
-  static std::string Num(double v) {
-    if (!std::isfinite(v)) return "null";
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-    return buf;
-  }
-
-  /// Minimal JSON string escape for outcome messages (quotes, backslashes,
-  /// control characters).
-  static std::string EscapeJson(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
+    WarnIfDebugBuild(bench_name_);
   }
 
   std::string bench_name_;

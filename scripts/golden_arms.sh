@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run every topology x scheme arm through noc_explorer with a short, fixed
+# workload and concatenate the per-arm CSV rows into one file.
+#
+#   scripts/golden_arms.sh <noc_explorer-binary> <out-csv>
+#
+# The output is bitwise deterministic for a given simulator build, so a file
+# produced by one build can be cmp'd against another build to prove the two
+# behave identically (tests/golden/prerewrite_arms.csv pins the behaviour of
+# the scalar pre-bitmask hot path; scripts/tier1.sh re-runs this script and
+# requires an exact match).
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <noc_explorer-binary> <out-csv>" >&2
+  exit 2
+fi
+bin=$1
+out=$2
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+: > "$out"
+first=1
+for topo in mesh cmesh fbfly torus; do
+  for scheme in if wf ap vix ideal pc islip sparoflo; do
+    "$bin" topology="$topo" scheme="$scheme" rate=0.06 vcs=6 depth=5 \
+      packet=4 seed=7 warmup=500 measure=2000 drain=1500 \
+      csv="$tmp/arm.csv" > /dev/null
+    if [ "$first" -eq 1 ]; then
+      cat "$tmp/arm.csv" >> "$out"
+      first=0
+    else
+      tail -n +2 "$tmp/arm.csv" >> "$out"
+    fi
+  done
+done

@@ -12,7 +12,14 @@
 #  4. telemetry gate: telemetry_test (pins bitwise identity of
 #     telemetry-off runs against frozen goldens AND off-vs-on identity),
 #     then a bench_ext_telemetry run whose JSONL packet trace is
-#     schema-validated with python3 (skipped if python3 is absent).
+#     schema-validated with python3 (skipped if python3 is absent);
+#  5. checkpoint/restore gate (snapshot_test + CLI save/kill/resume + bench
+#     point-cache resume, all byte-compared);
+#  6. golden-arms identity gate: every topology x scheme arm re-run through
+#     noc_explorer and cmp'd against tests/golden/prerewrite_arms.csv — the
+#     bitmask/SoA hot path must stay bitwise identical to the scalar one;
+#  7. perf smoke gate: bench_sim_speed compared against the committed
+#     trajectory (BENCH_sim_speed.json) via scripts/bench_trajectory.py.
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -28,17 +35,19 @@ cmake --build "${PREFIX}" -j
 echo "== tier1: ThreadSanitizer sweep_test (${PREFIX}-tsan) =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=thread
-cmake --build "${PREFIX}-tsan" -j --target sweep_test
+cmake --build "${PREFIX}-tsan" -j --target sweep_test alloc_equiv_test
 "${PREFIX}-tsan/tests/sweep_test"
+"${PREFIX}-tsan/tests/alloc_equiv_test"
 
 echo "== tier1: ASan+UBSan fault/robustness tests (${PREFIX}-asan) =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
-  sweep_test
+  sweep_test alloc_equiv_test
 "${PREFIX}-asan/tests/fault_test"
 "${PREFIX}-asan/tests/robustness_test"
 "${PREFIX}-asan/tests/sweep_test"
+"${PREFIX}-asan/tests/alloc_equiv_test"
 
 echo "== tier1: telemetry gate (${PREFIX}) =="
 # telemetry_test asserts (a) telemetry-off results are bitwise identical to
@@ -112,6 +121,29 @@ print(f"bench resume results identical ({len(a)} points, "
 EOF
 else
   echo "bench_ext_telemetry or python3 not found; skipping bench resume gate"
+fi
+
+echo "== tier1: golden-arms identity gate (${PREFIX}) =="
+# Every topology x scheme arm, re-run and byte-compared against the frozen
+# pre-rewrite CSV: the word-parallel/SoA hot path must produce exactly the
+# same allocation decisions as the scalar implementation it replaced.
+scripts/golden_arms.sh "${PREFIX}/examples/noc_explorer" \
+  "${PREFIX}/golden_arms.csv"
+cmp tests/golden/prerewrite_arms.csv "${PREFIX}/golden_arms.csv"
+echo "golden arms bitwise-identical to tests/golden/prerewrite_arms.csv"
+
+echo "== tier1: perf smoke gate (${PREFIX}) =="
+# bench_sim_speed against the committed trajectory. The smoke tolerance is
+# deliberately loose (50%) so CI noise never flakes the gate while a real
+# return-to-scalar regression (the committed entries are 2x+ apart) still
+# fails loudly. Use the default 10% tolerance when benchmarking by hand.
+if command -v python3 >/dev/null 2>&1; then
+  "${PREFIX}/bench/bench_sim_speed" "json=${PREFIX}/perf_smoke.json" \
+    >/dev/null
+  python3 scripts/bench_trajectory.py check \
+    --results "${PREFIX}/perf_smoke.json" --max-regression 0.5
+else
+  echo "python3 not found; skipping perf smoke gate"
 fi
 
 echo "== tier1: OK =="

@@ -10,74 +10,65 @@ AugmentingPathAllocator::AugmentingPathAllocator(const SwitchGeometry& g,
                                                  bool rotate_vcs)
     : SwitchAllocator(g), rotate_vcs_(rotate_vcs) {
   VIXNOC_CHECK(g.num_vins == 1);
-  request_.assign(
-      static_cast<std::size_t>(g.num_inports) * g.num_outports, false);
+  request_.Resize(g.num_inports, g.num_outports);
   match_of_out_.assign(g.num_outports, -1);
   match_of_in_.assign(g.num_inports, -1);
   vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
-  cell_vcs_.resize(static_cast<std::size_t>(g.num_inports) * g.num_outports);
-  visited_.resize(static_cast<std::size_t>(g.num_outports));
+  cell_vc_.Resize(g.num_inports * g.num_outports, g.num_vcs);
+  visited_.Resize(g.num_outports);
 }
 
-bool AugmentingPathAllocator::TryAugment(int in, std::vector<bool>* visited) {
-  for (int out = 0; out < geom_.num_outports; ++out) {
-    if (!request_[static_cast<std::size_t>(in) * geom_.num_outports + out] ||
-        (*visited)[out]) {
-      continue;
-    }
-    (*visited)[out] = true;
+bool AugmentingPathAllocator::TryAugment(int in) {
+  // DFS over this input's requested outputs in ascending order, skipping
+  // outputs already visited on this augmenting path. The visited mask can
+  // gain bits during the recursive call, so re-AND against it after every
+  // probe rather than snapshotting the row once.
+  const std::uint64_t* row = request_.Row(in).words();
+  const std::uint64_t* seen = visited_.data();
+  const int nwords = visited_.word_count();
+  while (true) {
+    const int out = bits::FirstSetAndNot(row, seen, nwords);
+    if (out < 0) return false;
+    visited_.Set(out);
     ++last_iterations_;
-    if (match_of_out_[out] == -1 ||
-        TryAugment(match_of_out_[out], visited)) {
+    if (match_of_out_[out] == -1 || TryAugment(match_of_out_[out])) {
       match_of_out_[out] = in;
       match_of_in_[in] = out;
       return true;
     }
   }
-  return false;
 }
 
 void AugmentingPathAllocator::Allocate(const std::vector<SaRequest>& requests,
                                        std::vector<SaGrant>* grants) {
   grants->clear();
   last_iterations_ = 0;
-  std::fill(request_.begin(), request_.end(), false);
   std::fill(match_of_out_.begin(), match_of_out_.end(), -1);
   std::fill(match_of_in_.begin(), match_of_in_.end(), -1);
-  for (auto& v : cell_vcs_) v.clear();
+  request_.ClearDirty();
+  cell_vc_.ClearDirty();
 
   for (const SaRequest& r : requests) {
-    const std::size_t cell =
-        static_cast<std::size_t>(r.in_port) * geom_.num_outports + r.out_port;
-    request_[cell] = true;
-    cell_vcs_[cell].push_back(r.vc);
+    request_.Set(r.in_port, r.out_port);
+    cell_vc_.Set(r.in_port * geom_.num_outports + r.out_port, r.vc);
   }
 
-  // Kuhn's algorithm: process inputs in fixed ascending order.
-  for (int in = 0; in < geom_.num_inports; ++in) {
-    std::fill(visited_.begin(), visited_.end(), false);
-    TryAugment(in, &visited_);
-  }
+  // Kuhn's algorithm: process inputs in fixed ascending order. Inputs with
+  // no requests cannot augment, so only dirty rows are visited.
+  request_.DirtyRows().ForEach([&](int in) {
+    visited_.ClearAll();
+    TryAugment(in);
+  });
 
   for (int in = 0; in < geom_.num_inports; ++in) {
     const int out = match_of_in_[in];
     if (out == -1) continue;
     const std::size_t cell =
         static_cast<std::size_t>(in) * geom_.num_outports + out;
-    const auto& vcs = cell_vcs_[cell];
-    VIXNOC_DCHECK(!vcs.empty());
+    const BitSpan vcs = cell_vc_.Row(static_cast<int>(cell));
     int& ptr = vc_rr_[cell];
-    VcId best = kInvalidVc;
-    if (rotate_vcs_) {
-      for (VcId vc : vcs) {
-        if (vc >= ptr && (best == kInvalidVc || vc < best)) best = vc;
-      }
-    }
-    if (best == kInvalidVc) {
-      for (VcId vc : vcs) {
-        if (best == kInvalidVc || vc < best) best = vc;
-      }
-    }
+    const VcId best = rotate_vcs_ ? vcs.FirstFrom(ptr) : vcs.First();
+    VIXNOC_DCHECK(best >= 0);
     ptr = (best + 1) % geom_.num_vcs;
     grants->push_back(SaGrant{in, 0, best, out});
   }

@@ -16,6 +16,7 @@
 // port cannot starve each other.
 #pragma once
 
+#include "alloc/request_matrix.hpp"
 #include "alloc/switch_allocator.hpp"
 
 namespace vixnoc {
@@ -42,17 +43,17 @@ class AugmentingPathAllocator final : public SwitchAllocator {
   int last_iterations() const { return last_iterations_; }
 
  private:
-  bool TryAugment(int in, std::vector<bool>* visited);
+  bool TryAugment(int in);
 
   bool rotate_vcs_;
 
-  // request_[in][out] = true if any VC at `in` requests `out` this cycle.
-  std::vector<bool> request_;
+  // request_ row `in`: bit `out` set if any VC at `in` requests `out`.
+  RequestMatrix request_;
   std::vector<int> match_of_out_;  // output -> matched input (-1 free)
   std::vector<int> match_of_in_;   // input -> matched output (-1 free)
   std::vector<int> vc_rr_;         // per (in,out) vc round-robin pointer
-  std::vector<std::vector<VcId>> cell_vcs_;
-  std::vector<bool> visited_;      // per-augment DFS scratch, num_outports
+  RequestMatrix cell_vc_;  // row (in * num_outports + out): requesting VCs
+  BitWords visited_;       // per-augment DFS scratch, num_outports bits
   int last_iterations_ = 0;
 };
 

@@ -13,84 +13,71 @@ IslipAllocator::IslipAllocator(const SwitchGeometry& g, int iterations)
   grant_ptr_.assign(g.num_outports, 0);
   accept_ptr_.assign(g.num_inports, 0);
   vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
-  cell_vcs_.resize(static_cast<std::size_t>(g.num_inports) * g.num_outports);
+  out_req_.Resize(g.num_outports, g.num_inports);
+  cell_vc_.Resize(g.num_inports * g.num_outports, g.num_vcs);
+  grant_req_.Resize(g.num_inports, g.num_outports);
+  free_in_.Resize(g.num_inports);
   match_in_.resize(g.num_inports);
   match_out_.resize(g.num_outports);
-  granted_to_.resize(g.num_outports);
 }
 
 void IslipAllocator::Allocate(const std::vector<SaRequest>& requests,
                               std::vector<SaGrant>* grants) {
   grants->clear();
-  for (auto& v : cell_vcs_) v.clear();
+  out_req_.ClearDirty();
+  cell_vc_.ClearDirty();
   for (const SaRequest& r : requests) {
-    cell_vcs_[static_cast<std::size_t>(r.in_port) * geom_.num_outports +
-              r.out_port]
-        .push_back(r.vc);
+    out_req_.Set(r.out_port, r.in_port);
+    cell_vc_.Set(r.in_port * geom_.num_outports + r.out_port, r.vc);
   }
 
-  std::vector<int>& match_in = match_in_;
-  std::vector<int>& match_out = match_out_;
-  std::fill(match_in.begin(), match_in.end(), -1);
-  std::fill(match_out.begin(), match_out.end(), -1);
+  std::fill(match_in_.begin(), match_in_.end(), -1);
+  std::fill(match_out_.begin(), match_out_.end(), -1);
+  free_in_.SetAll();
 
+  const int in_words = free_in_.word_count();
   for (int iter = 0; iter < iterations_; ++iter) {
-    // Grant phase: each free output picks a requesting free input.
-    std::vector<int>& granted_to = granted_to_;
-    std::fill(granted_to.begin(), granted_to.end(), -1);
+    // Grant phase: each free output picks the first requesting free input
+    // at or after its rotating pointer.
+    grant_req_.ClearDirty();
     for (int out = 0; out < geom_.num_outports; ++out) {
-      if (match_out[out] != -1) continue;
-      for (int off = 0; off < geom_.num_inports; ++off) {
-        const int in = (grant_ptr_[out] + off) % geom_.num_inports;
-        if (match_in[in] != -1) continue;
-        if (cell_vcs_[static_cast<std::size_t>(in) * geom_.num_outports + out]
-                .empty()) {
-          continue;
-        }
-        granted_to[out] = in;
-        break;
-      }
+      if (match_out_[out] != -1) continue;
+      const int in = bits::FirstSetFromAnd(out_req_.Row(out).words(),
+                                           free_in_.data(), in_words,
+                                           grant_ptr_[out]);
+      if (in >= 0) grant_req_.Set(in, out);
     }
-    // Accept phase: each free input picks one granting output.
+    // Accept phase: each free input picks the first granting output at or
+    // after its rotating pointer.
     bool progress = false;
-    for (int in = 0; in < geom_.num_inports; ++in) {
-      if (match_in[in] != -1) continue;
-      int chosen = -1;
-      for (int off = 0; off < geom_.num_outports; ++off) {
-        const int out = (accept_ptr_[in] + off) % geom_.num_outports;
-        if (granted_to[out] == in) {
-          chosen = out;
-          break;
+    for (int w = 0; w < in_words; ++w) {
+      std::uint64_t cur = free_in_.data()[w] & grant_req_.DirtyRows().data()[w];
+      while (cur != 0) {
+        const int in = w * bits::kWordBits + std::countr_zero(cur);
+        cur &= cur - 1;
+        const int chosen = grant_req_.Row(in).FirstFrom(accept_ptr_[in]);
+        VIXNOC_DCHECK(chosen >= 0);
+        match_in_[in] = chosen;
+        match_out_[chosen] = in;
+        free_in_.Clear(in);
+        progress = true;
+        if (iter == 0) {
+          grant_ptr_[chosen] = (in + 1) % geom_.num_inports;
+          accept_ptr_[in] = (chosen + 1) % geom_.num_outports;
         }
-      }
-      if (chosen == -1) continue;
-      match_in[in] = chosen;
-      match_out[chosen] = in;
-      progress = true;
-      if (iter == 0) {
-        grant_ptr_[chosen] = (in + 1) % geom_.num_inports;
-        accept_ptr_[in] = (chosen + 1) % geom_.num_outports;
       }
     }
     if (!progress) break;
   }
 
   for (int in = 0; in < geom_.num_inports; ++in) {
-    const int out = match_in[in];
+    const int out = match_in_[in];
     if (out == -1) continue;
     const std::size_t cell =
         static_cast<std::size_t>(in) * geom_.num_outports + out;
-    const auto& vcs = cell_vcs_[cell];
     int& ptr = vc_rr_[cell];
-    VcId best = kInvalidVc;
-    for (VcId vc : vcs) {
-      if (vc >= ptr && (best == kInvalidVc || vc < best)) best = vc;
-    }
-    if (best == kInvalidVc) {
-      for (VcId vc : vcs) {
-        if (best == kInvalidVc || vc < best) best = vc;
-      }
-    }
+    const VcId best = cell_vc_.Row(static_cast<int>(cell)).FirstFrom(ptr);
+    VIXNOC_DCHECK(best >= 0);
     ptr = (best + 1) % geom_.num_vcs;
     grants->push_back(SaGrant{in, 0, best, out});
   }

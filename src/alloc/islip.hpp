@@ -7,8 +7,14 @@
 //   accept: every free input picks one granting output (rotating ptr).
 // Pointers advance only when a grant is accepted in the FIRST iteration,
 // which is the published starvation-freedom rule.
+//
+// The grant phase searches the word-AND of "inputs requesting this output"
+// and "inputs still free" with a masked rotate, and the accept phase scans a
+// per-input bitmask of granting outputs, so neither phase walks ports one
+// element at a time.
 #pragma once
 
+#include "alloc/request_matrix.hpp"
 #include "alloc/switch_allocator.hpp"
 
 namespace vixnoc {
@@ -31,11 +37,13 @@ class IslipAllocator final : public SwitchAllocator {
   std::vector<int> grant_ptr_;   // per output
   std::vector<int> accept_ptr_;  // per input
   std::vector<int> vc_rr_;       // per (in,out)
-  std::vector<std::vector<VcId>> cell_vcs_;
-  // Per-cycle scratch.
+  // Per-cycle scratch, dirty-row cleared.
+  RequestMatrix out_req_;   // row out: requesting input bits
+  RequestMatrix cell_vc_;   // row (in * num_outports + out): requesting VCs
+  RequestMatrix grant_req_; // row in: outputs granting it this iteration
+  BitWords free_in_;        // inputs not yet matched
   std::vector<int> match_in_;    // input -> matched output (-1 free)
   std::vector<int> match_out_;   // output -> matched input (-1 free)
-  std::vector<int> granted_to_;  // per-iteration grant-phase winners
 };
 
 }  // namespace vixnoc

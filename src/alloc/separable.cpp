@@ -2,8 +2,6 @@
 #include "common/error.hpp"
 #include "snapshot/snapshot.hpp"
 
-#include <algorithm>
-
 namespace vixnoc {
 
 SeparableInputFirstAllocator::SeparableInputFirstAllocator(
@@ -17,10 +15,9 @@ SeparableInputFirstAllocator::SeparableInputFirstAllocator(
   for (int o = 0; o < g.num_outports; ++o) {
     output_arbiters_.push_back(MakeArbiter(kind, g.NumCrossbarInputs()));
   }
-  vc_request_scratch_.resize(g.VcsPerVin());
+  vc_req_.Resize(g.NumCrossbarInputs(), g.VcsPerVin());
+  out_req_.Resize(g.num_outports, g.NumCrossbarInputs());
   phase1_vc_.resize(g.NumCrossbarInputs());
-  phase1_out_.resize(g.NumCrossbarInputs());
-  out_request_scratch_.resize(g.NumCrossbarInputs());
   out_port_of_.resize(static_cast<std::size_t>(g.NumCrossbarInputs()) *
                       g.VcsPerVin());
 }
@@ -28,14 +25,13 @@ SeparableInputFirstAllocator::SeparableInputFirstAllocator(
 void SeparableInputFirstAllocator::Allocate(
     const std::vector<SaRequest>& requests, std::vector<SaGrant>* grants) {
   grants->clear();
-  const int xin_count = geom_.NumCrossbarInputs();
   const int vpv = geom_.VcsPerVin();
 
-  // Index requests by (crossbar input, vc-within-vin) for phase 1.
-  // out_port_of_[xin * vpv + sub_vc] = requested output, or kInvalidPort.
-  // A flat scratch sized P*k*vpv = P*v.
-  std::vector<PortId>& out_port_of = out_port_of_;
-  std::fill(out_port_of.begin(), out_port_of.end(), kInvalidPort);
+  // Index requests by (crossbar input, vc-within-vin) for phase 1. Only the
+  // rows touched last cycle need clearing; out_port_of_ entries are read
+  // only under a set request bit, so they never need a sentinel fill.
+  vc_req_.ClearDirty();
+  out_req_.ClearDirty();
   for (const SaRequest& r : requests) {
     VIXNOC_DCHECK(r.in_port >= 0 && r.in_port < geom_.num_inports);
     VIXNOC_DCHECK(r.vc >= 0 && r.vc < geom_.num_vcs);
@@ -43,58 +39,42 @@ void SeparableInputFirstAllocator::Allocate(
     const VinId vin = geom_.VinOfVc(r.vc);
     const int xin = r.in_port * geom_.num_vins + vin;
     const int sub = geom_.SubIndexOfVc(r.vc);
-    VIXNOC_DCHECK(out_port_of[static_cast<std::size_t>(xin) * vpv + sub] ==
-                  kInvalidPort);
-    out_port_of[static_cast<std::size_t>(xin) * vpv + sub] = r.out_port;
+    VIXNOC_DCHECK(!vc_req_.Test(xin, sub));
+    vc_req_.Set(xin, sub);
+    out_port_of_[static_cast<std::size_t>(xin) * vpv + sub] = r.out_port;
   }
 
-  // Phase 1: each crossbar input's arbiter picks one requesting VC.
-  for (int xin = 0; xin < xin_count; ++xin) {
-    bool any = false;
-    int req_count = 0;
-    for (int sub = 0; sub < vpv; ++sub) {
-      const bool req =
-          out_port_of[static_cast<std::size_t>(xin) * vpv + sub] !=
-          kInvalidPort;
-      vc_request_scratch_[sub] = req;
-      any |= req;
-      req_count += req ? 1 : 0;
-    }
+  // Phase 1: each requesting crossbar input's arbiter picks one VC. Dirty
+  // rows are exactly the xins with at least one request, visited ascending
+  // like the original full scan (empty xins contributed nothing there).
+  vc_req_.DirtyRows().ForEach([&](int xin) {
+    const BitSpan row = vc_req_.Row(xin);
     if (telemetry_ != nullptr) {
-      telemetry_->input_requests[xin] += static_cast<std::uint64_t>(req_count);
+      telemetry_->input_requests[xin] +=
+          static_cast<std::uint64_t>(row.Count());
     }
-    if (!any) {
-      phase1_vc_[xin] = -1;
-      continue;
-    }
-    const int sub = input_arbiters_[xin]->Pick(vc_request_scratch_);
+    const int sub = input_arbiters_[xin]->Pick(row);
     VIXNOC_DCHECK(sub >= 0);
     phase1_vc_[xin] = sub;
-    phase1_out_[xin] = out_port_of[static_cast<std::size_t>(xin) * vpv + sub];
     if (!update_on_grant_only_) {
       input_arbiters_[xin]->Commit(sub);
     }
-  }
+    out_req_.Set(out_port_of_[static_cast<std::size_t>(xin) * vpv + sub],
+                 xin);
+  });
 
-  // Phase 2: each output arbiter picks one crossbar input among phase-1
-  // winners requesting it.
+  // Phase 2: each requested output's arbiter picks one crossbar input among
+  // phase-1 winners.
   bool any_output_conflict = false;
-  for (PortId o = 0; o < geom_.num_outports; ++o) {
-    bool any = false;
-    int competitor_count = 0;
-    for (int xin = 0; xin < xin_count; ++xin) {
-      const bool req = phase1_vc_[xin] >= 0 && phase1_out_[xin] == o;
-      out_request_scratch_[xin] = req;
-      any |= req;
-      competitor_count += req ? 1 : 0;
-    }
-    if (!any) continue;
+  out_req_.DirtyRows().ForEach([&](int o) {
+    const BitSpan row = out_req_.Row(o);
     if (telemetry_ != nullptr) {
+      const int competitor_count = row.Count();
       telemetry_->output_requests[o] +=
           static_cast<std::uint64_t>(competitor_count);
       any_output_conflict |= competitor_count >= 2;
     }
-    const int xin = output_arbiters_[o]->Pick(out_request_scratch_);
+    const int xin = output_arbiters_[o]->Pick(row);
     VIXNOC_DCHECK(xin >= 0);
     output_arbiters_[o]->Commit(xin);
     const int sub = phase1_vc_[xin];
@@ -111,7 +91,7 @@ void SeparableInputFirstAllocator::Allocate(
     grant.vc = geom_.VcOf(grant.vin, sub);
     grant.out_port = o;
     grants->push_back(grant);
-  }
+  });
   if (telemetry_ != nullptr && any_output_conflict) {
     ++telemetry_->output_conflict_cycles;
   }

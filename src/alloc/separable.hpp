@@ -10,8 +10,14 @@
 // it is the VIX allocator (2P input arbiters of size v/2:1, P output
 // arbiters of size 2P:1). With num_vins == v it degenerates to pure output
 // arbitration, the paper's "ideal" allocator.
+//
+// Requests are held in bitmask matrices (alloc/request_matrix.hpp): one
+// row of VC-request bits per crossbar input for phase 1 and one row of
+// crossbar-input bits per output port for phase 2, so both phases iterate
+// only over populated rows and hand the arbiters word masks directly.
 #pragma once
 
+#include "alloc/request_matrix.hpp"
 #include "alloc/switch_allocator.hpp"
 
 namespace vixnoc {
@@ -39,12 +45,12 @@ class SeparableInputFirstAllocator final : public SwitchAllocator {
   // Indexed by output port.
   std::vector<std::unique_ptr<Arbiter>> output_arbiters_;
 
-  // Scratch, reused across cycles to avoid per-cycle allocation.
-  std::vector<bool> vc_request_scratch_;
-  std::vector<int> phase1_vc_;        // winning vc per crossbar input (-1 none)
-  std::vector<PortId> phase1_out_;    // requested out port per crossbar input
-  std::vector<bool> out_request_scratch_;
-  std::vector<PortId> out_port_of_;   // requested output per (xin, sub-vc)
+  // Scratch, reused across cycles; the matrices clear dirty rows only.
+  RequestMatrix vc_req_;       // row xin: requesting sub-VC bits
+  RequestMatrix out_req_;      // row out: phase-1 winner xin bits
+  std::vector<int> phase1_vc_;      // winning sub-vc per xin (valid if won)
+  std::vector<PortId> out_port_of_; // requested output per (xin, sub-vc);
+                                    // valid only where vc_req_ has the bit
 };
 
 }  // namespace vixnoc

@@ -18,95 +18,78 @@ SparofloAllocator::SparofloAllocator(const SwitchGeometry& g,
   for (int o = 0; o < g.num_outports; ++o) {
     output_arbiters_.push_back(MakeArbiter(kind, g.num_inports * g.num_vcs));
   }
-  const std::size_t port_vcs =
-      static_cast<std::size_t>(g.num_inports) * g.num_vcs;
-  out_of_.resize(port_vcs);
-  exposed_.resize(port_vcs);
-  candidate_.resize(g.num_vcs);
-  out_taken_.resize(g.num_outports);
-  req_scratch_.resize(port_vcs);
+  out_of_.resize(static_cast<std::size_t>(g.num_inports) * g.num_vcs);
+  port_req_.Resize(g.num_inports, g.num_vcs);
+  out_req_.Resize(g.num_outports, g.num_inports * g.num_vcs);
+  candidate_.Resize(g.num_vcs);
   by_port_.resize(g.num_inports);
-  outs_.resize(g.num_outports);
+  outs_.Resize(g.num_outports);
 }
 
 void SparofloAllocator::Allocate(const std::vector<SaRequest>& requests,
                                  std::vector<SaGrant>* grants) {
   grants->clear();
   last_killed_grants_ = 0;
-  const int ports = geom_.num_inports;
   const int vcs = geom_.num_vcs;
 
-  // Index requests: out_of[port*vcs + vc] = requested output.
-  std::vector<PortId>& out_of = out_of_;
-  std::fill(out_of.begin(), out_of.end(), kInvalidPort);
+  // Index requests: out_of[port*vcs + vc] = requested output, with the
+  // presence bit in port_req_ (so no sentinel fill of out_of_ is needed).
+  port_req_.ClearDirty();
+  out_req_.ClearDirty();
   for (const SaRequest& r : requests) {
-    out_of[static_cast<std::size_t>(r.in_port) * vcs + r.vc] = r.out_port;
+    port_req_.Set(r.in_port, r.vc);
+    out_of_[static_cast<std::size_t>(r.in_port) * vcs + r.vc] = r.out_port;
   }
 
   // Phase 1: each input port exposes up to max_exposed_ VCs requesting
-  // *distinct* outputs, chosen by repeated rotating arbitration.
-  std::vector<bool>& exposed = exposed_;
-  std::fill(exposed.begin(), exposed.end(), false);
-  for (PortId p = 0; p < ports; ++p) {
-    std::vector<bool>& candidate = candidate_;
-    std::vector<bool>& out_taken = out_taken_;
-    std::fill(out_taken.begin(), out_taken.end(), false);
+  // *distinct* outputs, chosen by repeated rotating arbitration. The
+  // candidate set starts as the port's request mask and shrinks as winners
+  // are exposed and their outputs become taken.
+  port_req_.DirtyRows().ForEach([&](int p) {
+    candidate_.CopyFrom(port_req_.Row(p));
     for (int round = 0; round < max_exposed_; ++round) {
-      bool any = false;
-      for (VcId c = 0; c < vcs; ++c) {
-        const PortId out = out_of[static_cast<std::size_t>(p) * vcs + c];
-        candidate[c] = out != kInvalidPort && !exposed[p * vcs + c] &&
-                       !out_taken[out];
-        any |= candidate[c];
-      }
-      if (!any) break;
-      const int winner = input_arbiters_[p]->Pick(candidate);
+      if (!candidate_.Any()) break;
+      const int winner = input_arbiters_[p]->Pick(candidate_);
       VIXNOC_DCHECK(winner >= 0);
       input_arbiters_[p]->Commit(winner);
-      exposed[static_cast<std::size_t>(p) * vcs + winner] = true;
-      out_taken[out_of[static_cast<std::size_t>(p) * vcs + winner]] = true;
+      const PortId taken =
+          out_of_[static_cast<std::size_t>(p) * vcs + winner];
+      out_req_.Set(taken, p * vcs + winner);
+      candidate_.Clear(winner);
+      candidate_.ForEach([&](int c) {
+        if (out_of_[static_cast<std::size_t>(p) * vcs + c] == taken) {
+          candidate_.Clear(c);
+        }
+      });
     }
-  }
+  });
 
   // Phase 2: output arbitration over all exposed requests.
-  std::vector<Tentative>& tentative = tentative_;
-  tentative.clear();
-  std::vector<bool>& req_scratch = req_scratch_;
-  for (PortId o = 0; o < geom_.num_outports; ++o) {
-    bool any = false;
-    for (PortId p = 0; p < ports; ++p) {
-      for (VcId c = 0; c < vcs; ++c) {
-        const std::size_t idx = static_cast<std::size_t>(p) * vcs + c;
-        req_scratch[idx] = exposed[idx] && out_of[idx] == o;
-        any |= req_scratch[idx];
-      }
-    }
-    if (!any) continue;
-    const int winner = output_arbiters_[o]->Pick(req_scratch);
+  tentative_.clear();
+  out_req_.DirtyRows().ForEach([&](int o) {
+    const int winner = output_arbiters_[o]->Pick(out_req_.Row(o));
     VIXNOC_DCHECK(winner >= 0);
     output_arbiters_[o]->Commit(winner);
-    tentative.push_back(
+    tentative_.push_back(
         Tentative{static_cast<PortId>(winner / vcs),
                   static_cast<VcId>(winner % vcs), o});
-  }
+  });
 
   // Phase 3: conflict detection. A port that won several outputs can use
   // only one crossbar input; the conflict arbiter keeps one grant and the
   // rest are killed (their outputs stay idle this cycle).
-  std::vector<std::vector<Tentative>>& by_port = by_port_;
-  for (auto& wins : by_port) wins.clear();
-  for (const Tentative& t : tentative) by_port[t.in_port].push_back(t);
-  for (PortId p = 0; p < ports; ++p) {
-    auto& wins = by_port[p];
+  for (auto& wins : by_port_) wins.clear();
+  for (const Tentative& t : tentative_) by_port_[t.in_port].push_back(t);
+  for (PortId p = 0; p < geom_.num_inports; ++p) {
+    auto& wins = by_port_[p];
     if (wins.empty()) continue;
     if (wins.size() == 1) {
       grants->push_back(SaGrant{p, 0, wins[0].vc, wins[0].out_port});
       continue;
     }
-    std::vector<bool>& outs = outs_;
-    std::fill(outs.begin(), outs.end(), false);
-    for (const Tentative& t : wins) outs[t.out_port] = true;
-    const int keep_out = conflict_arbiters_[p]->Pick(outs);
+    outs_.ClearAll();
+    for (const Tentative& t : wins) outs_.Set(t.out_port);
+    const int keep_out = conflict_arbiters_[p]->Pick(outs_);
     VIXNOC_DCHECK(keep_out >= 0);
     conflict_arbiters_[p]->Commit(keep_out);
     for (const Tentative& t : wins) {

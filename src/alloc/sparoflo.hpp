@@ -15,6 +15,7 @@
 // approximated by the rotating input arbiter.
 #pragma once
 
+#include "alloc/request_matrix.hpp"
 #include "alloc/switch_allocator.hpp"
 
 namespace vixnoc {
@@ -48,15 +49,15 @@ class SparofloAllocator final : public SwitchAllocator {
   std::vector<std::unique_ptr<Arbiter>> conflict_arbiters_;  // per in port
   int last_killed_grants_ = 0;
 
-  // Per-cycle scratch, sized once at construction.
+  // Per-cycle scratch, sized once at construction. out_of_ entries are
+  // valid only where port_req_ has the request bit set.
   std::vector<PortId> out_of_;        // (port, vc) -> requested output
-  std::vector<bool> exposed_;         // (port, vc) -> exposed this cycle
-  std::vector<bool> candidate_;       // per-VC exposure candidates
-  std::vector<bool> out_taken_;       // outputs claimed during exposure
-  std::vector<bool> req_scratch_;     // flattened output-arbiter requests
+  RequestMatrix port_req_;   // row port: requesting VC bits
+  RequestMatrix out_req_;    // row out: exposed (port * vcs + vc) bits
+  BitWords candidate_;       // per-VC exposure candidates
   std::vector<Tentative> tentative_;  // phase-2 winners
   std::vector<std::vector<Tentative>> by_port_;  // phase-3 grouping
-  std::vector<bool> outs_;            // conflict-arbiter request vector
+  BitWords outs_;            // conflict-arbiter request vector
 };
 
 }  // namespace vixnoc

@@ -12,53 +12,53 @@ WavefrontAllocator::WavefrontAllocator(const SwitchGeometry& g)
   vc_rr_.assign(static_cast<std::size_t>(geom_.num_inports) *
                     geom_.num_outports,
                 0);
-  cell_vcs_.resize(static_cast<std::size_t>(geom_.num_inports) *
-                   geom_.num_outports);
-  row_free_.resize(static_cast<std::size_t>(n_));
-  col_free_.resize(static_cast<std::size_t>(n_));
+  out_req_.Resize(geom_.num_inports, geom_.num_outports);
+  cell_vc_.Resize(geom_.num_inports * geom_.num_outports, geom_.num_vcs);
+  row_free_.Resize(geom_.num_inports);
+  col_free_.Resize(geom_.num_outports);
 }
 
 void WavefrontAllocator::Allocate(const std::vector<SaRequest>& requests,
                                   std::vector<SaGrant>* grants) {
   grants->clear();
-  for (auto& v : cell_vcs_) v.clear();
+  out_req_.ClearDirty();
+  cell_vc_.ClearDirty();
   for (const SaRequest& r : requests) {
-    cell_vcs_[static_cast<std::size_t>(r.in_port) * geom_.num_outports +
-              r.out_port]
-        .push_back(r.vc);
+    out_req_.Set(r.in_port, r.out_port);
+    cell_vc_.Set(r.in_port * geom_.num_outports + r.out_port, r.vc);
   }
 
-  std::vector<bool>& row_free = row_free_;
-  std::vector<bool>& col_free = col_free_;
-  std::fill(row_free.begin(), row_free.end(), true);
-  std::fill(col_free.begin(), col_free.end(), true);
+  row_free_.SetAll();
+  col_free_.SetAll();
 
-  // Sweep all n diagonals starting at the rotating priority diagonal.
+  // Sweep all n diagonals starting at the rotating priority diagonal. Only
+  // inputs that are still free AND have some request can grant, so each
+  // diagonal walks the word-AND of those two masks (ascending input index,
+  // the same visit order as the original element scan).
+  const std::uint64_t* req_rows = out_req_.DirtyRows().data();
+  const int row_words = row_free_.word_count();
   for (int d = 0; d < n_; ++d) {
     const int diag = (priority_diagonal_ + d) % n_;
-    for (int i = 0; i < n_; ++i) {
-      const int j = (diag + i) % n_;
-      if (i >= geom_.num_inports || j >= geom_.num_outports) continue;
-      if (!row_free[i] || !col_free[j]) continue;
-      const std::size_t cell =
-          static_cast<std::size_t>(i) * geom_.num_outports + j;
-      const auto& vcs = cell_vcs_[cell];
-      if (vcs.empty()) continue;
-      row_free[i] = false;
-      col_free[j] = false;
-      // Round-robin VC pick: smallest requesting vc >= pointer, wrapping.
-      int& ptr = vc_rr_[cell];
-      VcId best = kInvalidVc;
-      for (VcId vc : vcs) {
-        if (vc >= ptr && (best == kInvalidVc || vc < best)) best = vc;
+    for (int w = 0; w < row_words; ++w) {
+      std::uint64_t cur = row_free_.data()[w] & req_rows[w];
+      while (cur != 0) {
+        const int i = w * bits::kWordBits + std::countr_zero(cur);
+        cur &= cur - 1;
+        const int j = (diag + i) % n_;
+        if (j >= geom_.num_outports) continue;
+        if (!col_free_.Test(j)) continue;
+        if (!out_req_.Row(i).Test(j)) continue;
+        row_free_.Clear(i);
+        col_free_.Clear(j);
+        const std::size_t cell =
+            static_cast<std::size_t>(i) * geom_.num_outports + j;
+        // Round-robin VC pick: smallest requesting vc >= pointer, wrapping.
+        int& ptr = vc_rr_[cell];
+        const VcId best = cell_vc_.Row(static_cast<int>(cell)).FirstFrom(ptr);
+        VIXNOC_DCHECK(best >= 0);
+        ptr = (best + 1) % geom_.num_vcs;
+        grants->push_back(SaGrant{i, 0, best, j});
       }
-      if (best == kInvalidVc) {
-        for (VcId vc : vcs) {
-          if (best == kInvalidVc || vc < best) best = vc;
-        }
-      }
-      ptr = (best + 1) % geom_.num_vcs;
-      grants->push_back(SaGrant{i, 0, best, j});
     }
   }
   priority_diagonal_ = (priority_diagonal_ + 1) % n_;

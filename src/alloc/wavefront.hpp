@@ -9,11 +9,17 @@
 // visible, not only the per-port phase-1 winners — at the cost of a 39%
 // longer critical path (paper Table 3).
 //
+// The request matrix is held as bitmask rows (one word of output bits per
+// input) and the per-cell VC sets as bitmask rows of a (in x out) x vcs
+// matrix, so the diagonal sweep only visits inputs that still have requests
+// and the VC pick is a masked rotate instead of a list scan.
+//
 // VC selection within a granted (input, output) pair uses a per-pair
 // round-robin pointer, matching the reference implementation's behaviour of
 // rotating among the VCs that request the same output.
 #pragma once
 
+#include "alloc/request_matrix.hpp"
 #include "alloc/switch_allocator.hpp"
 
 namespace vixnoc {
@@ -34,10 +40,11 @@ class WavefrontAllocator final : public SwitchAllocator {
   int priority_diagonal_ = 0;
   // Per (in, out) round-robin pointer over VCs.
   std::vector<int> vc_rr_;
-  // Scratch: vc list per (in,out) cell rebuilt each cycle.
-  std::vector<std::vector<VcId>> cell_vcs_;
-  std::vector<bool> row_free_;  // per-cycle scratch, n_ entries
-  std::vector<bool> col_free_;
+  // Scratch, rebuilt each cycle with dirty-row clearing.
+  RequestMatrix out_req_;   // row in: requested output bits
+  RequestMatrix cell_vc_;   // row (in * num_outports + out): requesting VCs
+  BitWords row_free_;       // inputs not yet granted this cycle
+  BitWords col_free_;       // outputs not yet granted this cycle
 };
 
 }  // namespace vixnoc

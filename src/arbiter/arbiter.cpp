@@ -1,17 +1,15 @@
 #include "arbiter/arbiter.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace vixnoc {
 
-int RoundRobinArbiter::Pick(const std::vector<bool>& requests) const {
-  VIXNOC_DCHECK(static_cast<int>(requests.size()) == n_);
-  for (int off = 0; off < n_; ++off) {
-    const int i = (next_priority_ + off) % n_;
-    if (requests[i]) return i;
-  }
-  return -1;
+int RoundRobinArbiter::Pick(BitSpan requests) const {
+  VIXNOC_DCHECK(requests.size() == n_);
+  return requests.FirstFrom(next_priority_);
 }
 
 void RoundRobinArbiter::Commit(int winner) {
@@ -31,55 +29,95 @@ void RoundRobinArbiter::LoadState(SnapshotReader& r) {
 }
 
 MatrixArbiter::MatrixArbiter(int num_requesters)
-    : Arbiter(num_requesters), pri_(static_cast<std::size_t>(n_) * n_) {
+    : Arbiter(num_requesters),
+      words_(bits::WordCount(num_requesters)),
+      beaters_of_(static_cast<std::size_t>(num_requesters) * words_) {
   Reset();
 }
 
 void MatrixArbiter::Reset() {
-  // Initial total order: lower index beats higher index.
+  // Initial total order: lower index beats higher index, so requester i is
+  // beaten exactly by requesters 0..i-1.
   for (int i = 0; i < n_; ++i) {
-    for (int j = 0; j < n_; ++j) {
-      pri_[static_cast<std::size_t>(i) * n_ + j] = i < j;
+    std::uint64_t* col = beaters_of_.data() +
+                         static_cast<std::size_t>(i) * words_;
+    for (int w = 0; w < words_; ++w) {
+      const int lo = w * bits::kWordBits;
+      if (i <= lo) {
+        col[w] = 0;
+      } else if (i >= lo + bits::kWordBits) {
+        col[w] = ~std::uint64_t{0};
+      } else {
+        col[w] = (std::uint64_t{1} << (i - lo)) - 1;
+      }
     }
   }
 }
 
-int MatrixArbiter::Pick(const std::vector<bool>& requests) const {
-  VIXNOC_DCHECK(static_cast<int>(requests.size()) == n_);
-  // Winner: a requester not beaten by any other requester.
-  for (int i = 0; i < n_; ++i) {
-    if (!requests[i]) continue;
-    bool beaten = false;
-    for (int j = 0; j < n_; ++j) {
-      if (j == i || !requests[j]) continue;
-      if (pri_[static_cast<std::size_t>(j) * n_ + i]) {
-        beaten = true;
-        break;
-      }
+int MatrixArbiter::Pick(BitSpan requests) const {
+  VIXNOC_DCHECK(requests.size() == n_);
+  // Winner: the lowest-index requester not beaten by any other requester.
+  const std::uint64_t* req = requests.words();
+  int winner = -1;
+  requests.ForEach([&](int i) {
+    if (winner >= 0) return;
+    const std::uint64_t* col = beaters_of_.data() +
+                               static_cast<std::size_t>(i) * words_;
+    for (int w = 0; w < words_; ++w) {
+      if (req[w] & col[w]) return;
     }
-    if (!beaten) return i;
-  }
-  return -1;
+    winner = i;
+  });
+  return winner;
 }
 
 void MatrixArbiter::Commit(int winner) {
   VIXNOC_DCHECK(winner >= 0 && winner < n_);
-  // The winner becomes lowest priority: clear its row, set its column.
-  for (int j = 0; j < n_; ++j) {
-    if (j == winner) continue;
-    pri_[static_cast<std::size_t>(winner) * n_ + j] = false;
-    pri_[static_cast<std::size_t>(j) * n_ + winner] = true;
+  // The winner becomes lowest priority: it no longer beats anyone (clear its
+  // bit in every other column) and everyone beats it (its own column becomes
+  // all-ones minus itself).
+  const int ww = winner / bits::kWordBits;
+  const std::uint64_t wbit = std::uint64_t{1} << (winner % bits::kWordBits);
+  for (int i = 0; i < n_; ++i) {
+    beaters_of_[static_cast<std::size_t>(i) * words_ + ww] &= ~wbit;
   }
+  std::uint64_t* col = beaters_of_.data() +
+                       static_cast<std::size_t>(winner) * words_;
+  for (int w = 0; w < words_; ++w) col[w] = ~std::uint64_t{0};
+  col[words_ - 1] = bits::TailMask(n_);
+  col[ww] &= ~wbit;
 }
 
-void MatrixArbiter::SaveState(SnapshotWriter& w) const { w.VecBool(pri_); }
+void MatrixArbiter::SaveState(SnapshotWriter& w) const {
+  // Keep the pre-bitmask snapshot layout: the full row-major pri_[i][j]
+  // matrix as VecBool. pri_[i][j] ("i beats j") == bit i of column j.
+  std::vector<bool> pri(static_cast<std::size_t>(n_) * n_);
+  for (int j = 0; j < n_; ++j) {
+    const std::uint64_t* col = beaters_of_.data() +
+                               static_cast<std::size_t>(j) * words_;
+    for (int i = 0; i < n_; ++i) {
+      pri[static_cast<std::size_t>(i) * n_ + j] =
+          (col[i / bits::kWordBits] >> (i % bits::kWordBits)) & 1;
+    }
+  }
+  w.VecBool(pri);
+}
 
 void MatrixArbiter::LoadState(SnapshotReader& r) {
   std::vector<bool> pri = r.VecBool();
-  VIXNOC_REQUIRE(pri.size() == pri_.size(),
+  VIXNOC_REQUIRE(pri.size() == static_cast<std::size_t>(n_) * n_,
                  "restored matrix arbiter state has %zu entries, expected %zu",
-                 pri.size(), pri_.size());
-  pri_ = std::move(pri);
+                 pri.size(), static_cast<std::size_t>(n_) * n_);
+  std::fill(beaters_of_.begin(), beaters_of_.end(), 0);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (pri[static_cast<std::size_t>(i) * n_ + j]) {
+        beaters_of_[static_cast<std::size_t>(j) * words_ +
+                    i / bits::kWordBits] |=
+            std::uint64_t{1} << (i % bits::kWordBits);
+      }
+    }
+  }
 }
 
 std::unique_ptr<Arbiter> MakeArbiter(ArbiterKind kind, int num_requesters) {

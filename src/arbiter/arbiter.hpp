@@ -5,12 +5,19 @@
 // nothing requested). State (rotating priority / LRG matrix) only advances
 // when the caller commits the grant via `Commit`, mirroring hardware where a
 // speculative grant that is later killed must not rotate the priority.
+//
+// Request vectors are bitmasks (`BitSpan`, one uint64_t per 64 requesters):
+// the priority search is a masked rotate + ctz rather than an element scan,
+// but the winner for any given (state, requests) pair is identical to the
+// original element-at-a-time implementations (tests/reference_alloc.hpp
+// keeps those and tests/alloc_equiv_test.cpp checks the equivalence).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "alloc/request_matrix.hpp"
 #include "common/check.hpp"
 
 namespace vixnoc {
@@ -32,7 +39,7 @@ class Arbiter {
 
   /// Pick a winner among `requests` (size == NumRequesters()). Returns the
   /// winning index, or -1 if no bit is set. Does NOT update internal state.
-  virtual int Pick(const std::vector<bool>& requests) const = 0;
+  virtual int Pick(BitSpan requests) const = 0;
 
   /// Advance the priority state after `winner` was actually granted.
   virtual void Commit(int winner) = 0;
@@ -57,7 +64,7 @@ class RoundRobinArbiter final : public Arbiter {
  public:
   explicit RoundRobinArbiter(int num_requesters) : Arbiter(num_requesters) {}
 
-  int Pick(const std::vector<bool>& requests) const override;
+  int Pick(BitSpan requests) const override;
   void Commit(int winner) override;
   void Reset() override { next_priority_ = 0; }
   void SaveState(SnapshotWriter& w) const override;
@@ -70,21 +77,25 @@ class RoundRobinArbiter final : public Arbiter {
 };
 
 /// Matrix arbiter implementing least-recently-granted (LRG) priority, as used
-/// by the self-updating switch fabrics the paper cites [20]. State is a
-/// strict priority matrix: pri_[i][j] == true means i beats j.
+/// by the self-updating switch fabrics the paper cites [20]. Logical state is
+/// a strict priority matrix pri_[i][j] ("i beats j"); it is stored by COLUMN
+/// — beaters_of_[i] is the bitmask of requesters that beat i — so the Pick
+/// test "is requester i beaten by any other requester" is one AND over the
+/// request words. Snapshots keep the original row-major VecBool layout.
 class MatrixArbiter final : public Arbiter {
  public:
   explicit MatrixArbiter(int num_requesters);
 
-  int Pick(const std::vector<bool>& requests) const override;
+  int Pick(BitSpan requests) const override;
   void Commit(int winner) override;
   void Reset() override;
   void SaveState(SnapshotWriter& w) const override;
   void LoadState(SnapshotReader& r) override;
 
  private:
-  // pri_[i * n_ + j]: requester i has priority over requester j.
-  std::vector<bool> pri_;
+  int words_ = 0;  // words per column mask
+  // beaters_of_[i * words_ + w]: word w of the "requesters beating i" mask.
+  std::vector<std::uint64_t> beaters_of_;
 };
 
 enum class ArbiterKind { kRoundRobin, kMatrix };

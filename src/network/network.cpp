@@ -95,6 +95,36 @@ Network::Network(std::shared_ptr<Topology> topology,
     up.node = n;
   }
 
+  // Dispatch tables: resolve each (router, port) to its delivery target
+  // once, so Step's per-flit/per-credit loops avoid the link-table and
+  // upstream-table branching.
+  flit_dispatch_.resize(upstream_.size());
+  credit_dispatch_.resize(upstream_.size());
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (PortId p = 0; p < topology_->Radix(); ++p) {
+      const std::size_t at =
+          static_cast<std::size_t>(r) * topology_->Radix() + p;
+      const OutputLinkInfo& link = routers_[r]->link(p);
+      if (link.IsEjection()) {
+        flit_dispatch_[at] =
+            EventTemplate{Event::Kind::kFlitToNi, link.eject_node,
+                          kInvalidPort};
+      } else if (link.IsConnected()) {
+        flit_dispatch_[at] =
+            EventTemplate{Event::Kind::kFlitToRouter, link.neighbor,
+                          link.neighbor_in_port};
+      }  // unconnected ports keep the target=-1 default (never sent on)
+      const Upstream& up = upstream_[at];
+      if (up.node >= 0) {
+        credit_dispatch_[at] =
+            EventTemplate{Event::Kind::kCreditToNi, up.node, kInvalidPort};
+      } else if (up.router >= 0) {
+        credit_dispatch_[at] = EventTemplate{Event::Kind::kCreditToRouter,
+                                             up.router, up.out_port};
+      }
+    }
+  }
+
   const int horizon = std::max({params_.flit_delay, params_.credit_delay,
                                 params_.ni_link_delay}) +
                       1;
@@ -304,8 +334,20 @@ void Network::Step() {
 
   for (Ni& ni : nis_) StepNi(ni);
 
+  // Batched link/credit advancement: every flit leaving any router this
+  // cycle lands in the same wheel slot (now_ + flit_delay), and every
+  // credit in the slot at now_ + credit_delay, so both slots are resolved
+  // once up front and each emitted flit/credit becomes a dispatch-table
+  // read plus a push. Append order (per router: flits, then credits)
+  // matches the unbatched per-event scheduling exactly, so DeliverDue
+  // processes events in the identical order.
   sent_flits_.clear();
   sent_credits_.clear();
+  const std::size_t radix = static_cast<std::size_t>(topology_->Radix());
+  std::vector<Event>& flit_slot =
+      wheel_[(now_ + params_.flit_delay) % wheel_.size()];
+  std::vector<Event>& credit_slot =
+      wheel_[(now_ + params_.credit_delay) % wheel_.size()];
   for (auto& router : routers_) {
     // A stalled router's control pipeline is frozen: no VA/SA/ST this
     // cycle. Deliveries into its buffers (handled above) still land.
@@ -314,49 +356,42 @@ void Network::Step() {
     const std::size_t credit_mark = sent_credits_.size();
     router->Step(now_, &sent_flits_, &sent_credits_);
 
+    const EventTemplate* fd = &flit_dispatch_[router->id() * radix];
     for (std::size_t i = flit_mark; i < sent_flits_.size(); ++i) {
       const Router::SentFlit& sf = sent_flits_[i];
       if (tracer_) {
         tracer_(FlitEvent{FlitEventKind::kTraverse, now_, router->id(),
                           sf.out_port, sf.flit});
       }
-      const OutputLinkInfo& link = router->link(sf.out_port);
+      const EventTemplate& t = fd[sf.out_port];
+      VIXNOC_DCHECK(t.target >= 0);
       Event ev;
+      ev.kind = t.kind;
+      ev.target = t.target;
+      ev.port = t.port;
       ev.flit = sf.flit;
-      if (corruption_active_ && !link.IsEjection() &&
+      if (corruption_active_ && t.kind == Event::Kind::kFlitToRouter &&
           params_.faults->CorruptsTraversal(router->id(), sf.out_port,
                                             now_)) {
         ev.flit.corrupted = true;
       }
-      if (link.IsEjection()) {
-        ev.kind = Event::Kind::kFlitToNi;
-        ev.target = link.eject_node;
-      } else {
-        ev.kind = Event::Kind::kFlitToRouter;
-        ev.target = link.neighbor;
-        ev.port = link.neighbor_in_port;
-      }
-      Schedule(now_ + params_.flit_delay, std::move(ev));
+      flit_slot.push_back(std::move(ev));
     }
 
+    const EventTemplate* cd = &credit_dispatch_[router->id() * radix];
     for (std::size_t i = credit_mark; i < sent_credits_.size(); ++i) {
       const Router::SentCredit& sc = sent_credits_[i];
-      // Find who feeds this input port: an upstream router or an NI.
+      const EventTemplate& t = cd[sc.in_port];
+      VIXNOC_CHECK(t.target >= 0);
       Event ev;
+      ev.kind = t.kind;
+      ev.target = t.target;
+      ev.port = t.port;
       ev.vc = sc.vc;
-      const Upstream up = UpstreamOf(router->id(), sc.in_port);
-      if (up.node >= 0) {
-        ev.kind = Event::Kind::kCreditToNi;
-        ev.target = up.node;
-      } else {
-        VIXNOC_CHECK(up.router >= 0);
-        ev.kind = Event::Kind::kCreditToRouter;
-        ev.target = up.router;
-        ev.port = up.out_port;
-      }
-      Schedule(now_ + params_.credit_delay, std::move(ev));
+      credit_slot.push_back(std::move(ev));
     }
   }
+  in_flight_events_ += sent_flits_.size() + sent_credits_.size();
 
   if (!sent_flits_.empty()) last_progress_ = now_;
 

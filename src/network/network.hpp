@@ -208,6 +208,16 @@ class Network {
     Flit flit;
   };
 
+  /// Precomputed event header for one (router, port): where a flit sent on
+  /// an output port, or a credit freed on an input port, must be delivered.
+  /// Filled at construction so the per-flit path in Step is a table read
+  /// and a wheel push instead of link-table branching.
+  struct EventTemplate {
+    Event::Kind kind = Event::Kind::kFlitToRouter;
+    std::int32_t target = -1;
+    PortId port = kInvalidPort;
+  };
+
   /// Who feeds input port `in_port` of `router`: either an upstream router
   /// output (router id + out port) or an NI (node id).
   struct Upstream {
@@ -233,6 +243,8 @@ class Network {
   bool corruption_active_ = false;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<Upstream> upstream_;  // routers * radix
+  std::vector<EventTemplate> flit_dispatch_;    // routers * radix, out port
+  std::vector<EventTemplate> credit_dispatch_;  // routers * radix, in port
   std::vector<Ni> nis_;
   std::vector<NodeCounters> counters_;
   EjectCallback eject_cb_;

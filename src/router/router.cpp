@@ -29,16 +29,20 @@ Router::Router(RouterId id, const RouterConfig& config,
                  "num_vcs (%d) must be divisible by num_message_classes (%d)",
                  config_.num_vcs, config_.num_message_classes);
 
-  input_vcs_.resize(static_cast<std::size_t>(config_.radix) *
-                    config_.num_vcs);
-  outputs_.resize(config_.radix);
-  for (PortId o = 0; o < config_.radix; ++o) {
-    outputs_[o].link = links_[o];
-    outputs_[o].vcs.resize(config_.num_vcs);
-    for (auto& ovc : outputs_[o].vcs) {
-      ovc.credits = config_.buffer_depth;
-    }
-  }
+  const std::size_t total =
+      static_cast<std::size_t>(config_.radix) * config_.num_vcs;
+  flit_store_.resize(total * config_.buffer_depth);
+  buf_head_.assign(total, 0);
+  buf_count_.assign(total, 0);
+  in_active_.assign(total, 0);
+  in_out_port_.assign(total, kInvalidPort);
+  in_out_vc_.assign(total, kInvalidVc);
+  in_lookahead_.assign(total, kInvalidPort);
+  in_next_dateline_.assign(total, 0);
+  credits_.assign(total, config_.buffer_depth);
+  out_allocated_.assign(total, 0);
+  va_cand_.Resize(static_cast<int>(total));
+  sa_cand_.Resize(static_cast<int>(total));
 
   SwitchGeometry geom;
   geom.num_inports = config_.radix;
@@ -54,9 +58,9 @@ Router::Router(RouterId id, const RouterConfig& config,
         MakeSwitchAllocator(config_.scheme, geom, config_.arbiter_kind);
   }
   vc_view_scratch_.resize(config_.num_vcs);
-  va_prefs_.reserve(input_vcs_.size());
+  va_prefs_.reserve(total);
   nonspec_wants_.assign(config_.radix, false);
-  just_activated_.assign(input_vcs_.size(), false);
+  just_activated_.assign(total, false);
   output_blocked_.assign(config_.radix, false);
   flits_per_out_.assign(config_.radix, 0);
   out_used_scratch_.assign(config_.radix, false);
@@ -83,19 +87,113 @@ void Router::AcceptFlit(PortId in_port, const Flit& flit) {
   VIXNOC_CHECK(in_port >= 0 && in_port < config_.radix);
   VIXNOC_CHECK(flit.vc >= 0 && flit.vc < config_.num_vcs);
   VIXNOC_CHECK(flit.route_out >= 0 && flit.route_out < config_.radix);
-  InputVc& v = ivc(in_port, flit.vc);
+  const int idx = IvcIndex(in_port, flit.vc);
   // Credit protocol guarantees space; overflow means lost credits upstream.
-  VIXNOC_CHECK(static_cast<int>(v.buffer.size()) < config_.buffer_depth);
-  v.buffer.push_back(flit);
+  VIXNOC_CHECK(buf_count_[idx] < config_.buffer_depth);
+  PushFlit(idx, flit);
+  if (in_active_[idx]) {
+    sa_cand_.Set(idx);
+  } else {
+    va_cand_.Set(idx);
+  }
   ++activity_.buffer_writes;
 }
 
 void Router::AcceptCredit(PortId out_port, VcId out_vc) {
   VIXNOC_CHECK(out_port >= 0 && out_port < config_.radix);
   VIXNOC_CHECK(out_vc >= 0 && out_vc < config_.num_vcs);
-  OutputVc& ovc = outputs_[out_port].vcs[out_vc];
-  ++ovc.credits;
-  VIXNOC_CHECK(ovc.credits <= config_.buffer_depth);
+  const int ovc = OvcIndex(out_port, out_vc);
+  ++credits_[ovc];
+  VIXNOC_CHECK(credits_[ovc] <= config_.buffer_depth);
+}
+
+void Router::ConsiderVaCandidate(int idx, bool separable) {
+  const VcId c = static_cast<VcId>(idx % config_.num_vcs);
+  const Flit& head = HeadFlit(idx);
+  VIXNOC_CHECK(head.IsHead());
+  ++activity_.va_requests;
+
+  const PortId out_port = head.route_out;
+  const OutputLinkInfo& link = links_[out_port];
+  // Routing functions must never steer a packet to an unconnected port.
+  VIXNOC_CHECK(link.IsConnected());
+  // Down link: the packet waits in its buffer without claiming a VC.
+  if (num_blocked_ > 0 && output_blocked_[out_port]) return;
+
+  // Lookahead route computation for the downstream router; ejection ports
+  // terminate at an NI, so there is no next hop.
+  PortId lookahead = kInvalidPort;
+  PortDimension downstream_dim = PortDimension::kLocal;
+  if (!link.IsEjection()) {
+    lookahead = routing_->Route(link.neighbor, head.dst);
+    downstream_dim = routing_->DimensionOf(lookahead);
+  }
+
+  if (link.IsEjection()) {
+    // NIs accept any VC and reassemble; no allocation state is needed and
+    // interleaving packets on the ejection port is harmless.
+    in_next_dateline_[idx] = head.dateline;
+    in_active_[idx] = 1;
+    in_out_port_[idx] = out_port;
+    in_out_vc_[idx] = c % config_.num_vcs;
+    in_lookahead_[idx] = lookahead;
+    just_activated_[idx] = true;
+    va_cand_.Clear(idx);
+    sa_cand_.Set(idx);
+    ++activity_.va_grants;
+    return;
+  }
+
+  // Virtual networks: a packet may only use VCs of its message class.
+  const int cls = head.msg_class;
+  VIXNOC_CHECK(cls < config_.num_message_classes);
+  const int vpc = config_.VcsPerClass();
+  const VcId cls_base = cls * vpc;
+  // Dateline restriction: the packet's state after traversing this
+  // output's channel selects which part of the class partition it may
+  // occupy downstream (torus deadlock avoidance; full range elsewhere).
+  const std::uint8_t next_state =
+      routing_->NextDatelineState(id_, out_port, head.dateline);
+  const VcRange range = routing_->AllowedVcRange(out_port, next_state, vpc);
+  VIXNOC_DCHECK(range.lo >= 0 && range.lo < range.hi && range.hi <= vpc);
+  const int span = range.hi - range.lo;
+  const int ovc_base = OvcIndex(out_port, cls_base + range.lo);
+  vc_view_scratch_.resize(span);
+  for (VcId i = 0; i < span; ++i) {
+    bool busy = out_allocated_[ovc_base + i] != 0;
+    if (config_.atomic_vc_alloc &&
+        credits_[ovc_base + i] < config_.buffer_depth) {
+      busy = true;  // downstream buffer not empty: VC not reallocatable
+    }
+    vc_view_scratch_[i].allocated = busy;
+    vc_view_scratch_[i].credits = credits_[ovc_base + i];
+  }
+  VinLayout layout;
+  layout.num_vins = config_.NumVins();
+  layout.total_vcs = config_.num_vcs;
+  layout.interleaved = config_.interleaved_vins;
+  layout.first_vc = cls_base + range.lo;
+  const int pick = PickOutputVc(config_.vc_policy, vc_view_scratch_,
+                                layout, downstream_dim, &vc_rng_);
+  if (pick < 0) return;  // all usable VCs busy: stall
+  const VcId out_vc = cls_base + range.lo + pick;
+
+  if (separable) {
+    va_prefs_.push_back(
+        VaPreference{idx, out_port, out_vc, lookahead, next_state});
+    return;
+  }
+
+  out_allocated_[OvcIndex(out_port, out_vc)] = 1;
+  in_next_dateline_[idx] = next_state;
+  in_active_[idx] = 1;
+  in_out_port_[idx] = out_port;
+  in_out_vc_[idx] = out_vc;
+  in_lookahead_[idx] = lookahead;
+  just_activated_[idx] = true;
+  va_cand_.Clear(idx);
+  sa_cand_.Set(idx);
+  ++activity_.va_grants;
 }
 
 void Router::RunVcAllocation() {
@@ -111,116 +209,38 @@ void Router::RunVcAllocation() {
   //    the cycle-start state, then one arbiter per output VC picks a
   //    winner; losers retry next cycle — the behaviour of a real separable
   //    VC allocator (Becker & Dally).
+  //
+  // The rotating scan walks only the candidate mask. Granting a candidate
+  // never changes another VC's candidacy (it only claims output VCs, which
+  // the remaining candidates re-read live), so the masked visit — indices
+  // >= va_rr_ptr_ ascending, then wrap — sees exactly the candidates the
+  // full `(va_rr_ptr_ + off) % total` scan would, in the same order.
   const bool separable = config_.va_organization ==
                          VaOrganization::kSeparableArbitrated;
-  std::vector<VaPreference>& preferences = va_prefs_;
-  preferences.clear();
+  va_prefs_.clear();
 
   const int total = config_.radix * config_.num_vcs;
-  for (int off = 0; off < total; ++off) {
-    const int idx = (va_rr_ptr_ + off) % total;
-    const PortId p = idx / config_.num_vcs;
-    const VcId c = idx % config_.num_vcs;
-    InputVc& v = ivc(p, c);
-    if (v.active || v.buffer.empty()) continue;
-    const Flit& head = v.buffer.front();
-    VIXNOC_CHECK(head.IsHead());
-    ++activity_.va_requests;
+  const auto consider = [&](int idx) { ConsiderVaCandidate(idx, separable); };
+  bits::ForEachSetInRange(va_cand_.data(), va_rr_ptr_, total, consider);
+  bits::ForEachSetInRange(va_cand_.data(), 0, va_rr_ptr_, consider);
 
-    const PortId out_port = head.route_out;
-    OutputPort& op = outputs_[out_port];
-    // Routing functions must never steer a packet to an unconnected port.
-    VIXNOC_CHECK(op.link.IsConnected());
-    // Down link: the packet waits in its buffer without claiming a VC.
-    if (num_blocked_ > 0 && output_blocked_[out_port]) continue;
-
-    // Lookahead route computation for the downstream router; ejection ports
-    // terminate at an NI, so there is no next hop.
-    PortId lookahead = kInvalidPort;
-    PortDimension downstream_dim = PortDimension::kLocal;
-    if (!op.link.IsEjection()) {
-      lookahead = routing_->Route(op.link.neighbor, head.dst);
-      downstream_dim = routing_->DimensionOf(lookahead);
-    }
-
-    if (op.link.IsEjection()) {
-      // NIs accept any VC and reassemble; no allocation state is needed and
-      // interleaving packets on the ejection port is harmless.
-      v.next_dateline = head.dateline;
-      v.active = true;
-      v.out_port = out_port;
-      v.out_vc = c % config_.num_vcs;
-      v.lookahead_out = lookahead;
-      just_activated_[idx] = true;
-      ++activity_.va_grants;
-      continue;
-    }
-
-    // Virtual networks: a packet may only use VCs of its message class.
-    const int cls = head.msg_class;
-    VIXNOC_CHECK(cls < config_.num_message_classes);
-    const int vpc = config_.VcsPerClass();
-    const VcId cls_base = cls * vpc;
-    // Dateline restriction: the packet's state after traversing this
-    // output's channel selects which part of the class partition it may
-    // occupy downstream (torus deadlock avoidance; full range elsewhere).
-    const std::uint8_t next_state =
-        routing_->NextDatelineState(id_, out_port, head.dateline);
-    const VcRange range = routing_->AllowedVcRange(out_port, next_state, vpc);
-    VIXNOC_DCHECK(range.lo >= 0 && range.lo < range.hi && range.hi <= vpc);
-    const int span = range.hi - range.lo;
-    vc_view_scratch_.resize(span);
-    for (VcId i = 0; i < span; ++i) {
-      const VcId ovc = cls_base + range.lo + i;
-      bool busy = op.vcs[ovc].allocated;
-      if (config_.atomic_vc_alloc &&
-          op.vcs[ovc].credits < config_.buffer_depth) {
-        busy = true;  // downstream buffer not empty: VC not reallocatable
-      }
-      vc_view_scratch_[i].allocated = busy;
-      vc_view_scratch_[i].credits = op.vcs[ovc].credits;
-    }
-    VinLayout layout;
-    layout.num_vins = config_.NumVins();
-    layout.total_vcs = config_.num_vcs;
-    layout.interleaved = config_.interleaved_vins;
-    layout.first_vc = cls_base + range.lo;
-    const int pick = PickOutputVc(config_.vc_policy, vc_view_scratch_,
-                                  layout, downstream_dim, &vc_rng_);
-    if (pick < 0) continue;  // all usable VCs busy: stall
-    const VcId out_vc = cls_base + range.lo + pick;
-
-    if (separable) {
-      preferences.push_back(
-          VaPreference{idx, out_port, out_vc, lookahead, next_state});
-      continue;
-    }
-
-    op.vcs[out_vc].allocated = true;
-    v.next_dateline = next_state;
-    v.active = true;
-    v.out_port = out_port;
-    v.out_vc = out_vc;
-    v.lookahead_out = lookahead;
-    just_activated_[idx] = true;
-    ++activity_.va_grants;
-  }
-
-  if (separable && !preferences.empty()) {
+  if (separable && !va_prefs_.empty()) {
     // Output-side arbitration: one winner per (out_port, out_vc). The
     // rotating visit order above doubles as the arbitration priority,
     // which rotates every cycle, so losers cannot starve.
-    for (const VaPreference& pref : preferences) {
-      OutputPort& op = outputs_[pref.out_port];
-      if (op.vcs[pref.out_vc].allocated) continue;  // lost this cycle
-      op.vcs[pref.out_vc].allocated = true;
-      InputVc& v = input_vcs_[pref.idx];
-      v.next_dateline = pref.next_dateline;
-      v.active = true;
-      v.out_port = pref.out_port;
-      v.out_vc = pref.out_vc;
-      v.lookahead_out = pref.lookahead;
-      just_activated_[pref.idx] = true;
+    for (const VaPreference& pref : va_prefs_) {
+      const int ovc = OvcIndex(pref.out_port, pref.out_vc);
+      if (out_allocated_[ovc]) continue;  // lost this cycle
+      out_allocated_[ovc] = 1;
+      const int idx = pref.idx;
+      in_next_dateline_[idx] = pref.next_dateline;
+      in_active_[idx] = 1;
+      in_out_port_[idx] = pref.out_port;
+      in_out_vc_[idx] = pref.out_vc;
+      in_lookahead_[idx] = pref.lookahead;
+      just_activated_[idx] = true;
+      va_cand_.Clear(idx);
+      sa_cand_.Set(idx);
       ++activity_.va_grants;
     }
   }
@@ -229,25 +249,27 @@ void Router::RunVcAllocation() {
 }
 
 void Router::BuildSaRequests() {
+  // sa_cand_ holds exactly the VCs with `active && buffer non-empty`, and
+  // ascending mask order equals the (port, vc) nested-loop order.
   sa_requests_.clear();
-  for (PortId p = 0; p < config_.radix; ++p) {
-    for (VcId c = 0; c < config_.num_vcs; ++c) {
-      const InputVc& v = ivc(p, c);
-      if (!v.active || v.buffer.empty()) continue;
-      if (!config_.speculative_sa &&
-          just_activated_[p * config_.num_vcs + c]) {
-        continue;  // VA this cycle, SA earliest next cycle (Fig 6a)
-      }
-      const OutputPort& op = outputs_[v.out_port];
-      // Down link: established packets hold their VC but send nothing until
-      // the link is repaired.
-      if (num_blocked_ > 0 && output_blocked_[v.out_port]) continue;
-      // Ejection consumes flits unconditionally (the NI drains one flit per
-      // ejection port per cycle by construction of the crossbar).
-      if (!op.link.IsEjection() && op.vcs[v.out_vc].credits == 0) continue;
-      sa_requests_.push_back(SaRequest{p, c, v.out_port});
+  sa_cand_.ForEach([&](int idx) {
+    const PortId p = static_cast<PortId>(idx / config_.num_vcs);
+    const VcId c = static_cast<VcId>(idx % config_.num_vcs);
+    if (!config_.speculative_sa && just_activated_[idx]) {
+      return;  // VA this cycle, SA earliest next cycle (Fig 6a)
     }
-  }
+    const PortId out = in_out_port_[idx];
+    // Down link: established packets hold their VC but send nothing until
+    // the link is repaired.
+    if (num_blocked_ > 0 && output_blocked_[out]) return;
+    // Ejection consumes flits unconditionally (the NI drains one flit per
+    // ejection port per cycle by construction of the crossbar).
+    if (!links_[out].IsEjection() &&
+        credits_[OvcIndex(out, in_out_vc_[idx])] == 0) {
+      return;
+    }
+    sa_requests_.push_back(SaRequest{p, c, out});
+  });
 
   if (config_.prioritize_nonspeculative && config_.speculative_sa) {
     // Becker-style pessimistic masking: drop speculative requests whose
@@ -276,7 +298,7 @@ void Router::CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
   std::fill(out_used_scratch_.begin(), out_used_scratch_.end(), false);
   std::fill(xin_used_scratch_.begin(), xin_used_scratch_.end(), false);
   for (const SaGrant& g : sa_grants_) {
-    InputVc& v = ivc(g.in_port, g.vc);
+    const int idx = IvcIndex(g.in_port, g.vc);
     // Structural legality: one grant per output port, one per crossbar
     // input, granted VC actually ready. Cheap enough to keep in release.
     VIXNOC_CHECK(!out_used_scratch_[g.out_port]);
@@ -285,33 +307,36 @@ void Router::CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
         static_cast<std::size_t>(g.in_port) * config_.NumVins() + g.vin;
     VIXNOC_CHECK(!xin_used_scratch_[xin]);
     xin_used_scratch_[xin] = true;
-    VIXNOC_CHECK(v.active && !v.buffer.empty());
-    VIXNOC_CHECK(v.out_port == g.out_port);
+    VIXNOC_CHECK(in_active_[idx] && buf_count_[idx] > 0);
+    VIXNOC_CHECK(in_out_port_[idx] == g.out_port);
 
-    Flit flit = v.buffer.front();
-    v.buffer.pop_front();
+    Flit flit = HeadFlit(idx);
+    PopFlit(idx);
     ++activity_.buffer_reads;
     ++activity_.xbar_traversals;
     ++flits_per_out_[g.out_port];
 
-    OutputPort& op = outputs_[g.out_port];
-    flit.vc = v.out_vc;
-    flit.route_out = v.lookahead_out;
-    flit.dateline = v.next_dateline;
+    flit.vc = in_out_vc_[idx];
+    flit.route_out = in_lookahead_[idx];
+    flit.dateline = in_next_dateline_[idx];
 
-    if (!op.link.IsEjection()) {
-      OutputVc& ovc = op.vcs[v.out_vc];
-      VIXNOC_DCHECK(ovc.credits > 0);
-      --ovc.credits;
+    if (!links_[g.out_port].IsEjection()) {
+      const int ovc = OvcIndex(g.out_port, in_out_vc_[idx]);
+      VIXNOC_DCHECK(credits_[ovc] > 0);
+      --credits_[ovc];
       ++activity_.link_flits;
-      if (flit.IsTail()) ovc.allocated = false;
+      if (flit.IsTail()) out_allocated_[ovc] = 0;
     }
 
     if (flit.IsTail()) {
-      v.active = false;
-      v.out_port = kInvalidPort;
-      v.out_vc = kInvalidVc;
-      v.lookahead_out = kInvalidPort;
+      in_active_[idx] = 0;
+      in_out_port_[idx] = kInvalidPort;
+      in_out_vc_[idx] = kInvalidVc;
+      in_lookahead_[idx] = kInvalidPort;
+      sa_cand_.Clear(idx);
+      if (buf_count_[idx] > 0) va_cand_.Set(idx);
+    } else if (buf_count_[idx] == 0) {
+      sa_cand_.Clear(idx);
     }
 
     sent_flits->push_back(SentFlit{g.out_port, flit});
@@ -339,21 +364,21 @@ void Router::CollectCycleTelemetry(Cycle now) {
   for (PortId p = 0; p < config_.radix; ++p) {
     int occupancy = 0;
     for (VcId c = 0; c < config_.num_vcs; ++c) {
-      const InputVc& v = ivc(p, c);
-      occupancy += static_cast<int>(v.buffer.size());
+      const int idx = IvcIndex(p, c);
+      occupancy += buf_count_[idx];
       RouterTelemetry::VcState s;
-      if (v.buffer.empty()) {
+      if (buf_count_[idx] == 0) {
         s = RouterTelemetry::VcState::kEmpty;
-      } else if (!v.active) {
+      } else if (!in_active_[idx]) {
         s = RouterTelemetry::VcState::kVaStall;
       } else if (rt_->WasGranted(p, c)) {
         s = RouterTelemetry::VcState::kMoving;
       } else {
-        const OutputPort& op = outputs_[v.out_port];
-        const bool link_down =
-            num_blocked_ > 0 && output_blocked_[v.out_port];
+        const PortId out = in_out_port_[idx];
+        const bool link_down = num_blocked_ > 0 && output_blocked_[out];
         const bool no_credit =
-            !op.link.IsEjection() && op.vcs[v.out_vc].credits == 0;
+            !links_[out].IsEjection() &&
+            credits_[OvcIndex(out, in_out_vc_[idx])] == 0;
         s = (link_down || no_credit) ? RouterTelemetry::VcState::kCreditStall
                                      : RouterTelemetry::VcState::kSaStall;
       }
@@ -369,16 +394,15 @@ void Router::CollectCycleTelemetry(Cycle now) {
     const int total = config_.radix * config_.num_vcs;
     for (int idx = 0; idx < total; ++idx) {
       if (!just_activated_[idx]) continue;
-      const InputVc& v = input_vcs_[idx];
-      if (v.buffer.empty()) continue;
-      const Flit& head = v.buffer.front();
+      if (buf_count_[idx] == 0) continue;
+      const Flit& head = HeadFlit(idx);
       if (!tcol_->SampleTrace(head.packet_id)) continue;
       tcol_->RecordTraceEvent(PacketTraceEvent{
           head.packet_id, PacketTraceEvent::Kind::kVcAlloc, now, id_,
           head.src, head.dst});
     }
     for (const SaGrant& g : sa_grants_) {
-      const Flit& f = ivc(g.in_port, g.vc).buffer.front();
+      const Flit& f = HeadFlit(IvcIndex(g.in_port, g.vc));
       if (!f.IsHead() || !tcol_->SampleTrace(f.packet_id)) continue;
       tcol_->RecordTraceEvent(PacketTraceEvent{
           f.packet_id, PacketTraceEvent::Kind::kSaGrant, now, id_, f.src,
@@ -388,21 +412,19 @@ void Router::CollectCycleTelemetry(Cycle now) {
 }
 
 bool Router::Quiescent() const {
-  for (const InputVc& v : input_vcs_) {
-    if (!v.buffer.empty() || v.active) return false;
+  for (std::size_t idx = 0; idx < buf_count_.size(); ++idx) {
+    if (buf_count_[idx] != 0 || in_active_[idx]) return false;
   }
   return true;
 }
 
 int Router::BufferOccupancy(PortId in_port, VcId vc) const {
-  return static_cast<int>(ivc(in_port, vc).buffer.size());
+  return buf_count_[IvcIndex(in_port, vc)];
 }
 
 int Router::TotalBufferedFlits() const {
   int total = 0;
-  for (const InputVc& v : input_vcs_) {
-    total += static_cast<int>(v.buffer.size());
-  }
+  for (const std::int32_t n : buf_count_) total += n;
   return total;
 }
 
@@ -414,7 +436,7 @@ void Router::SetOutputBlocked(PortId out_port, bool blocked) {
 }
 
 int Router::CreditsFor(PortId out_port, VcId out_vc) const {
-  return outputs_[out_port].vcs[out_vc].credits;
+  return credits_[OvcIndex(out_port, out_vc)];
 }
 
 void SaveFlit(SnapshotWriter& w, const Flit& f) {
@@ -485,22 +507,24 @@ RouterActivity LoadRouterActivity(SnapshotReader& r) {
 }
 
 void Router::SaveState(SnapshotWriter& w) const {
-  // Input VCs: buffered flits plus the per-packet VC-allocation state.
-  for (const InputVc& iv : input_vcs_) {
-    w.U32(static_cast<std::uint32_t>(iv.buffer.size()));
-    for (const Flit& f : iv.buffer) SaveFlit(w, f);
-    w.B(iv.active);
-    w.I32(iv.out_port);
-    w.I32(iv.out_vc);
-    w.I32(iv.lookahead_out);
-    w.U8(iv.next_dateline);
+  // Input VCs: buffered flits plus the per-packet VC-allocation state. The
+  // byte layout predates the SoA storage and is kept bit-identical.
+  const int total = config_.radix * config_.num_vcs;
+  for (int idx = 0; idx < total; ++idx) {
+    w.U32(static_cast<std::uint32_t>(buf_count_[idx]));
+    for (int i = 0; i < buf_count_[idx]; ++i) {
+      SaveFlit(w, BufferedFlit(idx, i));
+    }
+    w.B(in_active_[idx] != 0);
+    w.I32(in_out_port_[idx]);
+    w.I32(in_out_vc_[idx]);
+    w.I32(in_lookahead_[idx]);
+    w.U8(in_next_dateline_[idx]);
   }
   // Output VCs: credit counters and allocation flags.
-  for (const OutputPort& op : outputs_) {
-    for (const OutputVc& ov : op.vcs) {
-      w.I32(ov.credits);
-      w.B(ov.allocated);
-    }
+  for (int ovc = 0; ovc < total; ++ovc) {
+    w.I32(credits_[ovc]);
+    w.B(out_allocated_[ovc] != 0);
   }
   w.I32(va_rr_ptr_);
   w.VecBool(just_activated_);
@@ -512,33 +536,32 @@ void Router::SaveState(SnapshotWriter& w) const {
 
 void Router::LoadState(SnapshotReader& r) {
   const int depth = config_.buffer_depth;
-  for (InputVc& iv : input_vcs_) {
+  const int total = config_.radix * config_.num_vcs;
+  for (int idx = 0; idx < total; ++idx) {
     const std::uint32_t n = r.U32();
     VIXNOC_REQUIRE(n <= static_cast<std::uint32_t>(depth),
                    "restored input VC holds %u flits, buffer depth is %d", n,
                    depth);
-    iv.buffer.clear();
-    for (std::uint32_t i = 0; i < n; ++i) iv.buffer.push_back(LoadFlit(r));
-    iv.active = r.B();
-    iv.out_port = r.I32();
-    iv.out_vc = r.I32();
-    iv.lookahead_out = r.I32();
-    iv.next_dateline = r.U8();
+    buf_head_[idx] = 0;
+    buf_count_[idx] = 0;
+    for (std::uint32_t i = 0; i < n; ++i) PushFlit(idx, LoadFlit(r));
+    in_active_[idx] = r.B() ? 1 : 0;
+    in_out_port_[idx] = r.I32();
+    in_out_vc_[idx] = r.I32();
+    in_lookahead_[idx] = r.I32();
+    in_next_dateline_[idx] = r.U8();
   }
-  for (OutputPort& op : outputs_) {
-    for (OutputVc& ov : op.vcs) {
-      const int credits = r.I32();
-      VIXNOC_REQUIRE(credits >= 0 && credits <= depth,
-                     "restored credit count %d outside [0, %d]", credits,
-                     depth);
-      ov.credits = credits;
-      ov.allocated = r.B();
-    }
+  for (int ovc = 0; ovc < total; ++ovc) {
+    const int credits = r.I32();
+    VIXNOC_REQUIRE(credits >= 0 && credits <= depth,
+                   "restored credit count %d outside [0, %d]", credits,
+                   depth);
+    credits_[ovc] = credits;
+    out_allocated_[ovc] = r.B() ? 1 : 0;
   }
   const int ptr = r.I32();
-  VIXNOC_REQUIRE(ptr >= 0 && ptr < static_cast<int>(input_vcs_.size()),
-                 "restored VA pointer %d outside [0, %zu)", ptr,
-                 input_vcs_.size());
+  VIXNOC_REQUIRE(ptr >= 0 && ptr < total,
+                 "restored VA pointer %d outside [0, %d)", ptr, total);
   va_rr_ptr_ = ptr;
   std::vector<bool> just = r.VecBool();
   VIXNOC_REQUIRE(just.size() == just_activated_.size(),
@@ -554,6 +577,18 @@ void Router::LoadState(SnapshotReader& r) {
                  per_out.size(), flits_per_out_.size());
   flits_per_out_ = std::move(per_out);
   LoadRng(r, &vc_rng_);
+
+  // Candidate masks are derived state; rebuild from the restored buffers.
+  va_cand_.ClearAll();
+  sa_cand_.ClearAll();
+  for (int idx = 0; idx < total; ++idx) {
+    if (buf_count_[idx] == 0) continue;
+    if (in_active_[idx]) {
+      sa_cand_.Set(idx);
+    } else {
+      va_cand_.Set(idx);
+    }
+  }
 }
 
 }  // namespace vixnoc

@@ -6,12 +6,23 @@
 // The router is topology-agnostic: a per-output-port link table names the
 // downstream router (or the network interface for ejection ports), and a
 // RoutingFunction supplies lookahead route computation.
+//
+// Data layout: per-VC state lives in parallel arrays indexed by
+// idx = in_port * num_vcs + vc (structure-of-arrays), with flit buffers in
+// one contiguous ring-buffer pool. Two bit masks — VA candidates (head flit
+// waiting, no output VC yet) and SA candidates (output VC held, buffer
+// non-empty) — are maintained incrementally at every state transition, so
+// the per-cycle VA/SA scans visit only live VCs via ctz instead of walking
+// all radix * num_vcs slots. Both scans visit candidates in exactly the
+// order the straightforward full scans would, keeping behaviour bitwise
+// identical.
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "alloc/request_matrix.hpp"
 #include "alloc/switch_allocator.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -212,30 +223,6 @@ class Router {
   std::uint64_t FlitsSentOn(PortId out) const { return flits_per_out_[out]; }
 
  private:
-  struct InputVc {
-    std::deque<Flit> buffer;
-    bool active = false;  ///< current packet holds an output VC
-    PortId out_port = kInvalidPort;
-    VcId out_vc = kInvalidVc;
-    PortId lookahead_out = kInvalidPort;  ///< route at the downstream router
-    std::uint8_t next_dateline = 0;  ///< packet state after this hop
-  };
-
-  struct OutputVc {
-    int credits = 0;
-    bool allocated = false;  ///< owned by one of this router's input VCs
-  };
-
-  struct OutputPort {
-    std::vector<OutputVc> vcs;
-    OutputLinkInfo link;
-  };
-
-  InputVc& ivc(PortId p, VcId c) { return input_vcs_[p * config_.num_vcs + c]; }
-  const InputVc& ivc(PortId p, VcId c) const {
-    return input_vcs_[p * config_.num_vcs + c];
-  }
-
   /// A VA candidate's stated preference under kSeparableArbitrated.
   struct VaPreference {
     int idx;  // input VC index p * num_vcs + c
@@ -245,7 +232,39 @@ class Router {
     std::uint8_t next_dateline;
   };
 
+  int IvcIndex(PortId p, VcId c) const { return p * config_.num_vcs + c; }
+  int OvcIndex(PortId o, VcId c) const { return o * config_.num_vcs + c; }
+
+  /// Ring-buffer slot of flit number `i` (0 = head) in input VC `idx`.
+  const Flit& BufferedFlit(int idx, int i) const {
+    int pos = buf_head_[idx] + i;
+    if (pos >= config_.buffer_depth) pos -= config_.buffer_depth;
+    return flit_store_[static_cast<std::size_t>(idx) * config_.buffer_depth +
+                       pos];
+  }
+  const Flit& HeadFlit(int idx) const {
+    return flit_store_[static_cast<std::size_t>(idx) * config_.buffer_depth +
+                       buf_head_[idx]];
+  }
+  void PushFlit(int idx, const Flit& flit) {
+    int pos = buf_head_[idx] + buf_count_[idx];
+    if (pos >= config_.buffer_depth) pos -= config_.buffer_depth;
+    flit_store_[static_cast<std::size_t>(idx) * config_.buffer_depth + pos] =
+        flit;
+    ++buf_count_[idx];
+  }
+  /// Drops the head flit (callers copy it out first).
+  void PopFlit(int idx) {
+    int head = buf_head_[idx] + 1;
+    if (head >= config_.buffer_depth) head = 0;
+    buf_head_[idx] = head;
+    --buf_count_[idx];
+  }
+
   void RunVcAllocation();
+  /// One VA candidate (see RunVcAllocation); returns via the same logic a
+  /// full scan would.
+  void ConsiderVaCandidate(int idx, bool separable);
   void BuildSaRequests();
   void CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
                     std::vector<SentCredit>* sent_credits);
@@ -257,8 +276,29 @@ class Router {
   RouterId id_;
   RouterConfig config_;
   const RoutingFunction* routing_;
-  std::vector<InputVc> input_vcs_;   // radix * num_vcs
-  std::vector<OutputPort> outputs_;  // radix
+
+  // Input-VC state (SoA), indexed idx = in_port * num_vcs + vc. Flit
+  // buffers are fixed-capacity rings of buffer_depth slots carved out of
+  // one contiguous pool.
+  std::vector<Flit> flit_store_;            // (radix * num_vcs) * depth
+  std::vector<std::int32_t> buf_head_;      // ring read position
+  std::vector<std::int32_t> buf_count_;     // flits buffered
+  std::vector<std::uint8_t> in_active_;     // current packet holds a VC
+  std::vector<PortId> in_out_port_;
+  std::vector<VcId> in_out_vc_;
+  std::vector<PortId> in_lookahead_;        // route at the downstream router
+  std::vector<std::uint8_t> in_next_dateline_;  // packet state after this hop
+
+  // Output-VC state (SoA), indexed o * num_vcs + vc.
+  std::vector<std::int32_t> credits_;
+  std::vector<std::uint8_t> out_allocated_;  // owned by one input VC here
+
+  // Incremental candidate masks over input-VC indices:
+  //  va_cand_: !active && buffer non-empty (head flit awaits VC allocation)
+  //  sa_cand_:  active && buffer non-empty (may request switch traversal)
+  BitWords va_cand_;
+  BitWords sa_cand_;
+
   std::vector<OutputLinkInfo> links_;
   std::unique_ptr<SwitchAllocator> allocator_;
   int va_rr_ptr_ = 0;  ///< rotating start for VA fairness

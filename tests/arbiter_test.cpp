@@ -9,15 +9,21 @@
 namespace vixnoc {
 namespace {
 
-std::vector<bool> Req(std::initializer_list<int> set, int n) {
-  std::vector<bool> r(n, false);
-  for (int i : set) r[i] = true;
+BitWords Req(std::initializer_list<int> set, int n) {
+  BitWords r(n);
+  for (int i : set) r.Set(i);
+  return r;
+}
+
+BitWords AllSet(int n) {
+  BitWords r(n);
+  r.SetAll();
   return r;
 }
 
 TEST(RoundRobin, NoRequestsReturnsMinusOne) {
   RoundRobinArbiter arb(4);
-  EXPECT_EQ(arb.Pick(std::vector<bool>(4, false)), -1);
+  EXPECT_EQ(arb.Pick(BitWords(4)), -1);
 }
 
 TEST(RoundRobin, SingleRequestWins) {
@@ -47,7 +53,7 @@ TEST(RoundRobin, CommitRotatesPriority) {
 TEST(RoundRobin, FairUnderFullContention) {
   RoundRobinArbiter arb(5);
   std::vector<int> wins(5, 0);
-  const std::vector<bool> all(5, true);
+  const BitWords all = AllSet(5);
   for (int t = 0; t < 500; ++t) {
     const int w = arb.Pick(all);
     ASSERT_GE(w, 0);
@@ -66,7 +72,7 @@ TEST(RoundRobin, ResetRestoresInitialPriority) {
 
 TEST(Matrix, NoRequestsReturnsMinusOne) {
   MatrixArbiter arb(4);
-  EXPECT_EQ(arb.Pick(std::vector<bool>(4, false)), -1);
+  EXPECT_EQ(arb.Pick(BitWords(4)), -1);
 }
 
 TEST(Matrix, InitialOrderIsByIndex) {
@@ -76,7 +82,7 @@ TEST(Matrix, InitialOrderIsByIndex) {
 
 TEST(Matrix, WinnerBecomesLeastPriority) {
   MatrixArbiter arb(3);
-  const std::vector<bool> all(3, true);
+  const BitWords all = AllSet(3);
   EXPECT_EQ(arb.Pick(all), 0);
   arb.Commit(0);
   EXPECT_EQ(arb.Pick(all), 1);
@@ -116,7 +122,7 @@ TEST(Matrix, StarvationFreeOverFullRotation) {
   // per grant it loses, so its wait can never exceed n - 1 grants.
   const int n = 6;
   MatrixArbiter arb(n);
-  const std::vector<bool> all(n, true);
+  const BitWords all = AllSet(n);
   std::vector<int> waiting(n, 0);
   for (int t = 0; t < 600; ++t) {
     const int w = arb.Pick(all);
@@ -155,7 +161,7 @@ TEST(Matrix, AgreesWithRoundRobinOnSingleRequesterInputs) {
 TEST(Matrix, FairUnderFullContention) {
   MatrixArbiter arb(6);
   std::vector<int> wins(6, 0);
-  const std::vector<bool> all(6, true);
+  const BitWords all = AllSet(6);
   for (int t = 0; t < 600; ++t) {
     const int w = arb.Pick(all);
     ++wins[w];
@@ -170,11 +176,12 @@ TEST_P(ArbiterKindTest, GrantAlwaysAmongRequests) {
   auto arb = MakeArbiter(GetParam(), 8);
   Rng rng(13);
   for (int t = 0; t < 2000; ++t) {
-    std::vector<bool> reqs(8);
+    BitWords reqs(8);
     bool any = false;
     for (int i = 0; i < 8; ++i) {
-      reqs[i] = rng.NextBool(0.3);
-      any |= reqs[i];
+      const bool bit = rng.NextBool(0.3);
+      reqs.Assign(i, bit);
+      any |= bit;
     }
     const int w = arb->Pick(reqs);
     if (!any) {
@@ -182,7 +189,7 @@ TEST_P(ArbiterKindTest, GrantAlwaysAmongRequests) {
     } else {
       ASSERT_GE(w, 0);
       ASSERT_LT(w, 8);
-      EXPECT_TRUE(reqs[w]);
+      EXPECT_TRUE(reqs.Test(w));
       arb->Commit(w);
     }
   }
@@ -202,9 +209,9 @@ TEST_P(ArbiterKindTest, NoStarvationUnderPartialContention) {
 
 TEST_P(ArbiterKindTest, SizeOneAlwaysGrantsZero) {
   auto arb = MakeArbiter(GetParam(), 1);
-  EXPECT_EQ(arb->Pick({true}), 0);
+  EXPECT_EQ(arb->Pick(AllSet(1)), 0);
   arb->Commit(0);
-  EXPECT_EQ(arb->Pick({true}), 0);
+  EXPECT_EQ(arb->Pick(AllSet(1)), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, ArbiterKindTest,
