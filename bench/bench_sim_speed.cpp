@@ -5,8 +5,10 @@
 //  * google-benchmark micro section: router-cycles per second of host time
 //    per topology and allocator (single-threaded hot-loop speed);
 //  * sweep section: a Fig-8-shaped batch of independent simulation points
-//    run through SweepRunner at 1 and N threads — end-to-end sweep
-//    throughput, parallel speedup, and a determinism cross-check.
+//    run through SweepRunner at 1 and N threads, then through the
+//    crash-isolated SweepCoordinator subprocess pool — end-to-end sweep
+//    throughput, parallel speedup, subprocess-isolation overhead, and a
+//    determinism cross-check across all three execution modes.
 //
 // Emits bench_results.json (json=PATH to override, json= to disable) with
 // both sections' numbers, seeding the repo's performance trajectory.
@@ -23,6 +25,7 @@
 #include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "exec/coordinator.hpp"
 #include "network/network.hpp"
 #include "sim/sweep.hpp"
 #include "topology/topology.hpp"
@@ -124,6 +127,7 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 
 struct SweepTiming {
   int threads = 0;
+  bool process_isolated = false;
   double wall_seconds = 0.0;
 };
 
@@ -209,6 +213,43 @@ int main(int argc, char** argv) {
                 timings[1].threads);
   }
 
+  // Crash-isolated subprocess pool (isolate=process): same batch, same
+  // determinism contract, across a process boundary. The throughput
+  // ratio vs the in-process pool is the cost of isolation — the
+  // trajectory gate (scripts/bench_trajectory.py) tracks it as the
+  // "sweep_process" arm.
+  {
+    ExecPolicy policy;
+    policy.num_workers = max_threads;
+    SweepCoordinator coordinator(policy);
+    const auto start = std::chrono::steady_clock::now();
+    const SweepExecResult exec = coordinator.Run(points);
+    SweepTiming t;
+    t.threads = coordinator.policy().num_workers;
+    t.process_isolated = true;
+    t.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (exec.fallback_points == points.size()) {
+      std::printf("  isolate=process: no worker binary; all points ran "
+                  "in-process (not recorded)\n");
+    } else {
+      timings.push_back(t);
+      for (std::size_t i = 0; i < exec.results.size(); ++i) {
+        deterministic = deterministic &&
+                        exec.results[i].accepted_ppc ==
+                            serial_results[i].accepted_ppc &&
+                        exec.results[i].avg_latency ==
+                            serial_results[i].avg_latency;
+      }
+      std::printf("  workers=%-3d wall=%6.2fs  %12.0f network-cycles/s "
+                  "(isolate=process)\n  determinism vs threads=1: %s\n",
+                  t.threads, t.wall_seconds,
+                  static_cast<double>(network_cycles) / t.wall_seconds,
+                  deterministic ? "bitwise-identical" : "MISMATCH");
+    }
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -238,9 +279,12 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < timings.size(); ++i) {
       std::fprintf(
           f,
-          "      {\"threads\": %d, \"wall_seconds\": %s, "
+          "      {\"threads\": %d, \"isolate\": \"%s\", "
+          "\"wall_seconds\": %s, "
           "\"network_cycles_per_second\": %s}%s\n",
-          timings[i].threads, Num(timings[i].wall_seconds).c_str(),
+          timings[i].threads,
+          timings[i].process_isolated ? "process" : "thread",
+          Num(timings[i].wall_seconds).c_str(),
           Num(static_cast<double>(network_cycles) / timings[i].wall_seconds)
               .c_str(),
           i + 1 < timings.size() ? "," : "");

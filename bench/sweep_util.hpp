@@ -21,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "exec/coordinator.hpp"
 #include "sim/sweep.hpp"
 #include "traffic/patterns.hpp"
 
@@ -56,14 +57,52 @@ class SweepHarness {
   /// cache and produces results bitwise identical to a straight run.
   std::vector<NetworkSimResult> Run(
       const std::vector<NetworkSimConfig>& points) {
-    if (!checkpoint_dir_.empty()) {
-      runner_->SetCheckpointDir(checkpoint_dir_ + "/batch_" +
-                                std::to_string(batches_));
-    }
+    const std::string batch_dir =
+        checkpoint_dir_.empty()
+            ? std::string()
+            : checkpoint_dir_ + "/batch_" + std::to_string(batches_);
     ++batches_;
     const auto start = std::chrono::steady_clock::now();
-    std::vector<NetworkSimResult> results = runner_->Run(points);
-    resumed_points_ += runner_->resumed_points();
+    std::vector<NetworkSimResult> results;
+    if (isolate_process_) {
+      // Crash-isolated path: points run in vixnoc_sweep_worker
+      // subprocesses with classification, retries and graceful
+      // degradation (exec/coordinator.hpp). Results are merged in
+      // submission order, so the table below is identical to the
+      // in-process path's whenever no point crashes out.
+      ExecPolicy policy;
+      policy.num_workers = threads_;
+      policy.point_timeout_seconds = point_timeout_;
+      policy.max_retries = retries_;
+      policy.checkpoint_dir = batch_dir;
+      SweepCoordinator coordinator(policy);
+      SweepExecResult exec = coordinator.Run(points);
+      results = std::move(exec.results);
+      resumed_points_ += exec.cached_points;
+      defective_cache_points_ += exec.defective_cache_points;
+      exec_.crashes += exec.crashes;
+      exec_.timeouts += exec.timeouts;
+      exec_.bad_frames += exec.bad_frames;
+      exec_.spawn_failures += exec.spawn_failures;
+      exec_.retries += exec.retries;
+      exec_.workers_spawned += exec.workers_spawned;
+      exec_.exhausted_points += exec.exhausted_points;
+      exec_.fallback_points += exec.fallback_points;
+      exec_.cached_points += exec.cached_points;
+      for (const WorkerEvent& ev : exec.events) {
+        worker_events_.push_back(ToString(ev.kind) + " slot " +
+                                 std::to_string(ev.slot) + " pid " +
+                                 std::to_string(ev.pid) +
+                                 (ev.detail.empty() ? "" : ": " + ev.detail));
+      }
+      exec_points_.insert(exec_points_.end(), exec.points.begin(),
+                          exec.points.end());
+    } else {
+      if (!batch_dir.empty()) runner_->SetCheckpointDir(batch_dir);
+      results = runner_->Run(points);
+      resumed_points_ += runner_->resumed_points();
+      defective_cache_points_ += runner_->defective_cache_points();
+    }
     wall_seconds_ += std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
@@ -93,12 +132,45 @@ class SweepHarness {
       return 1;
     }
     // Checkpoint provenance: whether this file was produced with a point
-    // cache, and how many points came from it rather than fresh runs.
+    // cache, how many points came from it rather than fresh runs, and how
+    // many cache entries were found defective and re-run.
     std::string provenance;
     if (!checkpoint_dir_.empty()) {
       provenance = "  \"checkpoint_dir\": \"" + EscapeJson(checkpoint_dir_) +
                    "\",\n  \"resumed_points\": " +
-                   std::to_string(resumed_points_) + ",\n";
+                   std::to_string(resumed_points_) +
+                   ",\n  \"defective_cache_points\": " +
+                   std::to_string(defective_cache_points_) + ",\n";
+    }
+    if (isolate_process_) {
+      // Process-isolation provenance: how the batch was executed at the
+      // subprocess level — retry/crash/timeout tallies plus the worker
+      // lifecycle event log — so a results file records not just the
+      // numbers but how reliably they were produced.
+      provenance += "  \"exec\": {\"isolate\": \"process\", "
+                    "\"point_timeout\": " + Num(point_timeout_) +
+                    ", \"retries\": " + std::to_string(retries_) +
+                    ", \"workers_spawned\": " +
+                    std::to_string(exec_.workers_spawned) +
+                    ", \"crashes\": " + std::to_string(exec_.crashes) +
+                    ", \"timeouts\": " + std::to_string(exec_.timeouts) +
+                    ", \"bad_frames\": " + std::to_string(exec_.bad_frames) +
+                    ", \"spawn_failures\": " +
+                    std::to_string(exec_.spawn_failures) +
+                    ", \"retries_performed\": " +
+                    std::to_string(exec_.retries) +
+                    ", \"exhausted_points\": " +
+                    std::to_string(exec_.exhausted_points) +
+                    ", \"fallback_points\": " +
+                    std::to_string(exec_.fallback_points) +
+                    ", \"cached_points\": " +
+                    std::to_string(exec_.cached_points) +
+                    ",\n    \"worker_events\": [";
+      for (std::size_t i = 0; i < worker_events_.size(); ++i) {
+        provenance += (i ? ", \"" : "\"") + EscapeJson(worker_events_[i]) +
+                      "\"";
+      }
+      provenance += "]},\n";
     }
     std::fprintf(f,
                  "{\n"
@@ -130,6 +202,23 @@ class SweepHarness {
       if (!r.outcome.ok()) {
         outcome_json +=
             ", \"message\": \"" + EscapeJson(r.outcome.message) + "\"";
+      }
+      if (i < exec_points_.size()) {
+        // Per-point execution provenance in process-isolation mode:
+        // subprocess attempts and, when the point ever failed at the
+        // process level, the classified cause.
+        const ExecStatus& es = exec_points_[i];
+        outcome_json += ", \"attempts\": " + std::to_string(es.attempts);
+        if (es.from_cache) outcome_json += ", \"from_cache\": true";
+        if (es.in_process_fallback) {
+          outcome_json += ", \"in_process_fallback\": true";
+        }
+        if (es.last_failure != ExecFailure::kNone) {
+          outcome_json += ", \"exec_failure\": \"" +
+                          ToString(es.last_failure) + "\", " +
+                          "\"exec_detail\": \"" +
+                          EscapeJson(es.failure_detail) + "\"";
+        }
       }
       if (r.telemetry.enabled) {
         // Telemetry aggregates ride along per point when the config enabled
@@ -181,14 +270,23 @@ class SweepHarness {
             const std::string& extra_usage) {
     if (args.GetBool("help", false)) {
       std::printf(
-          "usage: bench_%s [threads=N] [json=PATH] [checkpoint=DIR]%s\n"
-          "  threads=N       worker threads for the simulation sweep\n"
+          "usage: bench_%s [threads=N] [json=PATH] [checkpoint=DIR]\n"
+          "       [isolate=thread|process] [point_timeout=S] [retries=N]%s\n"
+          "  threads=N       worker threads (or subprocesses) for the sweep\n"
           "                  (default 0 = $VIXNOC_THREADS if set, else all "
           "cores)\n"
           "  json=PATH       machine-readable results file\n"
           "                  (default %s; json= disables)\n"
           "  checkpoint=DIR  cache completed points under DIR; re-running\n"
-          "                  after an interruption resumes from the cache\n%s",
+          "                  after an interruption resumes from the cache\n"
+          "  isolate=MODE    'thread' (default) runs points in-process;\n"
+          "                  'process' runs each point in a\n"
+          "                  vixnoc_sweep_worker subprocess so a crashing\n"
+          "                  or hanging point cannot take down the sweep\n"
+          "  point_timeout=S kill a worker stuck on one point for more\n"
+          "                  than S seconds (isolate=process; 0 disables)\n"
+          "  retries=N       process-level retries per failed point\n"
+          "                  (isolate=process; default 2)\n%s",
           bench_name_.c_str(), extra_usage.empty() ? "" : " [...]",
           default_json.c_str(), extra_usage.c_str());
       std::exit(0);
@@ -196,6 +294,15 @@ class SweepHarness {
     threads_ = static_cast<int>(args.GetInt("threads", 0));
     json_path_ = args.GetString("json", default_json);
     checkpoint_dir_ = args.GetString("checkpoint", "");
+    const std::string isolate = args.GetString("isolate", "thread");
+    if (isolate != "thread" && isolate != "process") {
+      std::fprintf(stderr, "isolate=%s is not 'thread' or 'process'\n",
+                   isolate.c_str());
+      std::exit(2);
+    }
+    isolate_process_ = isolate == "process";
+    point_timeout_ = args.GetDouble("point_timeout", 0.0);
+    retries_ = static_cast<int>(args.GetInt("retries", 2));
     runner_ = std::make_unique<SweepRunner>(threads_);
     WarnIfDebugBuild(bench_name_);
   }
@@ -204,12 +311,21 @@ class SweepHarness {
   std::string json_path_;
   std::string checkpoint_dir_;
   int threads_ = 0;
+  bool isolate_process_ = false;
+  double point_timeout_ = 0.0;
+  int retries_ = 2;
   std::size_t batches_ = 0;
   std::size_t resumed_points_ = 0;
+  std::uint64_t defective_cache_points_ = 0;
   std::unique_ptr<SweepRunner> runner_;
   double wall_seconds_ = 0.0;
   std::uint64_t sim_cycles_ = 0;
   std::vector<std::pair<NetworkSimConfig, NetworkSimResult>> records_;
+  // Process-isolation accumulators (cross-batch sums + per-point records
+  // parallel to records_; empty in isolate=thread mode).
+  SweepExecResult exec_;
+  std::vector<ExecStatus> exec_points_;
+  std::vector<std::string> worker_events_;
 };
 
 }  // namespace vixnoc::bench

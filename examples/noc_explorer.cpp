@@ -11,10 +11,18 @@
 // rate=<packets/cycle/node> vcs= depth= packet= seed= warmup= measure=
 // drain= pipeline=3|5 sweep=0|1 csv=<path> threads=<N>
 // checkpoint=<path> checkpoint_every=<N> restore=<path>
+// isolate=thread|process point_timeout=<seconds> retries=<N>
 //
 // threads=N sets the SweepRunner worker count for sweep=1 (default 0 =
 // $VIXNOC_THREADS if set, else all cores); results are identical to a
 // serial sweep regardless of thread count.
+//
+// isolate=process runs each sweep point in a vixnoc_sweep_worker
+// subprocess via SweepCoordinator: a point that segfaults, aborts, or
+// hangs past point_timeout= seconds is killed, classified, and retried
+// up to retries= times with exponential backoff; the rest of the sweep
+// always completes, and surviving points stay bitwise identical to the
+// in-process path.
 //
 // Checkpointing: in single-run mode, checkpoint=path checkpoint_every=N
 // saves the full simulation state every N cycles (atomic overwrite), and
@@ -26,10 +34,12 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "exec/coordinator.hpp"
 #include "sim/sweep.hpp"
 
 using namespace vixnoc;
@@ -96,6 +106,14 @@ int main(int argc, char** argv) {
   const int threads =
       ResolveThreadCount(static_cast<int>(args.GetInt("threads", 0)));
   const std::string checkpoint = args.GetString("checkpoint", "");
+  const std::string isolate = args.GetString("isolate", "thread");
+  if (isolate != "thread" && isolate != "process") {
+    std::fprintf(stderr, "isolate=%s is not 'thread' or 'process'\n",
+                 isolate.c_str());
+    return 2;
+  }
+  const double point_timeout = args.GetDouble("point_timeout", 0.0);
+  const int retries = static_cast<int>(args.GetInt("retries", 2));
   config.checkpoint_every =
       static_cast<Cycle>(args.GetInt("checkpoint_every", 0));
   config.restore_path = args.GetString("restore", "");
@@ -121,12 +139,51 @@ int main(int argc, char** argv) {
       config.injection_rate = rate;
       points.push_back(config);
     }
-    SweepRunner runner(threads);
-    if (!checkpoint.empty()) runner.SetCheckpointDir(checkpoint);
-    const std::vector<NetworkSimResult> results = runner.Run(points);
-    if (runner.resumed_points() > 0) {
-      std::printf("resumed %zu/%zu points from %s\n",
-                  runner.resumed_points(), points.size(), checkpoint.c_str());
+    std::vector<NetworkSimResult> results;
+    if (isolate == "process") {
+      ExecPolicy policy;
+      policy.num_workers = threads;
+      policy.point_timeout_seconds = point_timeout;
+      policy.max_retries = retries;
+      policy.checkpoint_dir = checkpoint;
+      SweepCoordinator coordinator(policy);
+      SweepExecResult exec = coordinator.Run(points);
+      results = std::move(exec.results);
+      if (exec.cached_points > 0) {
+        std::printf("resumed %llu/%zu points from %s\n",
+                    static_cast<unsigned long long>(exec.cached_points),
+                    points.size(), checkpoint.c_str());
+      }
+      if (exec.crashes + exec.timeouts + exec.bad_frames +
+              exec.spawn_failures >
+          0) {
+        std::printf(
+            "exec: %llu crash(es), %llu timeout(s), %llu bad frame(s), "
+            "%llu spawn failure(s); %llu retr%s, %llu point(s) exhausted, "
+            "%llu ran in-process\n",
+            static_cast<unsigned long long>(exec.crashes),
+            static_cast<unsigned long long>(exec.timeouts),
+            static_cast<unsigned long long>(exec.bad_frames),
+            static_cast<unsigned long long>(exec.spawn_failures),
+            static_cast<unsigned long long>(exec.retries),
+            exec.retries == 1 ? "y" : "ies",
+            static_cast<unsigned long long>(exec.exhausted_points),
+            static_cast<unsigned long long>(exec.fallback_points));
+      }
+    } else {
+      SweepRunner runner(threads);
+      if (!checkpoint.empty()) runner.SetCheckpointDir(checkpoint);
+      results = runner.Run(points);
+      if (runner.resumed_points() > 0) {
+        std::printf("resumed %zu/%zu points from %s\n",
+                    runner.resumed_points(), points.size(),
+                    checkpoint.c_str());
+      }
+      if (runner.defective_cache_points() > 0) {
+        std::printf("re-ran %zu point(s) whose cache entries were "
+                    "defective\n",
+                    runner.defective_cache_points());
+      }
     }
     for (std::size_t i = 0; i < points.size(); ++i) {
       PrintResult(points[i], results[i]);

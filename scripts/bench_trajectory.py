@@ -43,9 +43,13 @@ def load_results(path):
     for micro in data.get("micro", []):
         arms[micro["name"]] = micro["router_cycles_per_second"]
     # The serial sweep run is the end-to-end arm; threads>1 runs vary with
-    # host load and are informational only.
+    # host load and are informational only. The crash-isolated subprocess
+    # run is its own arm so the cost of process isolation is tracked and
+    # gated like any other throughput number.
     for run in data.get("sweep", {}).get("runs", []):
-        if run.get("threads") == 1:
+        if run.get("isolate") == "process":
+            arms["sweep_process"] = run["network_cycles_per_second"]
+        elif run.get("threads") == 1:
             arms["sweep_serial"] = run["network_cycles_per_second"]
     if not arms:
         sys.exit(f"{path}: no arms found (empty micro and sweep sections)")

@@ -18,8 +18,15 @@
 #  6. golden-arms identity gate: every topology x scheme arm re-run through
 #     noc_explorer and cmp'd against tests/golden/prerewrite_arms.csv — the
 #     bitmask/SoA hot path must stay bitwise identical to the scalar one;
-#  7. perf smoke gate: bench_sim_speed compared against the committed
-#     trajectory (BENCH_sim_speed.json) via scripts/bench_trajectory.py.
+#  7. process-isolation gate: exec_test (injected worker crashes, hangs,
+#     bad frames, retry/backoff, fallback), then a real sweep run twice —
+#     isolate=process vs in-process — with a field-by-field JSON compare
+#     of every result row: crash isolation must not change a single
+#     number;
+#  8. perf smoke gate: bench_sim_speed compared against the committed
+#     trajectory (BENCH_sim_speed.json) via scripts/bench_trajectory.py;
+#     the trajectory includes the sweep_process arm, so subprocess-mode
+#     throughput is gated alongside the in-process arms.
 #
 # Usage: scripts/tier1.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -43,11 +50,14 @@ echo "== tier1: ASan+UBSan fault/robustness tests (${PREFIX}-asan) =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
-  sweep_test alloc_equiv_test
+  sweep_test alloc_equiv_test exec_test
 "${PREFIX}-asan/tests/fault_test"
 "${PREFIX}-asan/tests/robustness_test"
 "${PREFIX}-asan/tests/sweep_test"
 "${PREFIX}-asan/tests/alloc_equiv_test"
+# exec_test under ASan covers the fork/exec/pipe plumbing and the
+# coordinator's threads; the worker binary it spawns is the ASan build.
+"${PREFIX}-asan/tests/exec_test"
 
 echo "== tier1: telemetry gate (${PREFIX}) =="
 # telemetry_test asserts (a) telemetry-off results are bitwise identical to
@@ -131,6 +141,48 @@ scripts/golden_arms.sh "${PREFIX}/examples/noc_explorer" \
   "${PREFIX}/golden_arms.csv"
 cmp tests/golden/prerewrite_arms.csv "${PREFIX}/golden_arms.csv"
 echo "golden arms bitwise-identical to tests/golden/prerewrite_arms.csv"
+
+echo "== tier1: process-isolation gate (${PREFIX}) =="
+# exec_test drives SweepCoordinator against the real worker binary with
+# injected crashes, hangs, nonzero exits and truncated frames: the batch
+# must always complete, failures must be classified, retries must land on
+# respawned workers, and every surviving result must be bitwise identical
+# to a serial in-process run.
+"${PREFIX}/tests/exec_test"
+# A real sweep executed both ways must agree on every emitted field
+# (exec-only provenance keys aside): process isolation is an execution
+# detail, never a results change.
+ISOL_DIR="${PREFIX}/isolation_gate"
+rm -rf "${ISOL_DIR}" && mkdir -p "${ISOL_DIR}"
+BENCH="${PREFIX}/bench/bench_ext_telemetry"
+if [ -x "${BENCH}" ] && command -v python3 >/dev/null 2>&1; then
+  "${BENCH}" "json=${ISOL_DIR}/inproc.json" >/dev/null
+  "${BENCH}" "json=${ISOL_DIR}/isolated.json" isolate=process \
+    point_timeout=120 >/dev/null
+  python3 - "${ISOL_DIR}/inproc.json" "${ISOL_DIR}/isolated.json" <<'EOF'
+import json, sys
+inproc = json.load(open(sys.argv[1]))
+isolated = json.load(open(sys.argv[2]))
+exec_info = isolated.get("exec")
+assert exec_info and exec_info.get("isolate") == "process", \
+    "isolated run carries no exec provenance"
+assert exec_info["fallback_points"] == 0, \
+    f"worker unavailable: {exec_info['fallback_points']} points fell back"
+assert exec_info["exhausted_points"] == 0, exec_info
+a, b = inproc["results"], isolated["results"]
+assert len(a) == len(b), f"point count differs: {len(a)} vs {len(b)}"
+exec_keys = {"attempts", "from_cache", "in_process_fallback",
+             "exec_failure", "exec_detail"}
+for i, (ra, rb) in enumerate(zip(a, b)):
+    for key in sorted((set(ra) | set(rb)) - exec_keys):
+        assert ra.get(key) == rb.get(key), (
+            f"point {i} field {key!r}: {ra.get(key)!r} != {rb.get(key)!r}")
+print(f"isolate=process results identical to in-process ({len(a)} points, "
+      f"{exec_info['workers_spawned']} worker(s) spawned)")
+EOF
+else
+  echo "bench_ext_telemetry or python3 not found; skipping sweep compare"
+fi
 
 echo "== tier1: perf smoke gate (${PREFIX}) =="
 # bench_sim_speed against the committed trajectory. The smoke tolerance is

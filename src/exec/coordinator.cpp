@@ -1,0 +1,589 @@
+#include "exec/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "exec/exec_protocol.hpp"
+#include "sim/sweep.hpp"
+
+namespace vixnoc {
+
+std::string ToString(ExecFailure failure) {
+  switch (failure) {
+    case ExecFailure::kNone:
+      return "none";
+    case ExecFailure::kExit:
+      return "exit";
+    case ExecFailure::kSignal:
+      return "signal";
+    case ExecFailure::kBadFrame:
+      return "bad-frame";
+    case ExecFailure::kTimeout:
+      return "timeout";
+    case ExecFailure::kSpawn:
+      return "spawn";
+  }
+  return "unknown";
+}
+
+std::string ToString(WorkerEvent::Kind kind) {
+  switch (kind) {
+    case WorkerEvent::Kind::kSpawn:
+      return "spawn";
+    case WorkerEvent::Kind::kExit:
+      return "exit";
+    case WorkerEvent::Kind::kKill:
+      return "kill";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker subprocess owned by a coordinator slot thread.
+struct Worker {
+  pid_t pid = -1;
+  int in_fd = -1;   ///< coordinator writes point frames (worker stdin)
+  int out_fd = -1;  ///< coordinator reads result frames (worker stdout)
+  bool alive() const { return pid > 0; }
+};
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+std::string DescribeWaitStatus(int status) {
+  if (WIFEXITED(status)) {
+    return "exit status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = strsignal(sig);
+    return "signal " + std::to_string(sig) + " (" +
+           (name != nullptr ? name : "unknown") + ")";
+  }
+  return "unrecognized wait status " + std::to_string(status);
+}
+
+/// Reaps a (dead or dying) worker and returns its wait-status description.
+std::string ReapWorker(Worker* w) {
+  CloseFd(&w->in_fd);
+  CloseFd(&w->out_fd);
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(w->pid, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  w->pid = -1;
+  if (r < 0) return std::string("waitpid: ") + std::strerror(errno);
+  return DescribeWaitStatus(status);
+}
+
+/// SIGKILLs and reaps a live worker (deadline overrun or untrusted state).
+std::string KillWorker(Worker* w) {
+  ::kill(w->pid, SIGKILL);
+  return ReapWorker(w);
+}
+
+/// fork/execs one worker with stdin/stdout pipes. An exec failure in the
+/// child (bad path, not executable) is reported through a CLOEXEC status
+/// pipe, so the caller can distinguish "could not spawn" from a worker
+/// that launched and then died. All pipe fds are O_CLOEXEC so workers do
+/// not inherit each other's channel ends (a leaked write end would defeat
+/// EOF-based shutdown).
+bool SpawnWorker(const std::string& path, Worker* w, std::string* error) {
+  int in_pipe[2] = {-1, -1}, out_pipe[2] = {-1, -1}, st_pipe[2] = {-1, -1};
+  if (::pipe2(in_pipe, O_CLOEXEC) < 0 || ::pipe2(out_pipe, O_CLOEXEC) < 0 ||
+      ::pipe2(st_pipe, O_CLOEXEC) < 0) {
+    *error = std::string("pipe2: ") + std::strerror(errno);
+    for (int* fd : {&in_pipe[0], &in_pipe[1], &out_pipe[0], &out_pipe[1],
+                    &st_pipe[0], &st_pipe[1]}) {
+      CloseFd(fd);
+    }
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    *error = std::string("fork: ") + std::strerror(errno);
+    for (int* fd : {&in_pipe[0], &in_pipe[1], &out_pipe[0], &out_pipe[1],
+                    &st_pipe[0], &st_pipe[1]}) {
+      CloseFd(fd);
+    }
+    return false;
+  }
+  if (pid == 0) {
+    // Child: wire the protocol pipes to stdin/stdout (dup2 clears
+    // O_CLOEXEC on the duplicates) and exec the worker.
+    if (::dup2(in_pipe[0], STDIN_FILENO) < 0 ||
+        ::dup2(out_pipe[1], STDOUT_FILENO) < 0) {
+      _exit(127);
+    }
+    ::execl(path.c_str(), path.c_str(), static_cast<char*>(nullptr));
+    const int err = errno;
+    [[maybe_unused]] ssize_t n = ::write(st_pipe[1], &err, sizeof err);
+    _exit(127);
+  }
+  // Parent.
+  CloseFd(&in_pipe[0]);
+  CloseFd(&out_pipe[1]);
+  CloseFd(&st_pipe[1]);
+  int exec_errno = 0;
+  ssize_t n;
+  do {
+    n = ::read(st_pipe[0], &exec_errno, sizeof exec_errno);
+  } while (n < 0 && errno == EINTR);
+  CloseFd(&st_pipe[0]);
+  if (n > 0) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    CloseFd(&in_pipe[1]);
+    CloseFd(&out_pipe[0]);
+    *error = "exec '" + path + "': " + std::strerror(exec_errno);
+    return false;
+  }
+  w->pid = pid;
+  w->in_fd = in_pipe[1];
+  w->out_fd = out_pipe[0];
+  return true;
+}
+
+/// A queued dispatch: point `index`, subprocess attempt number, and the
+/// earliest time it may run (backoff gates retries without parking a
+/// worker slot on a sleep).
+struct Item {
+  std::size_t index = 0;
+  int attempt = 0;
+  Clock::time_point ready_at;
+};
+
+}  // namespace
+
+std::string DefaultWorkerPath() {
+  if (const char* env = std::getenv("VIXNOC_SWEEP_WORKER")) {
+    // An explicit setting is honored verbatim: if it is wrong, the spawn
+    // failure is classified and surfaced rather than silently replaced.
+    if (*env != '\0') return env;
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  const std::string dir =
+      std::filesystem::path(buf).parent_path().string();
+  for (const std::string& candidate :
+       {dir + "/vixnoc_sweep_worker", dir + "/../src/app/vixnoc_sweep_worker",
+        dir + "/../../src/app/vixnoc_sweep_worker"}) {
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return {};
+}
+
+SweepCoordinator::SweepCoordinator(ExecPolicy policy)
+    : policy_(std::move(policy)) {
+  policy_.num_workers = ResolveThreadCount(policy_.num_workers);
+  if (policy_.worker_path.empty()) policy_.worker_path = DefaultWorkerPath();
+  policy_.max_retries = std::max(policy_.max_retries, 0);
+  policy_.backoff_initial_seconds =
+      std::max(policy_.backoff_initial_seconds, 0.0);
+  policy_.backoff_multiplier = std::max(policy_.backoff_multiplier, 1.0);
+  policy_.backoff_max_seconds =
+      std::max(policy_.backoff_max_seconds, policy_.backoff_initial_seconds);
+}
+
+SweepExecResult SweepCoordinator::Run(
+    const std::vector<NetworkSimConfig>& configs) {
+  SweepExecResult out;
+  const std::size_t n = configs.size();
+  out.results.resize(n);
+  out.points.resize(n);
+  if (n == 0) return out;
+
+  if (!policy_.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(policy_.checkpoint_dir, ec);
+    VIXNOC_REQUIRE(!ec, "cannot create sweep checkpoint directory '%s': %s",
+                   policy_.checkpoint_dir.c_str(), ec.message().c_str());
+  }
+  const auto cache_path = [this](std::size_t index) {
+    if (policy_.checkpoint_dir.empty()) return std::string();
+    return policy_.checkpoint_dir + "/point_" + std::to_string(index) +
+           ".ckpt";
+  };
+
+  // Shared scheduler state. Result slots are per-index so writes never
+  // alias, but everything is mutated under one lock anyway — the costs
+  // here are process spawns and multi-millisecond simulations, not lock
+  // contention.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  std::size_t outstanding = 0;  // queued + in-flight, not yet finalized
+  bool spawn_broken = false;
+  std::vector<std::size_t> fallback;  // runs in-process after the pool
+
+  // Pre-pass: serve cached points, and route points a worker cannot
+  // execute (a live topology_factory has no wire form) straight to the
+  // in-process path.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string path = cache_path(i);
+    if (!path.empty()) {
+      const PointCacheStatus cache =
+          TryLoadPointCache(path, configs[i], &out.results[i]);
+      if (cache == PointCacheStatus::kHit) {
+        out.points[i].from_cache = true;
+        ++out.cached_points;
+        continue;
+      }
+      if (cache == PointCacheStatus::kDefective) ++out.defective_cache_points;
+    }
+    if (configs[i].topology_factory) {
+      out.points[i].failure_detail =
+          "topology_factory cannot cross a process boundary";
+      fallback.push_back(i);
+      continue;
+    }
+    queue.push_back(Item{i, 0, Clock::now()});
+    ++outstanding;
+  }
+
+  if (policy_.worker_path.empty()) {
+    // No worker binary anywhere: degrade the whole batch to in-process
+    // execution rather than wedging or throwing.
+    std::fprintf(stderr,
+                 "vixnoc: warning: no vixnoc_sweep_worker binary found "
+                 "(set VIXNOC_SWEEP_WORKER); running sweep in-process "
+                 "without crash isolation\n");
+    for (const Item& item : queue) {
+      out.points[item.index].last_failure = ExecFailure::kSpawn;
+      out.points[item.index].failure_detail = "no worker binary found";
+      fallback.push_back(item.index);
+    }
+    queue.clear();
+    outstanding = 0;
+  }
+
+  const int num_workers =
+      static_cast<int>(std::min<std::size_t>(policy_.num_workers,
+                                             std::max<std::size_t>(n, 1)));
+
+  const auto backoff_for = [this](int attempt) {
+    const double raw = policy_.backoff_initial_seconds *
+                       std::pow(policy_.backoff_multiplier, attempt);
+    return std::min(raw, policy_.backoff_max_seconds);
+  };
+
+  // Finalization helpers; all called with `mu` held.
+  const auto finalize = [&]() {
+    --outstanding;
+    if (outstanding == 0) cv.notify_all();
+  };
+  const auto tally_failure = [&](ExecFailure kind) {
+    switch (kind) {
+      case ExecFailure::kExit:
+      case ExecFailure::kSignal:
+        ++out.crashes;
+        break;
+      case ExecFailure::kTimeout:
+        ++out.timeouts;
+        break;
+      case ExecFailure::kBadFrame:
+        ++out.bad_frames;
+        break;
+      case ExecFailure::kSpawn:
+        ++out.spawn_failures;
+        break;
+      case ExecFailure::kNone:
+        break;
+    }
+  };
+
+  const auto slot_loop = [&](int slot) {
+    // A dead peer must surface as EPIPE from write(), not SIGPIPE.
+    sigset_t sigpipe;
+    sigemptyset(&sigpipe);
+    sigaddset(&sigpipe, SIGPIPE);
+    pthread_sigmask(SIG_BLOCK, &sigpipe, nullptr);
+
+    Worker w;
+    for (;;) {
+      Item item;
+      bool done = false;
+      bool route_to_fallback = false;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+          if (outstanding == 0) {
+            done = true;
+            break;
+          }
+          const auto now = Clock::now();
+          auto ready = queue.end();
+          auto earliest = queue.end();
+          for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (it->ready_at <= now) {
+              ready = it;
+              break;
+            }
+            if (earliest == queue.end() ||
+                it->ready_at < earliest->ready_at) {
+              earliest = it;
+            }
+          }
+          if (ready != queue.end()) {
+            item = *ready;
+            queue.erase(ready);
+            break;
+          }
+          if (earliest != queue.end()) {
+            cv.wait_until(lock, earliest->ready_at);
+          } else {
+            cv.wait(lock);  // everything in flight elsewhere
+          }
+        }
+        if (!done && spawn_broken) {
+          // A slot already proved subprocesses cannot be spawned; route
+          // everything else to the in-process path without more attempts.
+          out.points[item.index].last_failure = ExecFailure::kSpawn;
+          out.points[item.index].failure_detail =
+              "subprocess spawning unavailable";
+          fallback.push_back(item.index);
+          finalize();
+          route_to_fallback = true;
+        }
+      }
+      if (route_to_fallback) continue;
+      if (done) {
+        // Batch complete: shut the worker down by closing its stdin (it
+        // exits on EOF) and reap it.
+        if (w.alive()) {
+          const pid_t pid = w.pid;
+          const std::string wait = ReapWorker(&w);
+          std::lock_guard<std::mutex> lock(mu);
+          out.events.push_back(WorkerEvent{WorkerEvent::Kind::kExit, slot,
+                                           static_cast<long>(pid),
+                                           "shutdown: " + wait});
+        }
+        return;
+      }
+
+      // ---- dispatch one attempt, unlocked ----
+      if (!w.alive()) {
+        std::string err;
+        if (!SpawnWorker(policy_.worker_path, &w, &err)) {
+          std::lock_guard<std::mutex> lock(mu);
+          spawn_broken = true;
+          tally_failure(ExecFailure::kSpawn);
+          out.points[item.index].last_failure = ExecFailure::kSpawn;
+          out.points[item.index].failure_detail = err;
+          fallback.push_back(item.index);
+          finalize();
+          cv.notify_all();  // wake slots so they drain via spawn_broken
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        ++out.workers_spawned;
+        out.events.push_back(WorkerEvent{WorkerEvent::Kind::kSpawn, slot,
+                                         static_cast<long>(w.pid), ""});
+      }
+      const pid_t worker_pid = w.pid;
+
+      PointFrame pf;
+      pf.index = item.index;
+      pf.attempt = static_cast<std::uint32_t>(item.attempt);
+      pf.config = configs[item.index];
+      const std::uint64_t fp = NetworkSimConfigFingerprint(pf.config);
+
+      ExecFailure failure = ExecFailure::kNone;
+      std::string detail;
+      WorkerEvent::Kind event_kind = WorkerEvent::Kind::kExit;
+      NetworkSimResult result;
+
+      std::string werr;
+      if (!WriteFrame(w.in_fd, EncodePointFrame(pf), &werr)) {
+        // The worker died before (or while) reading the point.
+        detail = ReapWorker(&w) + " before accepting the point";
+        failure = detail.rfind("signal", 0) == 0 ? ExecFailure::kSignal
+                                                 : ExecFailure::kExit;
+      } else {
+        const FrameRead rr =
+            ReadFrame(w.out_fd, policy_.point_timeout_seconds > 0
+                                    ? policy_.point_timeout_seconds
+                                    : -1.0);
+        switch (rr.status) {
+          case FrameRead::Status::kOk:
+            try {
+              ResultFrame rf = DecodeResultFrame(rr.payload);
+              if (rf.index != item.index || rf.config_fingerprint != fp) {
+                failure = ExecFailure::kBadFrame;
+                detail = "result frame for point " +
+                         std::to_string(rf.index) + " (expected " +
+                         std::to_string(item.index) +
+                         ") or mismatched fingerprint; " + KillWorker(&w);
+                event_kind = WorkerEvent::Kind::kKill;
+              } else {
+                result = std::move(rf.result);
+              }
+            } catch (const SimError& e) {
+              // Right length, rotten bytes: the worker's stream state is
+              // untrustworthy, so it is replaced.
+              failure = ExecFailure::kBadFrame;
+              detail = std::string("undecodable result frame: ") + e.what() +
+                       "; " + KillWorker(&w);
+              event_kind = WorkerEvent::Kind::kKill;
+            }
+            break;
+          case FrameRead::Status::kTimeout: {
+            char buf[128];
+            std::snprintf(buf, sizeof buf,
+                          "point exceeded its %.3fs deadline; worker killed",
+                          policy_.point_timeout_seconds);
+            failure = ExecFailure::kTimeout;
+            detail = std::string(buf) + " (" + KillWorker(&w) + ")";
+            event_kind = WorkerEvent::Kind::kKill;
+            break;
+          }
+          case FrameRead::Status::kEof:
+          case FrameRead::Status::kShort: {
+            const std::string wait = ReapWorker(&w);
+            if (wait.rfind("signal", 0) == 0) {
+              failure = ExecFailure::kSignal;
+              detail = wait;
+            } else if (wait == "exit status 0") {
+              failure = ExecFailure::kBadFrame;
+              detail = "worker exited cleanly mid-point";
+              if (rr.status == FrameRead::Status::kShort) {
+                detail += " (" + rr.detail + ")";
+              }
+            } else {
+              failure = ExecFailure::kExit;
+              detail = wait;
+            }
+            break;
+          }
+          case FrameRead::Status::kError:
+            failure = ExecFailure::kBadFrame;
+            detail = "frame read failed: " + rr.detail + "; " + KillWorker(&w);
+            event_kind = WorkerEvent::Kind::kKill;
+            break;
+        }
+      }
+
+      if (failure == ExecFailure::kNone) {
+        // Success. Cache best-effort (the cache is an accelerator, never a
+        // correctness input), then publish the slot.
+        const std::string path = cache_path(item.index);
+        if (!path.empty()) {
+          try {
+            WritePointCache(path, pf.config, result);
+          } catch (const SimError& e) {
+            std::fprintf(stderr,
+                         "vixnoc: warning: cannot cache point %zu: %s\n",
+                         item.index, e.what());
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        out.results[item.index] = std::move(result);
+        out.points[item.index].isolated = true;
+        out.points[item.index].attempts = item.attempt + 1;
+        finalize();
+        continue;
+      }
+
+      // Failure: classify, then retry with backoff or give the point its
+      // final error slot. The worker (if any survived classification) is
+      // already dead — the next dispatch on this slot respawns one.
+      std::lock_guard<std::mutex> lock(mu);
+      tally_failure(failure);
+      ExecStatus& st = out.points[item.index];
+      st.attempts = item.attempt + 1;
+      st.last_failure = failure;
+      st.failure_detail = detail;
+      out.events.push_back(WorkerEvent{
+          event_kind, slot, static_cast<long>(worker_pid),
+          "point " + std::to_string(item.index) + ": " + detail});
+      if (item.attempt < policy_.max_retries) {
+        const double backoff = backoff_for(item.attempt);
+        st.backoff_seconds += backoff;
+        ++out.retries;
+        queue.push_back(Item{
+            item.index, item.attempt + 1,
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(backoff))});
+        cv.notify_all();
+      } else {
+        ++out.exhausted_points;
+        NetworkSimResult& slot_result = out.results[item.index];
+        slot_result = NetworkSimResult{};
+        slot_result.outcome.status = SimStatus::kExecFailure;
+        slot_result.outcome.message =
+            "worker " + ToString(failure) + " failure: " + detail + " (" +
+            std::to_string(item.attempt + 1) + " attempts)";
+        finalize();
+      }
+    }
+  };
+
+  std::vector<std::thread> slots;
+  slots.reserve(num_workers);
+  for (int s = 0; s < num_workers; ++s) {
+    slots.emplace_back(slot_loop, s);
+  }
+  for (std::thread& t : slots) t.join();
+
+  // Graceful degradation: everything routed to the in-process path runs
+  // on a SweepRunner (which converts exceptions into error slots, exactly
+  // like a non-isolated sweep would).
+  if (!fallback.empty()) {
+    std::vector<NetworkSimConfig> cfgs;
+    cfgs.reserve(fallback.size());
+    for (const std::size_t index : fallback) cfgs.push_back(configs[index]);
+    const std::vector<NetworkSimResult> res =
+        RunSweep(cfgs, policy_.num_workers);
+    for (std::size_t k = 0; k < fallback.size(); ++k) {
+      const std::size_t index = fallback[k];
+      out.results[index] = res[k];
+      out.points[index].in_process_fallback = true;
+      ++out.fallback_points;
+      const std::string path = cache_path(index);
+      // Cache completed simulations only — mirroring SweepRunner, which
+      // never caches exception slots.
+      if (!path.empty() &&
+          res[k].outcome.status != SimStatus::kInvariantViolation &&
+          !configs[index].topology_factory) {
+        try {
+          WritePointCache(path, configs[index], out.results[index]);
+        } catch (const SimError& e) {
+          std::fprintf(stderr,
+                       "vixnoc: warning: cannot cache point %zu: %s\n", index,
+                       e.what());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vixnoc

@@ -86,7 +86,7 @@ SimOutcome LoadSimOutcome(SnapshotReader& r) {
   SimOutcome o;
   const std::uint8_t status = r.U8();
   VIXNOC_REQUIRE(
-      status <= static_cast<std::uint8_t>(SimStatus::kInvariantViolation),
+      status <= static_cast<std::uint8_t>(SimStatus::kExecFailure),
       "restored outcome has invalid status %u", status);
   o.status = static_cast<SimStatus>(status);
   o.message = r.Str();
@@ -109,6 +109,8 @@ std::string ToString(SimStatus status) {
       return "undeliverable";
     case SimStatus::kInvariantViolation:
       return "invariant-violation";
+    case SimStatus::kExecFailure:
+      return "exec-failure";
   }
   return "unknown";
 }

@@ -38,6 +38,12 @@ enum class SimStatus {
   /// configuration or a validation failure. Set by SweepRunner when a
   /// worker catches the exception.
   kInvariantViolation,
+  /// The point could not be executed at the process level: its isolated
+  /// worker subprocess kept failing (crash, hang past the deadline,
+  /// malformed frames) until retries were exhausted. Set by
+  /// SweepCoordinator (exec/coordinator.hpp); the per-point ExecStatus
+  /// carries the failure classification and attempt history.
+  kExecFailure,
 };
 
 std::string ToString(SimStatus status);

@@ -1,5 +1,7 @@
 #include "sim/sweep.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -12,14 +14,82 @@ namespace vixnoc {
 
 int ResolveThreadCount(int requested) {
   VIXNOC_CHECK(requested >= 0);
+  if (requested > kMaxThreadCount) {
+    std::fprintf(stderr,
+                 "vixnoc: warning: requested %d workers; capping at %d\n",
+                 requested, kMaxThreadCount);
+    return kMaxThreadCount;
+  }
   if (requested > 0) return requested;
   if (const char* env = std::getenv("VIXNOC_THREADS")) {
+    // Strict parse: the whole string must be a positive decimal integer
+    // within the cap. Every malformed form is called out — a typo'd
+    // VIXNOC_THREADS silently meaning "all cores" has burned people.
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &end, 10);
-    if (end != nullptr && *end == '\0' && v > 0) return static_cast<int>(v);
+    if (end == env || *end != '\0') {
+      std::fprintf(stderr,
+                   "vixnoc: warning: VIXNOC_THREADS='%s' is not an integer; "
+                   "using hardware concurrency\n",
+                   env);
+    } else if (errno == ERANGE || v > kMaxThreadCount) {
+      std::fprintf(stderr,
+                   "vixnoc: warning: VIXNOC_THREADS='%s' exceeds the %d "
+                   "worker cap; using %d\n",
+                   env, kMaxThreadCount, kMaxThreadCount);
+      return kMaxThreadCount;
+    } else if (v <= 0) {
+      std::fprintf(stderr,
+                   "vixnoc: warning: VIXNOC_THREADS='%s' is not positive; "
+                   "using hardware concurrency\n",
+                   env);
+    } else {
+      return static_cast<int>(v);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+PointCacheStatus TryLoadPointCache(const std::string& path,
+                                   const NetworkSimConfig& config,
+                                   NetworkSimResult* out) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return PointCacheStatus::kMiss;
+  try {
+    SnapshotReader r(ReadSnapshotFile(path));
+    if (r.fingerprint() != NetworkSimConfigFingerprint(config)) {
+      std::fprintf(stderr,
+                   "vixnoc: warning: sweep cache entry '%s' was written "
+                   "under a different config (fingerprint %016llx, this "
+                   "point is %016llx); re-running the point\n",
+                   path.c_str(),
+                   static_cast<unsigned long long>(r.fingerprint()),
+                   static_cast<unsigned long long>(
+                       NetworkSimConfigFingerprint(config)));
+      return PointCacheStatus::kDefective;
+    }
+    r.OpenSection("result");
+    *out = LoadNetworkSimResult(r);
+    r.CloseSection();
+    return PointCacheStatus::kHit;
+  } catch (const SimError& e) {
+    std::fprintf(stderr,
+                 "vixnoc: warning: defective sweep cache entry '%s' (%s); "
+                 "re-running the point\n",
+                 path.c_str(), e.what());
+    return PointCacheStatus::kDefective;
+  }
+}
+
+void WritePointCache(const std::string& path, const NetworkSimConfig& config,
+                     const NetworkSimResult& result) {
+  SnapshotWriter w;
+  w.BeginSection("result");
+  SaveNetworkSimResult(w, result);
+  w.EndSection();
+  WriteSnapshotFile(path, w.Finish(NetworkSimConfigFingerprint(config)));
 }
 
 SweepRunner::SweepRunner(int num_threads) {
@@ -55,27 +125,27 @@ void SweepRunner::WorkerLoop() {
 
     // With a checkpoint directory, a cached result from an earlier
     // (interrupted) run of the same batch satisfies the point without
-    // simulating. Any defect in the cache file — missing, truncated,
-    // corrupted, or written under a different config — falls through to a
-    // normal run; the cache is an accelerator, never a correctness input.
+    // simulating. Any defect in the cache file — truncated, corrupted, or
+    // written under a different config — falls through to a normal run
+    // with a warning and a defective_cache_points() tick; the cache is an
+    // accelerator, never a correctness input.
     const std::string cache_path = PointCachePath(index);
     if (!cache_path.empty()) {
-      try {
-        SnapshotReader r(ReadSnapshotFile(cache_path));
-        if (r.fingerprint() == NetworkSimConfigFingerprint(*config)) {
-          r.OpenSection("result");
-          NetworkSimResult cached = LoadNetworkSimResult(r);
-          r.CloseSection();
-          std::lock_guard<std::mutex> lock(mu_);
-          (*results_)[index] = std::move(cached);
-          ++resumed_;
-          ++done_;
-          if (progress_) progress_(done_, batch_->size());
-          if (done_ == batch_->size()) done_cv_.notify_all();
-          continue;
-        }
-      } catch (const SimError&) {
-        // Unreadable or corrupted cache entry: re-run the point below.
+      NetworkSimResult cached;
+      const PointCacheStatus cache =
+          TryLoadPointCache(cache_path, *config, &cached);
+      if (cache == PointCacheStatus::kHit) {
+        std::lock_guard<std::mutex> lock(mu_);
+        (*results_)[index] = std::move(cached);
+        ++resumed_;
+        ++done_;
+        if (progress_) progress_(done_, batch_->size());
+        if (done_ == batch_->size()) done_cv_.notify_all();
+        continue;
+      }
+      if (cache == PointCacheStatus::kDefective) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++defective_;
       }
     }
 
@@ -87,14 +157,7 @@ void SweepRunner::WorkerLoop() {
     NetworkSimResult result;
     try {
       result = RunNetworkSim(*config);
-      if (!cache_path.empty()) {
-        SnapshotWriter w;
-        w.BeginSection("result");
-        SaveNetworkSimResult(w, result);
-        w.EndSection();
-        WriteSnapshotFile(cache_path,
-                          w.Finish(NetworkSimConfigFingerprint(*config)));
-      }
+      if (!cache_path.empty()) WritePointCache(cache_path, *config, result);
     } catch (const SimError& e) {
       result = NetworkSimResult{};
       result.outcome.status = SimStatus::kInvariantViolation;
@@ -142,6 +205,7 @@ std::vector<NetworkSimResult> SweepRunner::Run(
     next_ = 0;
     done_ = 0;
     resumed_ = 0;
+    defective_ = 0;
   }
   work_cv_.notify_all();
 

@@ -26,11 +26,45 @@
 
 namespace vixnoc {
 
+/// Largest worker count ResolveThreadCount will ever return: a fat-finger
+/// guard (VIXNOC_THREADS=80000 would fork-bomb the host with threads or
+/// worker subprocesses, not speed anything up).
+inline constexpr int kMaxThreadCount = 1024;
+
 /// Resolves a requested worker count to an actual one:
-///  * requested >= 1: use exactly that many workers;
+///  * requested >= 1: use exactly that many workers (capped, with a
+///    warning, at kMaxThreadCount);
 ///  * requested == 0: use $VIXNOC_THREADS if set to a positive integer,
 ///    else std::thread::hardware_concurrency() (at least 1).
+/// A malformed $VIXNOC_THREADS — trailing garbage, overflow, zero or
+/// negative — is rejected with a warning on stderr naming the bad value
+/// (never silently honored or silently ignored) before falling back to
+/// hardware concurrency; values above kMaxThreadCount are capped with a
+/// warning.
 int ResolveThreadCount(int requested = 0);
+
+/// Shared per-point result-cache access, used by SweepRunner and the
+/// process-isolation SweepCoordinator (exec/coordinator.hpp) so both
+/// speak the same point_<i>.ckpt format.
+enum class PointCacheStatus {
+  kMiss,       ///< no cache file: run the point
+  kHit,        ///< *out holds the cached result
+  kDefective,  ///< file exists but is unreadable, corrupt, or was written
+               ///< under a different config fingerprint — re-run the point
+};
+
+/// Loads `path` if it exists and matches `config`'s fingerprint. A
+/// defective entry logs one warning on stderr naming the file and the
+/// defect; the caller decides whether to count it (SweepRunner and
+/// SweepCoordinator both surface the tally as provenance).
+PointCacheStatus TryLoadPointCache(const std::string& path,
+                                   const NetworkSimConfig& config,
+                                   NetworkSimResult* out);
+
+/// Writes `result` to `path` (atomic tmp+rename), stamped with `config`'s
+/// fingerprint. Throws SimError on I/O failure.
+void WritePointCache(const std::string& path, const NetworkSimConfig& config,
+                     const NetworkSimResult& result);
 
 class SweepRunner {
  public:
@@ -58,12 +92,20 @@ class SweepRunner {
   /// is loaded instead of re-run — and because cached results were
   /// produced by the same deterministic RunNetworkSim, a resumed sweep's
   /// results are bitwise identical to an uninterrupted one. An unreadable
-  /// or mismatched cache file silently falls back to running the point.
+  /// or mismatched cache file falls back to running the point, with a
+  /// warning naming the file and a tick of defective_cache_points().
   void SetCheckpointDir(std::string dir);
 
   /// Points of the most recent Run that were satisfied from the checkpoint
   /// directory's cache instead of being simulated.
   std::size_t resumed_points() const { return resumed_; }
+
+  /// Points of the most recent Run whose cache entry existed but was
+  /// defective (unreadable, corrupt, or fingerprint-mismatched) and was
+  /// therefore ignored. A nonzero count means the cache directory is
+  /// stale or damaged — results are still correct (the points re-ran),
+  /// but the resume was not as cheap as it looked.
+  std::size_t defective_cache_points() const { return defective_; }
 
   /// Runs every point and blocks until all complete. results[i] is the
   /// point configs[i] would produce through a direct RunNetworkSim call.
@@ -83,6 +125,7 @@ class SweepRunner {
   std::vector<std::thread> workers_;
   std::string checkpoint_dir_;
   std::size_t resumed_ = 0;
+  std::size_t defective_ = 0;
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a batch / shutdown

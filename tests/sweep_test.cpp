@@ -9,9 +9,14 @@
 #include "sim/sweep.hpp"
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include "topology/topology.hpp"
 
@@ -211,6 +216,90 @@ TEST(ResolveThreadCountTest, EnvOverridesAuto) {
   ASSERT_EQ(setenv("VIXNOC_THREADS", "0", 1), 0);
   EXPECT_GE(ResolveThreadCount(0), 1);
   ASSERT_EQ(unsetenv("VIXNOC_THREADS"), 0);
+}
+
+// Every malformed form of VIXNOC_THREADS is rejected (with a warning on
+// stderr, not silently), falling back to hardware concurrency; huge
+// values are capped rather than spawning an unbounded pool.
+TEST(ResolveThreadCountTest, MalformedEnvFormsAreRejected) {
+  const int fallback = []() {
+    unsetenv("VIXNOC_THREADS");
+    return ResolveThreadCount(0);
+  }();
+
+  // Trailing garbage after a valid prefix: "12abc" must NOT become 12.
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "12abc", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), fallback);
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "3 ", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), fallback);
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "2.5", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), fallback);
+  // Negative and zero are not thread counts.
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "-4", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), fallback);
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "-0", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), fallback);
+  // Empty string behaves as unset.
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), fallback);
+  ASSERT_EQ(unsetenv("VIXNOC_THREADS"), 0);
+}
+
+TEST(ResolveThreadCountTest, OversizedValuesAreCapped) {
+  // Larger than the sanity cap but representable.
+  ASSERT_EQ(setenv("VIXNOC_THREADS", "99999", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), kMaxThreadCount);
+  // Overflows long: strtol saturates with ERANGE; still capped.
+  ASSERT_EQ(setenv("VIXNOC_THREADS",
+                   "99999999999999999999999999999999", 1), 0);
+  EXPECT_EQ(ResolveThreadCount(0), kMaxThreadCount);
+  ASSERT_EQ(unsetenv("VIXNOC_THREADS"), 0);
+  // The cap also applies to explicit requests.
+  EXPECT_EQ(ResolveThreadCount(kMaxThreadCount + 1), kMaxThreadCount);
+}
+
+// A corrupt cache entry must be re-run (with a warning naming the file)
+// and counted in defective_cache_points(), never silently treated as a
+// miss. Valid entries keep resuming.
+TEST(SweepRunnerTest, DefectiveCacheEntriesAreCountedAndRerun) {
+  const std::vector<NetworkSimConfig> points = TestBatch();
+  const std::string dir = testing::TempDir() + "vixnoc_sweep_defective_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+
+  SweepRunner runner(2);
+  runner.SetCheckpointDir(dir);
+  const std::vector<NetworkSimResult> first = runner.Run(points);
+  EXPECT_EQ(runner.defective_cache_points(), 0u);
+
+  // Corrupt one entry (truncate) and garbage another (bad magic).
+  {
+    std::ofstream trunc(dir + "/point_1.ckpt",
+                        std::ios::binary | std::ios::trunc);
+    trunc << "vix";
+  }
+  {
+    std::ofstream garbage(dir + "/point_3.ckpt",
+                          std::ios::binary | std::ios::trunc);
+    garbage << std::string(256, 'Z');
+  }
+
+  const std::vector<NetworkSimResult> second = runner.Run(points);
+  EXPECT_EQ(runner.defective_cache_points(), 2u);
+  EXPECT_EQ(runner.resumed_points(), points.size() - 2);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "point=" << i);
+    ExpectIdentical(first[i], second[i]);
+  }
+
+  // The re-run repaired the cache in place; a third run resumes fully and
+  // the defective counter resets per Run().
+  const std::vector<NetworkSimResult> third = runner.Run(points);
+  EXPECT_EQ(runner.defective_cache_points(), 0u);
+  EXPECT_EQ(runner.resumed_points(), points.size());
+  ASSERT_EQ(third.size(), first.size());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
