@@ -65,6 +65,10 @@ int main(int argc, char** argv) {
       for (double rate : rates) {
         NetworkSimConfig c;
         c.scheme = scheme;
+        // Explicit plugin selection (with zero faults fault_aware's BFS
+        // tables coincide with XY DOR, so the fault=0 column is a true
+        // baseline rather than a different algorithm).
+        c.routing = "fault_aware";
         c.injection_rate = rate;
         c.warmup = 3'000;
         c.measure = 10'000;

@@ -1,0 +1,127 @@
+// Extension: routing plugins — minimal-adaptive vs dimension-order.
+//
+// The routing subsystem exposes policy as table-driven plugins
+// (routing=dor|adaptive_min|fault_aware). This bench quantifies what the
+// adaptive_min arm buys on the paper's 8x8 mesh against the two classic
+// adversaries of deterministic XY:
+//
+//   transpose  (i,j)->(j,i): XY folds every flow onto the diagonal
+//              routers, so DOR saturates early; minimal-adaptive spreads
+//              each packet across its full staircase of minimal paths.
+//   hotspot    15% of traffic to one off-center node: the hot node's
+//              single ejection link caps accepted throughput identically
+//              for every algorithm, so the interesting signal is *where*
+//              packets wait, not how many arrive.
+//
+// Telemetry's stall attribution (VA / credit / SA stalls per buffered
+// cycle) shows where adaptivity pays: under transpose DOR burns cycles
+// credit-stalled on saturated diagonal links, while adaptive_min shifts
+// those cycles into useful motion. Points run on a SweepRunner
+// (threads=N to override; identical results at any thread count).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sweep_util.hpp"
+
+using namespace vixnoc;
+
+namespace {
+
+NetworkSimConfig Point(const char* routing, PatternKind pattern, double rate) {
+  NetworkSimConfig c;
+  c.routing = routing;
+  c.pattern = pattern;
+  c.injection_rate = rate;
+  // adaptive_min reserves VC 0 per class as the DOR escape channel; give
+  // both arms the same 4-VC budget so the comparison is routing-only.
+  c.num_vcs = 4;
+  c.warmup = 3'000;
+  c.measure = 10'000;
+  c.drain = 2'000;
+  c.telemetry.enabled = true;
+  return c;
+}
+
+/// Fraction of buffered-flit cycles attributed to one stall class.
+double StallShare(const NetworkSimResult& r, std::uint64_t counter) {
+  const double total = static_cast<double>(r.telemetry.stall_empty +
+                                           r.telemetry.stall_va +
+                                           r.telemetry.stall_credit +
+                                           r.telemetry.stall_sa +
+                                           r.telemetry.vc_moving);
+  return total > 0 ? static_cast<double>(counter) / total : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner("Extension",
+                "Routing plugins: adaptive_min vs dor, 8x8 mesh, "
+                "transpose + hotspot");
+  bench::SweepHarness sweep(argc, argv, "ext_routing");
+
+  struct Cell {
+    const char* pattern_name;
+    PatternKind pattern;
+    double rate;
+  };
+  const Cell cells[] = {
+      {"transpose", PatternKind::kTranspose, 0.04},  // below DOR's knee
+      {"transpose", PatternKind::kTranspose, 0.08},  // past DOR's knee
+      {"hotspot", PatternKind::kHotspot, 0.14},      // ejection-limited
+  };
+  const char* const algs[] = {"dor", "adaptive_min"};
+
+  std::vector<NetworkSimConfig> points;
+  for (const Cell& cell : cells) {
+    for (const char* alg : algs) {
+      points.push_back(Point(alg, cell.pattern, cell.rate));
+    }
+  }
+  const std::vector<NetworkSimResult> results = sweep.Run(points);
+
+  TablePrinter table({"pattern", "rate", "routing", "accepted", "latency",
+                      "credit-stall", "va-stall", "status"});
+  std::size_t i = 0;
+  double gain_sat = 0.0, dor_credit = 0.0, ada_credit = 0.0;
+  for (const Cell& cell : cells) {
+    const NetworkSimResult& rd = results[i++];
+    const NetworkSimResult& ra = results[i++];
+    for (const NetworkSimResult* r : {&rd, &ra}) {
+      table.AddRow({cell.pattern_name, TablePrinter::Fmt(cell.rate, 2),
+                    r == &rd ? "dor" : "adaptive_min",
+                    TablePrinter::Fmt(r->accepted_ppc, 4),
+                    TablePrinter::Fmt(r->avg_latency, 1),
+                    TablePrinter::Pct(StallShare(*r, r->telemetry.stall_credit)),
+                    TablePrinter::Pct(StallShare(*r, r->telemetry.stall_va)),
+                    ToString(r->outcome.status)});
+    }
+    if (cell.pattern == PatternKind::kTranspose && cell.rate > 0.06) {
+      gain_sat = bench::PctGain(ra.accepted_ppc, rd.accepted_ppc);
+      dor_credit = StallShare(rd, rd.telemetry.stall_credit);
+      ada_credit = StallShare(ra, ra.telemetry.stall_credit);
+    }
+  }
+  table.Print();
+
+  bench::Claim("adaptive_min / dor accepted throughput gain, transpose "
+               "past DOR's saturation point",
+               0.30, gain_sat);
+  bench::Claim("credit-stall share saved by adaptivity at that point "
+               "(dor share minus adaptive share)",
+               0.10, dor_credit - ada_credit);
+  bench::Note("transpose: XY concentrates every flow on the diagonal, so "
+              "DOR's buffered cycles are dominated by mid-flight credit "
+              "stalls on those links. adaptive_min eliminates the credit-"
+              "stall class outright — its atomic VC reallocation only "
+              "grants a VC with an empty downstream buffer, so waiting "
+              "moves to VA time where the candidate choice can still "
+              "route around the congestion — and tracks offered load "
+              "well past DOR's knee. hotspot: both arms pin at the hot "
+              "node's ejection bandwidth (accepted throughput matches by "
+              "construction); the signal is the adaptive arm reaching it "
+              "with the watchdog quiet — the deadlock-freedom claim the "
+              "escape VCs buy.");
+  return sweep.Finish();
+}

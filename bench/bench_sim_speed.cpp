@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "exec/coordinator.hpp"
 #include "network/network.hpp"
+#include "routing/registry.hpp"
 #include "sim/sweep.hpp"
 #include "topology/topology.hpp"
 
@@ -34,14 +35,19 @@ namespace vixnoc {
 namespace {
 
 void RunNetwork(benchmark::State& state, TopologyKind kind,
-                AllocScheme scheme) {
+                AllocScheme scheme, const char* routing = nullptr) {
   std::shared_ptr<Topology> topo = MakeTopology64(kind);
+  std::unique_ptr<RoutingAlgorithm> routing_algo;
   NetworkParams params;
   params.router.radix = topo->Radix();
   params.router.num_vcs = 6;
   params.router.buffer_depth = 5;
   params.router.scheme = scheme;
   params.router.vc_policy = RouterConfig::DefaultPolicyFor(scheme);
+  if (routing != nullptr) {
+    routing_algo = MakeRoutingAlgorithm(routing, *topo);
+    params.routing = routing_algo.get();
+  }
   Network net(topo, params);
   const int num_routers = net.NumRouters();
 
@@ -90,6 +96,11 @@ void BM_CMesh_VIX(benchmark::State& s) {
 void BM_FBfly_VIX(benchmark::State& s) {
   RunNetwork(s, TopologyKind::kFBfly, AllocScheme::kVix);
 }
+// Adaptive routing costs an extra candidate-scoring pass in VA; this arm
+// pins that overhead on the trajectory next to the default-DOR mesh arm.
+void BM_Mesh_VIX_AdaptiveMin(benchmark::State& s) {
+  RunNetwork(s, TopologyKind::kMesh, AllocScheme::kVix, "adaptive_min");
+}
 
 BENCHMARK(BM_Mesh_IF);
 BENCHMARK(BM_Mesh_VIX);
@@ -97,6 +108,7 @@ BENCHMARK(BM_Mesh_WF);
 BENCHMARK(BM_Mesh_AP);
 BENCHMARK(BM_CMesh_VIX);
 BENCHMARK(BM_FBfly_VIX);
+BENCHMARK(BM_Mesh_VIX_AdaptiveMin);
 
 /// Tees the console output while keeping every finished run for the JSON
 /// report.

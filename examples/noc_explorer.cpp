@@ -7,7 +7,8 @@
 //   $ ./build/examples/noc_explorer sweep=1 scheme=vix csv=sweep.csv
 //
 // Keys (all optional): topology=mesh|cmesh|fbfly scheme=if|wf|ap|vix|
-// ideal|pc|islip|sparoflo pattern=uniform|transpose|bitcomp|bitrev|tornado
+// ideal|pc|islip|sparoflo pattern=uniform|transpose|bitcomp|bitrev|tornado|
+// hotspot routing=dor|adaptive_min|fault_aware
 // rate=<packets/cycle/node> vcs= depth= packet= seed= warmup= measure=
 // drain= pipeline=3|5 sweep=0|1 csv=<path> threads=<N>
 // checkpoint=<path> checkpoint_every=<N> restore=<path>
@@ -40,6 +41,7 @@
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "exec/coordinator.hpp"
+#include "routing/registry.hpp"
 #include "sim/sweep.hpp"
 
 using namespace vixnoc;
@@ -90,6 +92,13 @@ int main(int argc, char** argv) {
       !ParsePatternKind(args.GetString("pattern", "uniform"),
                         &config.pattern)) {
     std::fprintf(stderr, "unrecognized topology/scheme/pattern name\n");
+    return 2;
+  }
+  config.routing = args.GetString("routing", "dor");
+  if (!IsRegisteredRouting(config.routing)) {
+    std::fprintf(stderr, "routing=%s is not a registered plugin (%s)\n",
+                 config.routing.c_str(),
+                 RegisteredRoutingNamesJoined().c_str());
     return 2;
   }
   config.num_vcs = static_cast<int>(args.GetInt("vcs", 6));

@@ -2,7 +2,12 @@
 # Run every topology x scheme arm through noc_explorer with a short, fixed
 # workload and concatenate the per-arm CSV rows into one file.
 #
-#   scripts/golden_arms.sh <noc_explorer-binary> <out-csv>
+#   scripts/golden_arms.sh <noc_explorer-binary> <out-csv> [extra-flag ...]
+#
+# Any extra arguments are passed through to every noc_explorer invocation
+# (e.g. `routing=dor` to pin the routing plugin explicitly — tier1's
+# routing gate uses this to prove the plugin path is bitwise identical to
+# the registry default).
 #
 # The output is bitwise deterministic for a given simulator build, so a file
 # produced by one build can be cmp'd against another build to prove the two
@@ -11,12 +16,14 @@
 # requires an exact match).
 set -euo pipefail
 
-if [ $# -ne 2 ]; then
-  echo "usage: $0 <noc_explorer-binary> <out-csv>" >&2
+if [ $# -lt 2 ]; then
+  echo "usage: $0 <noc_explorer-binary> <out-csv> [extra-flag ...]" >&2
   exit 2
 fi
 bin=$1
 out=$2
+shift 2
+extra=("$@")
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -27,7 +34,7 @@ for topo in mesh cmesh fbfly torus; do
   for scheme in if wf ap vix ideal pc islip sparoflo; do
     "$bin" topology="$topo" scheme="$scheme" rate=0.06 vcs=6 depth=5 \
       packet=4 seed=7 warmup=500 measure=2000 drain=1500 \
-      csv="$tmp/arm.csv" > /dev/null
+      csv="$tmp/arm.csv" ${extra[@]+"${extra[@]}"} > /dev/null
     if [ "$first" -eq 1 ]; then
       cat "$tmp/arm.csv" >> "$out"
       first=0

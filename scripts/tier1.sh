@@ -17,7 +17,9 @@
 #     point-cache resume, all byte-compared);
 #  6. golden-arms identity gate: every topology x scheme arm re-run through
 #     noc_explorer and cmp'd against tests/golden/prerewrite_arms.csv — the
-#     bitmask/SoA hot path must stay bitwise identical to the scalar one;
+#     bitmask/SoA hot path must stay bitwise identical to the scalar one —
+#     then re-run with an explicit routing=dor flag and cmp'd again: the
+#     table-driven routing plugin must not perturb a single byte;
 #  7. process-isolation gate: exec_test (injected worker crashes, hangs,
 #     bad frames, retry/backoff, fallback), then a real sweep run twice —
 #     isolate=process vs in-process — with a field-by-field JSON compare
@@ -42,19 +44,25 @@ cmake --build "${PREFIX}" -j
 echo "== tier1: ThreadSanitizer sweep_test (${PREFIX}-tsan) =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=thread
-cmake --build "${PREFIX}-tsan" -j --target sweep_test alloc_equiv_test
+cmake --build "${PREFIX}-tsan" -j --target sweep_test alloc_equiv_test \
+  routing_test
 "${PREFIX}-tsan/tests/sweep_test"
 "${PREFIX}-tsan/tests/alloc_equiv_test"
+# routing_test drives the adaptive arm through SweepRunner at 1/2/8
+# threads and the subprocess coordinator — the candidate-selection VA
+# path must be as race-free as the deterministic one.
+"${PREFIX}-tsan/tests/routing_test"
 
 echo "== tier1: ASan+UBSan fault/robustness tests (${PREFIX}-asan) =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
-  sweep_test alloc_equiv_test exec_test
+  sweep_test alloc_equiv_test exec_test routing_test
 "${PREFIX}-asan/tests/fault_test"
 "${PREFIX}-asan/tests/robustness_test"
 "${PREFIX}-asan/tests/sweep_test"
 "${PREFIX}-asan/tests/alloc_equiv_test"
+"${PREFIX}-asan/tests/routing_test"
 # exec_test under ASan covers the fork/exec/pipe plumbing and the
 # coordinator's threads; the worker binary it spawns is the ASan build.
 "${PREFIX}-asan/tests/exec_test"
@@ -141,6 +149,13 @@ scripts/golden_arms.sh "${PREFIX}/examples/noc_explorer" \
   "${PREFIX}/golden_arms.csv"
 cmp tests/golden/prerewrite_arms.csv "${PREFIX}/golden_arms.csv"
 echo "golden arms bitwise-identical to tests/golden/prerewrite_arms.csv"
+# Routing gate: the same 32 arms with the routing plugin named explicitly.
+# routing=dor must reproduce the registry-default goldens byte for byte —
+# the table-driven plugin path is a refactor, not a behaviour change.
+scripts/golden_arms.sh "${PREFIX}/examples/noc_explorer" \
+  "${PREFIX}/golden_arms_routing.csv" routing=dor
+cmp tests/golden/prerewrite_arms.csv "${PREFIX}/golden_arms_routing.csv"
+echo "routing=dor arms bitwise-identical to tests/golden/prerewrite_arms.csv"
 
 echo "== tier1: process-isolation gate (${PREFIX}) =="
 # exec_test drives SweepCoordinator against the real worker binary with

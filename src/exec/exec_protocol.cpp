@@ -34,6 +34,10 @@ void SaveNetworkSimConfig(SnapshotWriter& w, const NetworkSimConfig& c) {
                  "a config with a topology_factory cannot cross a process "
                  "boundary (std::function has no serialized form); run such "
                  "points in-process");
+  VIXNOC_REQUIRE(!c.routing_factory,
+                 "a config with a routing_factory cannot cross a process "
+                 "boundary (std::function has no serialized form); run such "
+                 "points in-process");
   w.U8(static_cast<std::uint8_t>(c.topology));
   w.U8(static_cast<std::uint8_t>(c.scheme));
   w.I32(c.num_vcs);
@@ -83,6 +87,7 @@ void SaveNetworkSimConfig(SnapshotWriter& w, const NetworkSimConfig& c) {
   w.U64(c.warmup);
   w.U64(c.measure);
   w.U64(c.drain);
+  w.Str(c.routing);
 }
 
 NetworkSimConfig LoadNetworkSimConfig(SnapshotReader& r) {
@@ -93,7 +98,7 @@ NetworkSimConfig LoadNetworkSimConfig(SnapshotReader& r) {
   c.buffer_depth = r.I32();
   c.packet_size = r.I32();
   c.injection_rate = r.F64();
-  c.pattern = CheckedEnum(r.U8(), PatternKind::kTornado, "pattern");
+  c.pattern = CheckedEnum(r.U8(), PatternKind::kHotspot, "pattern");
   c.arbiter = CheckedEnum(r.U8(), ArbiterKind::kMatrix, "arbiter");
   const bool has_policy = r.B();
   const VcAssignPolicy policy =
@@ -141,6 +146,7 @@ NetworkSimConfig LoadNetworkSimConfig(SnapshotReader& r) {
   c.warmup = r.U64();
   c.measure = r.U64();
   c.drain = r.U64();
+  c.routing = r.Str();
   return c;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "router/vc_assign.hpp"
+#include "routing/registry.hpp"
 #include "snapshot/snapshot.hpp"
 #include "snapshot/state_io.hpp"
 #include "telemetry/telemetry.hpp"
@@ -23,8 +24,12 @@ Network::Network(std::shared_ptr<Topology> topology,
   VIXNOC_REQUIRE(params_.router.radix == topology_->Radix(),
                  "router radix %d does not match topology radix %d",
                  params_.router.radix, topology_->Radix());
-  routing_ = params_.routing_override != nullptr ? params_.routing_override
-                                                 : &topology_->Routing();
+  if (params_.routing != nullptr) {
+    routing_ = params_.routing;
+  } else {
+    owned_routing_ = MakeRoutingAlgorithm("dor", *topology_);
+    routing_ = owned_routing_.get();
+  }
 
   const int num_routers = topology_->NumRouters();
   routers_.reserve(num_routers);
@@ -225,7 +230,7 @@ void Network::HandleEjectedFlit(Ni& ni, const Flit& flit) {
 
 void Network::StepNi(Ni& ni) {
   const RouterConfig& rc = params_.router;
-  const RoutingFunction& routing = *routing_;
+  const RoutingAlgorithm& routing = *routing_;
 
   // Start at most one new packet per cycle: pick an injection VC with the
   // same policy routers use for output-VC assignment, steering VIX packets
@@ -481,6 +486,7 @@ std::uint64_t Network::StructureFingerprint() const {
       static_cast<std::uint64_t>(rc.atomic_vc_alloc),
       static_cast<std::uint64_t>(rc.num_message_classes),
       rc.vc_rng_seed,
+      routing_->Fingerprint(),
   };
   return Fnv1a64(fields, sizeof(fields));
 }

@@ -38,10 +38,10 @@ struct NetworkParams {
   /// Fault schedule driving link-down / router-stall / corruption masks.
   /// Null (the default) takes none of the fault paths.
   std::shared_ptr<const FaultModel> faults;
-  /// Replaces the topology's routing function for every router and NI —
-  /// how fault-aware detour routing (fault/fault_routing.hpp) is installed.
-  /// Must outlive the network. Null uses topology.Routing().
-  const RoutingFunction* routing_override = nullptr;
+  /// Routing algorithm used by every router and NI (a src/routing/ plugin,
+  /// typically from MakeRoutingAlgorithm). Must outlive the network. Null
+  /// (the default) builds and owns the "dor" plugin for the topology.
+  const RoutingAlgorithm* routing = nullptr;
   /// Observability sink (telemetry/telemetry.hpp); must outlive the
   /// network. Null (the default) keeps every hot path at one pointer test
   /// and the simulation bitwise identical to an uninstrumented run.
@@ -238,7 +238,8 @@ class Network {
 
   std::shared_ptr<Topology> topology_;
   NetworkParams params_;
-  const RoutingFunction* routing_;  ///< override or topology routing
+  std::unique_ptr<RoutingAlgorithm> owned_routing_;  ///< default "dor" plugin
+  const RoutingAlgorithm* routing_;  ///< params.routing or owned_routing_
   std::vector<bool> router_stalled_;  ///< non-empty only with stall faults
   bool corruption_active_ = false;
   std::vector<std::unique_ptr<Router>> routers_;

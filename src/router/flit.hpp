@@ -49,7 +49,7 @@ struct Flit {
   std::uint8_t msg_class = 0;
 
   /// Routing-function-defined state, updated hop by hop (see
-  /// RoutingFunction::NextDatelineState). Torus routing uses it to switch
+  /// RoutingAlgorithm::NextDatelineState). Torus routing uses it to switch
   /// VC classes after crossing a dateline, breaking ring deadlock cycles.
   std::uint8_t dateline = 0;
 

@@ -12,7 +12,7 @@ namespace vixnoc {
 
 Router::Router(RouterId id, const RouterConfig& config,
                std::vector<OutputLinkInfo> links,
-               const RoutingFunction* routing)
+               const RoutingAlgorithm* routing)
     : id_(id), config_(config), routing_(routing), links_(std::move(links)) {
   VIXNOC_REQUIRE(static_cast<int>(links_.size()) == config_.radix,
                  "router %d: %zu output links for radix %d", id_,
@@ -196,6 +196,124 @@ void Router::ConsiderVaCandidate(int idx, bool separable) {
   ++activity_.va_grants;
 }
 
+void Router::ConsiderVaCandidateAdaptive(int idx, bool separable) {
+  const VcId c = static_cast<VcId>(idx % config_.num_vcs);
+  const Flit& head = HeadFlit(idx);
+  VIXNOC_CHECK(head.IsHead());
+  ++activity_.va_requests;
+
+  const int cls = head.msg_class;
+  VIXNOC_CHECK(cls < config_.num_message_classes);
+  const int vpc = config_.VcsPerClass();
+  const VcId cls_base = cls * vpc;
+  RouteCandidate cands[kMaxRouteCandidates];
+  const int n = routing_->Candidates(id_, head.dst, head.dateline, vpc, cands);
+  VIXNOC_DCHECK(n >= 1 && n <= kMaxRouteCandidates);
+
+  // Ejection (single local candidate): NIs accept any VC and reassemble;
+  // no allocation state is needed and interleaving packets on the ejection
+  // port is harmless.
+  if (links_[cands[0].out_port].IsEjection()) {
+    in_next_dateline_[idx] = head.dateline;
+    in_active_[idx] = 1;
+    in_out_port_[idx] = cands[0].out_port;
+    in_out_vc_[idx] = c % config_.num_vcs;
+    in_lookahead_[idx] = kInvalidPort;
+    just_activated_[idx] = true;
+    va_cand_.Clear(idx);
+    sa_cand_.Set(idx);
+    ++activity_.va_grants;
+    return;
+  }
+
+  // Select which candidate to request this cycle: the adaptive candidate
+  // whose best usable VC has the most downstream credits (ties keep
+  // candidate order, i.e. the DOR direction); the escape candidate — by
+  // contract last — whenever no adaptive VC is usable, so a blocked packet
+  // always requests the deadlock-free sub-network (Duato's protocol).
+  const RouteCandidate* best_adaptive = nullptr;
+  const RouteCandidate* escape = nullptr;
+  int best_credits = -1;
+  for (int i = 0; i < n; ++i) {
+    const RouteCandidate& cand = cands[i];
+    // Routing algorithms must never emit a candidate on an unconnected port.
+    VIXNOC_CHECK(links_[cand.out_port].IsConnected());
+    // Down link: this candidate is not usable while the fault is active.
+    if (num_blocked_ > 0 && output_blocked_[cand.out_port]) continue;
+    if (cand.escape) {
+      if (escape == nullptr) escape = &cand;
+      continue;
+    }
+    const int ovc_base = OvcIndex(cand.out_port, cls_base + cand.vc_range.lo);
+    const int span = cand.vc_range.hi - cand.vc_range.lo;
+    int usable_credits = -1;
+    for (int v = 0; v < span; ++v) {
+      // Adaptive routing always reallocates VCs atomically (only when the
+      // downstream buffer is empty), regardless of atomic_vc_alloc: a
+      // buffer mixing two packets' flits creates indirect dependencies
+      // from the escape channels into the (cyclic) adaptive ones, voiding
+      // Duato's deadlock-freedom argument.
+      const bool busy = out_allocated_[ovc_base + v] != 0 ||
+                        credits_[ovc_base + v] < config_.buffer_depth;
+      if (!busy && credits_[ovc_base + v] > usable_credits) {
+        usable_credits = credits_[ovc_base + v];
+      }
+    }
+    if (usable_credits > best_credits) {
+      best_credits = usable_credits;
+      best_adaptive = &cand;
+    }
+  }
+  const RouteCandidate* chosen =
+      best_adaptive != nullptr && best_credits >= 0 ? best_adaptive : escape;
+  if (chosen == nullptr) return;  // every candidate's link is down: wait
+
+  const PortId out_port = chosen->out_port;
+  const OutputLinkInfo& link = links_[out_port];
+  // Advisory lookahead stamp: the downstream router re-runs candidate
+  // selection, but the stamp drives VIX's dimension-aware VC steering.
+  const PortId lookahead = routing_->Route(link.neighbor, head.dst);
+  const PortDimension downstream_dim = routing_->DimensionOf(lookahead);
+  const std::uint8_t next_state = chosen->next_dateline;
+  const VcRange range = chosen->vc_range;
+  VIXNOC_DCHECK(range.lo >= 0 && range.lo < range.hi && range.hi <= vpc);
+  const int span = range.hi - range.lo;
+  const int ovc_base = OvcIndex(out_port, cls_base + range.lo);
+  vc_view_scratch_.resize(span);
+  for (VcId i = 0; i < span; ++i) {
+    // Same atomic-reallocation rule as candidate scoring above.
+    vc_view_scratch_[i].allocated = out_allocated_[ovc_base + i] != 0 ||
+                                    credits_[ovc_base + i] < config_.buffer_depth;
+    vc_view_scratch_[i].credits = credits_[ovc_base + i];
+  }
+  VinLayout layout;
+  layout.num_vins = config_.NumVins();
+  layout.total_vcs = config_.num_vcs;
+  layout.interleaved = config_.interleaved_vins;
+  layout.first_vc = cls_base + range.lo;
+  const int pick = PickOutputVc(config_.vc_policy, vc_view_scratch_, layout,
+                                downstream_dim, &vc_rng_);
+  if (pick < 0) return;  // all usable VCs busy: stall
+  const VcId out_vc = cls_base + range.lo + pick;
+
+  if (separable) {
+    va_prefs_.push_back(
+        VaPreference{idx, out_port, out_vc, lookahead, next_state});
+    return;
+  }
+
+  out_allocated_[OvcIndex(out_port, out_vc)] = 1;
+  in_next_dateline_[idx] = next_state;
+  in_active_[idx] = 1;
+  in_out_port_[idx] = out_port;
+  in_out_vc_[idx] = out_vc;
+  in_lookahead_[idx] = lookahead;
+  just_activated_[idx] = true;
+  va_cand_.Clear(idx);
+  sa_cand_.Set(idx);
+  ++activity_.va_grants;
+}
+
 void Router::RunVcAllocation() {
   // Head packets request an output VC; candidates are visited in an order
   // that rotates across cycles so no input VC systematically wins ties.
@@ -220,7 +338,14 @@ void Router::RunVcAllocation() {
   va_prefs_.clear();
 
   const int total = config_.radix * config_.num_vcs;
-  const auto consider = [&](int idx) { ConsiderVaCandidate(idx, separable); };
+  const bool adaptive = routing_->IsAdaptive();
+  const auto consider = [&](int idx) {
+    if (adaptive) {
+      ConsiderVaCandidateAdaptive(idx, separable);
+    } else {
+      ConsiderVaCandidate(idx, separable);
+    }
+  };
   bits::ForEachSetInRange(va_cand_.data(), va_rr_ptr_, total, consider);
   bits::ForEachSetInRange(va_cand_.data(), 0, va_rr_ptr_, consider);
 

@@ -5,7 +5,7 @@
 //
 // The router is topology-agnostic: a per-output-port link table names the
 // downstream router (or the network interface for ejection ports), and a
-// RoutingFunction supplies lookahead route computation.
+// RoutingAlgorithm supplies lookahead route computation.
 //
 // Data layout: per-VC state lives in parallel arrays indexed by
 // idx = in_port * num_vcs + vc (structure-of-arrays), with flit buffers in
@@ -27,7 +27,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "router/flit.hpp"
-#include "router/routing.hpp"
+#include "routing/routing_algorithm.hpp"
 #include "router/vc_assign.hpp"
 
 namespace vixnoc {
@@ -148,7 +148,7 @@ class Router {
   /// `links[o]` describes output port o. `routing` may be shared across all
   /// routers; it must outlive the router.
   Router(RouterId id, const RouterConfig& config,
-         std::vector<OutputLinkInfo> links, const RoutingFunction* routing);
+         std::vector<OutputLinkInfo> links, const RoutingAlgorithm* routing);
 
   RouterId id() const { return id_; }
   const RouterConfig& config() const { return config_; }
@@ -265,6 +265,11 @@ class Router {
   /// One VA candidate (see RunVcAllocation); returns via the same logic a
   /// full scan would.
   void ConsiderVaCandidate(int idx, bool separable);
+  /// VA candidate under an adaptive routing algorithm: enumerates the
+  /// candidate set at THIS router (the lookahead stamp is advisory) and
+  /// selects an output by local credit/occupancy state, falling back to
+  /// the escape candidate so deadlock freedom is preserved.
+  void ConsiderVaCandidateAdaptive(int idx, bool separable);
   void BuildSaRequests();
   void CommitGrants(Cycle now, std::vector<SentFlit>* sent_flits,
                     std::vector<SentCredit>* sent_credits);
@@ -275,7 +280,7 @@ class Router {
 
   RouterId id_;
   RouterConfig config_;
-  const RoutingFunction* routing_;
+  const RoutingAlgorithm* routing_;
 
   // Input-VC state (SoA), indexed idx = in_port * num_vcs + vc. Flit
   // buffers are fixed-capacity rings of buffer_depth slots carved out of

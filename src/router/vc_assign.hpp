@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "router/routing.hpp"
+#include "routing/routing_algorithm.hpp"
 
 namespace vixnoc {
 

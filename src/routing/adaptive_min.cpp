@@ -1,0 +1,84 @@
+#include "routing/adaptive_min.hpp"
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+AdaptiveMinRouting::AdaptiveMinRouting(const Topology& topo) : dor_(topo) {
+  const int num_routers = topo.NumRouters();
+  const int num_nodes = topo.NumNodes();
+  const bool y_first =
+      (topo.Kind() == TopologyKind::kMesh ||
+       topo.Kind() == TopologyKind::kCMesh) &&
+      topo.MeshOrder() == MeshRouteOrder::kYX;
+  alt_.Reset(num_routers, num_nodes);
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (NodeId dst = 0; dst < num_nodes; ++dst) {
+      // The other minimal output is DOR with the dimension priority
+      // flipped; when both priorities agree (one dimension already
+      // aligned, or co-located) there is no alternative.
+      const PortId primary = dor_.Route(r, dst);
+      const PortId flipped = DorPortFor(topo, r, dst, !y_first);
+      alt_.Set(r, dst, flipped != primary ? flipped : kInvalidPort);
+    }
+  }
+}
+
+VcRange AdaptiveMinRouting::EscapeRange(PortId out_port,
+                                        std::uint8_t next_state) const {
+  if (!dor_.torus_datelines()) return VcRange{0, 1};
+  // Torus escape: the dateline VC pair. Pre-crossing packets ride escape
+  // VC 0, post-crossing VC 1 — the two-VC specialization of the
+  // half-partition split plain torus DOR uses.
+  const std::uint8_t bit = DimensionOf(out_port) == PortDimension::kX
+                               ? kDatelineXCrossed
+                               : kDatelineYCrossed;
+  return (next_state & bit) ? VcRange{1, 2} : VcRange{0, 1};
+}
+
+VcRange AdaptiveMinRouting::AllowedVcRange(PortId out_port,
+                                           std::uint8_t state,
+                                           int vcs_per_class) const {
+  if (DimensionOf(out_port) == PortDimension::kLocal) {
+    return VcRange{0, vcs_per_class};
+  }
+  VIXNOC_CHECK(vcs_per_class >= MinVcsPerClass());
+  return EscapeRange(out_port, state);
+}
+
+int AdaptiveMinRouting::Candidates(RouterId router, NodeId dst,
+                                   std::uint8_t state, int vcs_per_class,
+                                   RouteCandidate* out) const {
+  const PortId primary = dor_.Route(router, dst);
+  if (DimensionOf(primary) == PortDimension::kLocal) {
+    out[0] = RouteCandidate{primary, VcRange{0, vcs_per_class}, state, true};
+    return 1;
+  }
+  VIXNOC_CHECK(vcs_per_class >= MinVcsPerClass());
+  const int adaptive_lo = dor_.torus_datelines() ? 2 : 1;
+  const VcRange adaptive{adaptive_lo, vcs_per_class};
+
+  int n = 0;
+  const std::uint8_t primary_next =
+      dor_.NextDatelineState(router, primary, state);
+  out[n++] = RouteCandidate{primary, adaptive, primary_next, false};
+  const PortId alt = alt_.At(router, dst);
+  if (alt != kInvalidPort) {
+    out[n++] = RouteCandidate{
+        alt, adaptive, dor_.NextDatelineState(router, alt, state), false};
+  }
+  // The escape candidate comes last so credit-based selection prefers the
+  // adaptive VCs, but it is ALWAYS present: whenever no adaptive VC is
+  // free the packet requests the escape VC (Duato's criterion).
+  out[n++] = RouteCandidate{primary, EscapeRange(primary, primary_next),
+                            primary_next, true};
+  return n;
+}
+
+std::uint64_t AdaptiveMinRouting::Fingerprint() const {
+  std::uint64_t h = Fnv1a64(Name(), std::strlen(Name()));
+  h = dor_.Fingerprint() ^ (h * 0x100000001b3ull);
+  return alt_.Fingerprint(h);
+}
+
+}  // namespace vixnoc

@@ -1,0 +1,70 @@
+// Minimal-adaptive routing with escape VCs (Duato's protocol).
+//
+// At each hop a packet may take either minimal direction (the DOR output or
+// the other dimension's minimal output) on the *adaptive* VCs of its
+// message-class partition, selected by the router from local credit state.
+// Deadlock freedom comes from the escape sub-network, which is always in
+// the candidate set: VC 0 per class (mesh/cmesh/fbfly) or the dateline VC
+// pair {0, 1} (torus) running plain DOR. A packet that finds no adaptive
+// VC free requests the escape VC, and the escape network's
+// channel-dependency graph is acyclic (XY order / one-X-then-one-Y /
+// datelines), so some packet can always advance.
+//
+// VC budget per message class: >= 2 (1 escape + >= 1 adaptive), or >= 3 on
+// the torus (2 dateline escape VCs + >= 1 adaptive). On the torus the
+// adaptive choice is restricted to dimension *order* — each dimension still
+// travels DOR's minimal ring direction — so every adaptive hop stays
+// minimal and the dateline state remains meaningful on fallback.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/dor.hpp"
+#include "routing/route_table.hpp"
+#include "routing/routing_algorithm.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+
+class AdaptiveMinRouting final : public RoutingAlgorithm {
+ public:
+  explicit AdaptiveMinRouting(const Topology& topo);
+
+  const char* Name() const override { return "adaptive_min"; }
+  bool IsAdaptive() const override { return true; }
+
+  /// Escape (DOR) route: advisory lookahead + NI injection stamping.
+  PortId Route(RouterId router, NodeId dst) const override {
+    return dor_.Route(router, dst);
+  }
+  PortDimension DimensionOf(PortId port) const override {
+    return dor_.DimensionOf(port);
+  }
+  std::uint8_t NextDatelineState(RouterId router, PortId out_port,
+                                 std::uint8_t state) const override {
+    return dor_.NextDatelineState(router, out_port, state);
+  }
+  /// Conservative single-route restriction: the escape range (callers that
+  /// do not enumerate Candidates() must stay inside the acyclic network).
+  VcRange AllowedVcRange(PortId out_port, std::uint8_t state,
+                         int vcs_per_class) const override;
+
+  int Candidates(RouterId router, NodeId dst, std::uint8_t state,
+                 int vcs_per_class, RouteCandidate* out) const override;
+
+  std::uint64_t Fingerprint() const override;
+
+  /// Smallest legal per-message-class VC count (3 on torus, else 2).
+  int MinVcsPerClass() const { return dor_.torus_datelines() ? 3 : 2; }
+
+ private:
+  VcRange EscapeRange(PortId out_port, std::uint8_t next_state) const;
+
+  DorRouting dor_;
+  /// Per (router, dst): the non-DOR minimal output, kInvalidPort when the
+  /// destination is aligned with the current router in one dimension (or
+  /// co-located) and DOR's output is the only minimal one.
+  RouteTable alt_;
+};
+
+}  // namespace vixnoc

@@ -1,0 +1,162 @@
+#include "routing/dor.hpp"
+
+#include "common/check.hpp"
+
+namespace vixnoc {
+
+namespace {
+
+// Mesh/torus port numbering (fbfly computes its ports from the grid shape).
+constexpr PortId kEast = 0;
+constexpr PortId kWest = 1;
+constexpr PortId kNorth = 2;
+constexpr PortId kSouth = 3;
+constexpr PortId kMeshFirstLocal = 4;
+
+}  // namespace
+
+PortId DorPortFor(const Topology& topo, RouterId router, NodeId dst,
+                  bool y_first) {
+  const RouterId dr = topo.RouterOfNode(dst);
+  if (dr == router) return topo.EjectPortOfNode(dst);
+  const int cols = topo.Cols();
+  const int x = router % cols, y = router / cols;
+  const int dx = dr % cols, dy = dr / cols;
+  switch (topo.Kind()) {
+    case TopologyKind::kMesh:
+    case TopologyKind::kCMesh: {
+      if (y_first) {
+        if (dy > y) return kNorth;
+        if (dy < y) return kSouth;
+      }
+      if (dx > x) return kEast;
+      if (dx < x) return kWest;
+      if (dy > y) return kNorth;
+      return kSouth;  // dy < y: some dimension differs since dr != router
+    }
+    case TopologyKind::kTorus: {
+      const int rows = topo.Rows();
+      // Shortest way around each ring. Exactly-half-way ties are split by
+      // destination parity — a deterministic choice that is consistent
+      // along the path (after one hop the distance is strictly minimal)
+      // yet balances tie traffic across both ring directions.
+      const auto x_ring = [&]() -> PortId {
+        const int east_dist = (dx - x + cols) % cols;
+        const int west_dist = cols - east_dist;
+        if (east_dist != west_dist) {
+          return east_dist < west_dist ? kEast : kWest;
+        }
+        return (dst & 1) ? kEast : kWest;
+      };
+      const auto y_ring = [&]() -> PortId {
+        const int north_dist = (dy - y + rows) % rows;
+        const int south_dist = rows - north_dist;
+        if (north_dist != south_dist) {
+          return north_dist < south_dist ? kNorth : kSouth;
+        }
+        return (dst & 1) ? kNorth : kSouth;
+      };
+      if (y_first) {
+        if (dy != y) return y_ring();
+        return x_ring();
+      }
+      if (dx != x) return x_ring();
+      return y_ring();
+    }
+    case TopologyKind::kFBfly: {
+      // X ports are ordered by destination column skipping self; Y ports
+      // follow from cols-1, ordered by destination row skipping self.
+      const PortId first_y = cols - 1;
+      const auto x_hop = [&]() -> PortId { return dx < x ? dx : dx - 1; };
+      const auto y_hop = [&]() -> PortId {
+        return first_y + (dy < y ? dy : dy - 1);
+      };
+      if (y_first) {
+        if (dy != y) return y_hop();
+        return x_hop();
+      }
+      if (dx != x) return x_hop();
+      return y_hop();
+    }
+  }
+  VIXNOC_CHECK(false);
+  return kInvalidPort;
+}
+
+DorRouting::DorRouting(const Topology& topo) : radix_(topo.Radix()) {
+  const TopologyKind kind = topo.Kind();
+  const int num_routers = topo.NumRouters();
+  const int num_nodes = topo.NumNodes();
+  const int cols = topo.Cols();
+  const int rows = topo.Rows();
+  torus_split_ = kind == TopologyKind::kTorus;
+
+  dims_.resize(radix_);
+  if (kind == TopologyKind::kFBfly) {
+    for (PortId p = 0; p < radix_; ++p) {
+      dims_[p] = p < cols - 1                ? PortDimension::kX
+                 : p < (cols - 1) + (rows - 1) ? PortDimension::kY
+                                              : PortDimension::kLocal;
+    }
+  } else {
+    for (PortId p = 0; p < radix_; ++p) {
+      dims_[p] = p <= kWest    ? PortDimension::kX
+                 : p <= kSouth ? PortDimension::kY
+                               : PortDimension::kLocal;
+    }
+  }
+
+  const bool y_first =
+      (kind == TopologyKind::kMesh || kind == TopologyKind::kCMesh) &&
+      topo.MeshOrder() == MeshRouteOrder::kYX;
+  table_.Reset(num_routers, num_nodes);
+  for (RouterId r = 0; r < num_routers; ++r) {
+    for (NodeId dst = 0; dst < num_nodes; ++dst) {
+      table_.Set(r, dst, DorPortFor(topo, r, dst, y_first));
+    }
+  }
+
+  if (torus_split_) {
+    dateline_bit_.assign(static_cast<std::size_t>(num_routers) * radix_, 0);
+    for (RouterId r = 0; r < num_routers; ++r) {
+      const int col = r % cols, row = r / cols;
+      std::uint8_t* bits = &dateline_bit_[static_cast<std::size_t>(r) * radix_];
+      // Each ring's dateline is its wrap link: col N-1 -> 0 going East,
+      // col 0 -> N-1 going West, and likewise for the rows. Ejection ports
+      // never set a bit.
+      if (col == cols - 1) bits[kEast] = kDatelineXCrossed;
+      if (col == 0) bits[kWest] = kDatelineXCrossed;
+      if (row == rows - 1) bits[kNorth] = kDatelineYCrossed;
+      if (row == 0) bits[kSouth] = kDatelineYCrossed;
+    }
+  }
+}
+
+VcRange DorRouting::AllowedVcRange(PortId out_port, std::uint8_t state,
+                                   int vcs_per_class) const {
+  if (!torus_split_ || dims_[out_port] == PortDimension::kLocal) {
+    return VcRange{0, vcs_per_class};
+  }
+  VIXNOC_CHECK(vcs_per_class >= 2);
+  const std::uint8_t bit = dims_[out_port] == PortDimension::kX
+                               ? kDatelineXCrossed
+                               : kDatelineYCrossed;
+  const int half = vcs_per_class / 2;
+  return (state & bit) ? VcRange{half, vcs_per_class} : VcRange{0, half};
+}
+
+std::uint64_t DorRouting::Fingerprint() const {
+  std::uint64_t h = Fnv1a64(Name(), std::strlen(Name()));
+  h = table_.Fingerprint(h);
+  if (!dims_.empty()) {
+    static_assert(sizeof(PortDimension) == sizeof(int) ||
+                  sizeof(PortDimension) == 1);
+    h = Fnv1a64(dims_.data(), dims_.size() * sizeof(PortDimension), h);
+  }
+  if (!dateline_bit_.empty()) {
+    h = Fnv1a64(dateline_bit_.data(), dateline_bit_.size(), h);
+  }
+  return h;
+}
+
+}  // namespace vixnoc

@@ -1,4 +1,4 @@
-#include "fault/fault_routing.hpp"
+#include "routing/fault_aware.hpp"
 
 #include <limits>
 #include <queue>
@@ -11,7 +11,7 @@ FaultAwareRouting::FaultAwareRouting(
     const Topology& topology,
     const std::vector<std::pair<RouterId, PortId>>& dead_links)
     : topology_(&topology),
-      base_(&topology.Routing()),
+      base_(topology),
       num_routers_(topology.NumRouters()) {
   const int radix = topology.Radix();
   std::vector<bool> dead(static_cast<std::size_t>(num_routers_) * radix,
@@ -78,7 +78,7 @@ FaultAwareRouting::FaultAwareRouting(
 
 PortId FaultAwareRouting::Route(RouterId router, NodeId dst) const {
   const RouterId dst_router = topology_->RouterOfNode(dst);
-  if (dst_router == router) return base_->Route(router, dst);
+  if (dst_router == router) return base_.Route(router, dst);
   const PortId hop =
       next_hop_[static_cast<std::size_t>(dst_router) * num_routers_ + router];
   VIXNOC_CHECK(hop != kInvalidPort);  // callers gate injection on Reachable()
@@ -90,6 +90,15 @@ bool FaultAwareRouting::Reachable(RouterId from, NodeId dst) const {
   if (dst_router == from) return true;
   return next_hop_[static_cast<std::size_t>(dst_router) * num_routers_ +
                    from] != kInvalidPort;
+}
+
+std::uint64_t FaultAwareRouting::Fingerprint() const {
+  std::uint64_t h = Fnv1a64(Name(), std::strlen(Name()));
+  h = base_.Fingerprint() ^ (h * 0x100000001b3ull);
+  if (!next_hop_.empty()) {
+    h = Fnv1a64(next_hop_.data(), next_hop_.size() * sizeof(PortId), h);
+  }
+  return h;
 }
 
 }  // namespace vixnoc

@@ -1,14 +1,14 @@
 // Fault-aware routing: minimal detours around permanently-dead links.
 //
-// Wraps a topology's base routing function with a per-destination next-hop
-// table computed by BFS over the surviving link graph. Where the base
-// (dimension-order) route survives, the table reproduces it exactly —
-// output ports are considered in index order, which prefers X-dimension
-// ports, so a fault-free mesh routes identically to XY DOR. Where a link
-// on the DOR path is dead, the table takes a minimal detour. Where no path
-// survives at all, the pair is *unreachable*: Reachable() reports it and
-// the simulation driver refuses to inject such packets instead of letting
-// them hang in a source queue forever.
+// Wraps table-driven DOR with a per-destination next-hop table computed by
+// BFS over the surviving link graph. Where the DOR route survives, the
+// table reproduces it exactly — output ports are considered in index
+// order, which prefers X-dimension ports, so a fault-free mesh routes
+// identically to XY DOR. Where a link on the DOR path is dead, the table
+// takes a minimal detour. Where no path survives at all, the pair is
+// *unreachable*: Reachable() reports it and the simulation driver refuses
+// to inject such packets instead of letting them hang in a source queue
+// forever.
 //
 // Detour paths are not guaranteed deadlock-free: a minimal detour can take
 // an XY-illegal (Y-then-X) turn, and such turns close channel-dependency
@@ -22,20 +22,24 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
-#include "router/routing.hpp"
+#include "routing/dor.hpp"
+#include "routing/routing_algorithm.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
 
-class FaultAwareRouting final : public RoutingFunction {
+class FaultAwareRouting final : public RoutingAlgorithm {
  public:
   /// `dead_links` are directed (router, out_port) channels to avoid.
   /// The topology must outlive this object.
   FaultAwareRouting(
       const Topology& topology,
       const std::vector<std::pair<RouterId, PortId>>& dead_links);
+
+  const char* Name() const override { return "fault_aware"; }
 
   /// Table route. For destinations attached to `router` this delegates to
   /// the base routing (ejection ports never fault). It is a checked error
@@ -44,28 +48,28 @@ class FaultAwareRouting final : public RoutingFunction {
   PortId Route(RouterId router, NodeId dst) const override;
 
   PortDimension DimensionOf(PortId port) const override {
-    return base_->DimensionOf(port);
+    return base_.DimensionOf(port);
   }
-
   std::uint8_t NextDatelineState(RouterId router, PortId out_port,
                                  std::uint8_t state) const override {
-    return base_->NextDatelineState(router, out_port, state);
+    return base_.NextDatelineState(router, out_port, state);
   }
   VcRange AllowedVcRange(PortId out_port, std::uint8_t state,
                          int vcs_per_class) const override {
-    return base_->AllowedVcRange(out_port, state, vcs_per_class);
+    return base_.AllowedVcRange(out_port, state, vcs_per_class);
   }
 
-  /// True when a packet sourced at a node of `from` can reach `dst` over
-  /// surviving links.
-  bool Reachable(RouterId from, NodeId dst) const;
+  bool MayBeUnreachable() const override { return unreachable_pairs_ > 0; }
+  bool Reachable(RouterId from, NodeId dst) const override;
 
   /// Ordered (src_router, dst_router) pairs with no surviving path.
   std::uint64_t NumUnreachablePairs() const { return unreachable_pairs_; }
 
+  std::uint64_t Fingerprint() const override;
+
  private:
   const Topology* topology_;
-  const RoutingFunction* base_;
+  DorRouting base_;
   int num_routers_;
   /// next_hop_[dst_router * num_routers_ + router]: output port toward
   /// dst_router, kInvalidPort when unreachable or co-located.

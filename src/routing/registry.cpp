@@ -1,0 +1,59 @@
+#include "routing/registry.hpp"
+
+#include "common/error.hpp"
+#include "routing/adaptive_min.hpp"
+#include "routing/dor.hpp"
+#include "routing/fault_aware.hpp"
+
+namespace vixnoc {
+
+const std::vector<std::string>& RegisteredRoutingNames() {
+  static const std::vector<std::string> kNames = {"dor", "adaptive_min",
+                                                  "fault_aware"};
+  return kNames;
+}
+
+bool IsRegisteredRouting(const std::string& name) {
+  for (const std::string& n : RegisteredRoutingNames()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::string RegisteredRoutingNamesJoined() {
+  std::string known;
+  for (const std::string& n : RegisteredRoutingNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return known;
+}
+
+std::unique_ptr<RoutingAlgorithm> MakeRoutingAlgorithm(
+    const std::string& name, const Topology& topology,
+    const RoutingBuildContext& context) {
+  if (name == "dor") {
+    // Permanent faults silently upgrade the default to fault_aware at the
+    // sim-driver level, never here: an explicit `routing=dor` with dead
+    // links would route packets straight into them.
+    VIXNOC_REQUIRE(context.dead_links.empty(),
+                   "routing=dor cannot detour around permanently dead "
+                   "links; use routing=fault_aware");
+    return std::make_unique<DorRouting>(topology);
+  }
+  if (name == "adaptive_min") {
+    VIXNOC_REQUIRE(context.dead_links.empty(),
+                   "routing=adaptive_min does not support permanently dead "
+                   "links (the DOR escape path could be severed); use "
+                   "routing=fault_aware");
+    return std::make_unique<AdaptiveMinRouting>(topology);
+  }
+  if (name == "fault_aware") {
+    return std::make_unique<FaultAwareRouting>(topology, context.dead_links);
+  }
+  VIXNOC_REQUIRE(false, "unknown routing algorithm '%s' (registered: %s)",
+                 name.c_str(), RegisteredRoutingNamesJoined().c_str());
+  return nullptr;
+}
+
+}  // namespace vixnoc

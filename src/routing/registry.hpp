@@ -1,0 +1,44 @@
+// String-keyed routing-plugin factory.
+//
+// The registry is a fixed table (no static-initializer registration — the
+// plugin set is part of the simulator's contract and linker section order
+// must never decide what `routing=` accepts). Unknown names throw SimError
+// listing every registered plugin, so config validation and CLI parsing
+// give the same actionable message.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "routing/routing_algorithm.hpp"
+#include "topology/topology.hpp"
+
+namespace vixnoc {
+
+/// Construction-time inputs a plugin may consume beyond the topology.
+struct RoutingBuildContext {
+  /// Directed (router, out_port) channels that are permanently dead
+  /// (fault_aware detours around them; other plugins must not be built
+  /// with permanent faults — validation enforces it).
+  std::vector<std::pair<RouterId, PortId>> dead_links;
+};
+
+/// Registered plugin names, in registry order ("dor" first: the default).
+const std::vector<std::string>& RegisteredRoutingNames();
+
+bool IsRegisteredRouting(const std::string& name);
+
+/// Comma-joined registered names for error messages ("dor, adaptive_min,
+/// fault_aware").
+std::string RegisteredRoutingNamesJoined();
+
+/// Builds the named plugin for `topology`. Throws SimError for unknown
+/// names, listing the registered plugins.
+std::unique_ptr<RoutingAlgorithm> MakeRoutingAlgorithm(
+    const std::string& name, const Topology& topology,
+    const RoutingBuildContext& context = {});
+
+}  // namespace vixnoc

@@ -1,0 +1,20 @@
+#include "routing/route_table.hpp"
+
+#include "snapshot/snapshot.hpp"
+
+namespace vixnoc {
+
+void RouteTable::Reset(int num_routers, int num_nodes) {
+  num_routers_ = num_routers;
+  num_nodes_ = num_nodes;
+  ports_.assign(static_cast<std::size_t>(num_routers) * num_nodes,
+                kInvalidPort);
+}
+
+std::uint64_t RouteTable::Fingerprint(std::uint64_t seed) const {
+  const std::int32_t dims[2] = {num_routers_, num_nodes_};
+  std::uint64_t h = Fnv1a64(dims, sizeof(dims), seed);
+  return Fnv1a64(ports_.data(), ports_.size() * sizeof(PortId), h);
+}
+
+}  // namespace vixnoc

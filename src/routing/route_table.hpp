@@ -1,0 +1,44 @@
+// Dense per-(router, destination-node) next-hop table.
+//
+// Route tables are indexed by destination *node*, not destination router:
+// torus tie-breaking depends on node parity and ejection entries depend on
+// the node's local port, so two nodes on the same router can have different
+// table rows. Tables are built once at algorithm construction and never
+// mutated afterwards, which makes Fingerprint() snapshot-stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vixnoc {
+
+class RouteTable {
+ public:
+  RouteTable() = default;
+  RouteTable(int num_routers, int num_nodes) { Reset(num_routers, num_nodes); }
+
+  /// Resizes to `num_routers` x `num_nodes`, all entries kInvalidPort.
+  void Reset(int num_routers, int num_nodes);
+
+  PortId At(RouterId router, NodeId dst) const {
+    return ports_[static_cast<std::size_t>(router) * num_nodes_ + dst];
+  }
+  void Set(RouterId router, NodeId dst, PortId port) {
+    ports_[static_cast<std::size_t>(router) * num_nodes_ + dst] = port;
+  }
+
+  int num_routers() const { return num_routers_; }
+  int num_nodes() const { return num_nodes_; }
+
+  /// FNV-1a over the table dimensions and every entry, chained from `seed`.
+  std::uint64_t Fingerprint(std::uint64_t seed) const;
+
+ private:
+  int num_routers_ = 0;
+  int num_nodes_ = 0;
+  std::vector<PortId> ports_;
+};
+
+}  // namespace vixnoc

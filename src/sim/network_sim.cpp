@@ -9,7 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/error.hpp"
-#include "fault/fault_routing.hpp"
+#include "routing/registry.hpp"
 #include "snapshot/snapshot.hpp"
 #include "snapshot/state_io.hpp"
 #include "traffic/injection.hpp"
@@ -172,6 +172,27 @@ void ValidateNetworkSimConfig(const NetworkSimConfig& config) {
                    "detour routing breaks the dateline VC deadlock-freedom "
                    "argument");
   }
+  if (!config.routing_factory) {
+    VIXNOC_REQUIRE(IsRegisteredRouting(config.routing),
+                   "unknown routing algorithm '%s' (registered: %s)",
+                   config.routing.c_str(),
+                   RegisteredRoutingNamesJoined().c_str());
+    if (config.routing == "adaptive_min") {
+      VIXNOC_REQUIRE(!permanent_faults,
+                     "routing=adaptive_min does not support permanent link "
+                     "faults (the DOR escape path could be severed); use "
+                     "routing=fault_aware");
+      const bool torus = !config.topology_factory &&
+                         config.topology == TopologyKind::kTorus;
+      // One escape VC (two on the torus: the dateline pair) plus at least
+      // one adaptively shared VC per message class.
+      const int min_vcs = torus ? 3 : 2;
+      VIXNOC_REQUIRE(config.num_vcs >= min_vcs,
+                     "routing=adaptive_min needs num_vcs >= %d on this "
+                     "topology (escape VCs + one adaptive VC), got %d",
+                     min_vcs, config.num_vcs);
+    }
+  }
   if (config.telemetry.enabled) {
     VIXNOC_REQUIRE(config.telemetry.window_cycles >= 1,
                    "telemetry.window_cycles must be >= 1, got %llu",
@@ -252,23 +273,32 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
     params.flit_delay = 4;                 // ST + LT + RC at the next hop
   }
 
-  // Fault schedule and detour routing are pure functions of the config, so
-  // results are identical regardless of how a sweep is threaded. The
-  // routing override must outlive the network (raw pointer in params).
-  std::unique_ptr<FaultAwareRouting> fault_routing;
+  // Fault schedule and the routing plugin are pure functions of the config,
+  // so results are identical regardless of how a sweep is threaded. The
+  // routing algorithm must outlive the network (raw pointer in params).
+  RoutingBuildContext routing_ctx;
   if (config.faults.Enabled()) {
     const std::uint64_t fault_seed =
         config.faults.seed != 0 ? config.faults.seed : config.seed;
     auto faults =
         std::make_shared<const FaultModel>(*topology, config.faults,
                                            fault_seed);
-    if (!faults->permanent_down().empty()) {
-      fault_routing = std::make_unique<FaultAwareRouting>(
-          *topology, faults->permanent_down());
-    }
-    params.routing_override = fault_routing.get();
+    routing_ctx.dead_links = faults->permanent_down();
     params.faults = std::move(faults);
   }
+  std::string routing_name = config.routing;
+  if (routing_name == "dor" && !routing_ctx.dead_links.empty()) {
+    // The default routing detours around permanent faults (legacy
+    // behavior); an *explicit* non-default plugin must be fault-compatible
+    // or the registry rejects it.
+    routing_name = "fault_aware";
+  }
+  const std::unique_ptr<RoutingAlgorithm> routing_algo =
+      config.routing_factory
+          ? config.routing_factory(*topology)
+          : MakeRoutingAlgorithm(routing_name, *topology, routing_ctx);
+  VIXNOC_CHECK(routing_algo != nullptr);
+  params.routing = routing_algo.get();
 
   std::unique_ptr<TelemetryCollector> telemetry;
   if (config.telemetry.enabled) {
@@ -488,8 +518,8 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
         // stream — and therefore every reachable packet — is identical to
         // the fault-free run.
         const NodeId dst = pattern->Dest(n, num_nodes, rng);
-        if (fault_routing != nullptr &&
-            !fault_routing->Reachable(net.topology().RouterOfNode(n), dst)) {
+        if (routing_algo->MayBeUnreachable() &&
+            !routing_algo->Reachable(net.topology().RouterOfNode(n), dst)) {
           ++outcome.unreachable_packets;
           continue;
         }
@@ -629,6 +659,8 @@ std::uint64_t NetworkSimConfigFingerprint(const NetworkSimConfig& c) {
       dbl(c.burst_on_rate),
       dbl(c.mean_burst_cycles),
       static_cast<std::uint64_t>(static_cast<bool>(c.topology_factory)),
+      Fnv1a64(c.routing.data(), c.routing.size()),
+      static_cast<std::uint64_t>(static_cast<bool>(c.routing_factory)),
       static_cast<std::uint64_t>(c.sample_interval),
       dbl(c.faults.link_down_rate),
       dbl(c.faults.transient_rate),

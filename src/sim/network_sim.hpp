@@ -108,6 +108,18 @@ struct NetworkSimConfig {
   /// Overrides the 64-node topology when set (e.g. for scaling studies on
   /// other mesh sizes). Must agree with `topology`'s router conventions.
   std::function<std::unique_ptr<Topology>()> topology_factory;
+  /// Routing plugin by registry name (routing/registry.hpp): "dor" (the
+  /// default), "adaptive_min", or "fault_aware". Unknown names fail
+  /// validation with a SimError listing the registered plugins. With
+  /// permanent link faults, "dor" silently upgrades to "fault_aware"
+  /// (the legacy behavior); other names must be fault-compatible.
+  std::string routing = "dor";
+  /// Overrides `routing` with an arbitrary algorithm built for the sim's
+  /// topology — the test escape hatch mirroring topology_factory. Like it,
+  /// the factory cannot be hashed: only its presence enters the
+  /// fingerprint, and exec-frame serialization rejects it.
+  std::function<std::unique_ptr<RoutingAlgorithm>(const Topology&)>
+      routing_factory;
   /// When > 0, record a throughput/latency time series with one sample per
   /// `sample_interval` cycles over the whole run (including warmup) — for
   /// convergence checks and transient studies.

@@ -4,7 +4,8 @@
 //   ports [0, cols-1)                    : X links, one per other column
 //   ports [cols-1, cols-1 + rows-1)     : Y links, one per other row
 //   ports [cols-1 + rows-1, +conc)      : local ports
-// Dimension-order routing: at most one X hop, then at most one Y hop.
+// Dimension-order routing over this wiring (at most one X hop, then at
+// most one Y hop) lives in routing/dor.cpp.
 #include <memory>
 
 #include "common/check.hpp"
@@ -14,22 +15,10 @@ namespace vixnoc {
 
 namespace {
 
-class FbflyTopology;
-
-class FbflyRouting final : public RoutingFunction {
- public:
-  explicit FbflyRouting(const FbflyTopology* topo) : topo_(topo) {}
-  PortId Route(RouterId router, NodeId dst) const override;
-  PortDimension DimensionOf(PortId port) const override;
-
- private:
-  const FbflyTopology* topo_;
-};
-
 class FbflyTopology final : public Topology {
  public:
   FbflyTopology(int cols, int rows, int concentration)
-      : cols_(cols), rows_(rows), conc_(concentration), routing_(this) {
+      : cols_(cols), rows_(rows), conc_(concentration) {
     VIXNOC_CHECK(cols >= 2 && rows >= 2);
     VIXNOC_CHECK(concentration >= 1);
   }
@@ -38,6 +27,9 @@ class FbflyTopology final : public Topology {
   int NumRouters() const override { return cols_ * rows_; }
   int NumNodes() const override { return cols_ * rows_ * conc_; }
   int Radix() const override { return (cols_ - 1) + (rows_ - 1) + conc_; }
+
+  int Cols() const override { return cols_; }
+  int Rows() const override { return rows_; }
 
   int NumXPorts() const { return cols_ - 1; }
   int NumYPorts() const { return rows_ - 1; }
@@ -99,8 +91,6 @@ class FbflyTopology final : public Topology {
     return links;
   }
 
-  const RoutingFunction& Routing() const override { return routing_; }
-
   int RouterHops(NodeId src, NodeId dst) const override {
     const RouterId a = RouterOfNode(src);
     const RouterId b = RouterOfNode(dst);
@@ -109,23 +99,7 @@ class FbflyTopology final : public Topology {
 
  private:
   int cols_, rows_, conc_;
-  FbflyRouting routing_;
 };
-
-PortId FbflyRouting::Route(RouterId router, NodeId dst) const {
-  const RouterId dr = topo_->RouterOfNode(dst);
-  const int col = topo_->ColOf(router), row = topo_->RowOf(router);
-  const int dc = topo_->ColOf(dr), dy = topo_->RowOf(dr);
-  if (dc != col) return topo_->XPortTo(col, dc);
-  if (dy != row) return topo_->YPortTo(row, dy);
-  return topo_->FirstLocalPort() + topo_->LocalIndexOfNode(dst);
-}
-
-PortDimension FbflyRouting::DimensionOf(PortId port) const {
-  if (port < topo_->FirstYPort()) return PortDimension::kX;
-  if (port < topo_->FirstLocalPort()) return PortDimension::kY;
-  return PortDimension::kLocal;
-}
 
 }  // namespace
 

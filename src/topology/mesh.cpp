@@ -1,8 +1,9 @@
-// Mesh and concentrated mesh (CMesh) topologies with XY dimension-order
-// routing and lookahead-friendly port numbering:
+// Mesh and concentrated mesh (CMesh) topologies with lookahead-friendly
+// port numbering:
 //   port 0 = East (+x), 1 = West (-x), 2 = North (+y), 3 = South (-y),
 //   ports 4..4+concentration-1 = local ejection/injection.
 // Unconnected edge ports exist (uniform radix) but are never routed to.
+// Dimension-order routing over this wiring lives in routing/dor.cpp.
 #include <cstdlib>
 #include <memory>
 
@@ -19,35 +20,13 @@ constexpr PortId kNorth = 2;
 constexpr PortId kSouth = 3;
 constexpr PortId kFirstLocal = 4;
 
-class MeshTopology;
-
-class MeshRouting final : public RoutingFunction {
- public:
-  explicit MeshRouting(const MeshTopology* topo) : topo_(topo) {}
-  PortId Route(RouterId router, NodeId dst) const override;
-  PortDimension DimensionOf(PortId port) const override {
-    if (port == kEast || port == kWest) return PortDimension::kX;
-    if (port == kNorth || port == kSouth) return PortDimension::kY;
-    return PortDimension::kLocal;
-  }
-
- private:
-  const MeshTopology* topo_;
-};
-
 class MeshTopology final : public Topology {
  public:
   MeshTopology(int cols, int rows, int concentration, MeshRouteOrder order)
-      : cols_(cols),
-        rows_(rows),
-        conc_(concentration),
-        order_(order),
-        routing_(this) {
+      : cols_(cols), rows_(rows), conc_(concentration), order_(order) {
     VIXNOC_CHECK(cols >= 2 && rows >= 2);
     VIXNOC_CHECK(concentration >= 1);
   }
-
-  MeshRouteOrder order() const { return order_; }
 
   TopologyKind Kind() const override {
     return conc_ == 1 ? TopologyKind::kMesh : TopologyKind::kCMesh;
@@ -55,6 +34,10 @@ class MeshTopology final : public Topology {
   int NumRouters() const override { return cols_ * rows_; }
   int NumNodes() const override { return cols_ * rows_ * conc_; }
   int Radix() const override { return kFirstLocal + conc_; }
+
+  int Cols() const override { return cols_; }
+  int Rows() const override { return rows_; }
+  MeshRouteOrder MeshOrder() const override { return order_; }
 
   int ColOf(RouterId r) const { return r % cols_; }
   int RowOf(RouterId r) const { return r / cols_; }
@@ -95,8 +78,6 @@ class MeshTopology final : public Topology {
     return links;
   }
 
-  const RoutingFunction& Routing() const override { return routing_; }
-
   int RouterHops(NodeId src, NodeId dst) const override {
     const RouterId a = RouterOfNode(src);
     const RouterId b = RouterOfNode(dst);
@@ -106,26 +87,7 @@ class MeshTopology final : public Topology {
  private:
   int cols_, rows_, conc_;
   MeshRouteOrder order_;
-  MeshRouting routing_;
 };
-
-PortId MeshRouting::Route(RouterId router, NodeId dst) const {
-  const RouterId dr = topo_->RouterOfNode(dst);
-  const int x = topo_->ColOf(router), y = topo_->RowOf(router);
-  const int dx = topo_->ColOf(dr), dy = topo_->RowOf(dr);
-  if (topo_->order() == MeshRouteOrder::kXY) {
-    if (dx > x) return kEast;
-    if (dx < x) return kWest;
-    if (dy > y) return kNorth;
-    if (dy < y) return kSouth;
-  } else {
-    if (dy > y) return kNorth;
-    if (dy < y) return kSouth;
-    if (dx > x) return kEast;
-    if (dx < x) return kWest;
-  }
-  return kFirstLocal + topo_->LocalIndexOfNode(dst);
-}
 
 }  // namespace
 

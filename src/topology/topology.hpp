@@ -1,7 +1,10 @@
 // Topology abstraction: the wiring of routers, links, and network
-// interfaces, plus the deterministic dimension-order routing function for
-// each topology studied in the paper (mesh, concentrated mesh, flattened
-// butterfly — §2.4, Table 1).
+// interfaces for each topology studied in the paper (mesh, concentrated
+// mesh, flattened butterfly — §2.4, Table 1) plus the torus extension.
+//
+// Topologies carry *wiring only*. Routing policy lives in src/routing/
+// (table-driven plugins built from the geometry accessors below via
+// routing/registry.hpp); the router supplies the mechanism.
 #pragma once
 
 #include <memory>
@@ -9,9 +12,12 @@
 
 #include "common/types.hpp"
 #include "router/router.hpp"
-#include "router/routing.hpp"
 
 namespace vixnoc {
+
+/// Dimension order for mesh routing: X-first (the paper's configuration)
+/// or Y-first (useful for adversarial-pattern studies; both deadlock-free).
+enum class MeshRouteOrder { kXY, kYX };
 
 class Topology {
  public:
@@ -32,17 +38,19 @@ class Topology {
   /// Output-link table for a router: where each of its output ports goes.
   virtual std::vector<OutputLinkInfo> LinksFor(RouterId router) const = 0;
 
-  /// Deterministic DOR routing function shared by every router.
-  virtual const RoutingFunction& Routing() const = 0;
+  /// Grid shape: router r sits at column r % Cols(), row r / Cols().
+  /// Routing plugins build their per-node route tables from these.
+  virtual int Cols() const = 0;
+  virtual int Rows() const = 0;
+
+  /// Dimension priority DOR-family plugins use on this topology (only
+  /// meshes ever report kYX).
+  virtual MeshRouteOrder MeshOrder() const { return MeshRouteOrder::kXY; }
 
   /// Router-hop distance between two nodes' routers (0 when co-located);
   /// used by latency sanity tests and analysis.
   virtual int RouterHops(NodeId src, NodeId dst) const = 0;
 };
-
-/// Dimension order for mesh routing: X-first (the paper's configuration)
-/// or Y-first (useful for adversarial-pattern studies; both deadlock-free).
-enum class MeshRouteOrder { kXY, kYX };
 
 /// Mesh / concentrated mesh of `cols` x `rows` routers with `concentration`
 /// nodes per router. concentration == 1 gives the paper's 8x8 mesh

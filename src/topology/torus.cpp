@@ -2,16 +2,9 @@
 // topologies, exercising the dateline VC-class machinery.
 //
 // Port numbering matches the mesh (0=East/+x, 1=West/-x, 2=North/+y,
-// 3=South/-y, locals from 4), every port is wrap-connected, and routing is
-// minimal dimension-order (shortest way around each ring; ties go
-// East/North).
-//
-// Deadlock avoidance: each message class's VC partition is split into two
-// dateline halves. A packet uses the lower half until it crosses the
-// dimension's dateline (the wrap link between the last and first
-// row/column), then the upper half; entering the Y dimension resets the
-// state. This breaks the cyclic channel dependency of each ring (Dally &
-// Seitz datelines), so dimension-order torus routing is deadlock-free.
+// 3=South/-y, locals from 4) and every port is wrap-connected. Minimal
+// dimension-order routing and the dateline VC classes that keep it
+// deadlock-free live in routing/dor.cpp.
 #include <cstdlib>
 #include <memory>
 
@@ -28,36 +21,10 @@ constexpr PortId kNorth = 2;
 constexpr PortId kSouth = 3;
 constexpr PortId kFirstLocal = 4;
 
-// Dateline state bits, one per dimension: routing is dimension-ordered so
-// the bits never interact, but keeping them separate means an X crossing
-// cannot leak into the Y ring's class selection.
-constexpr std::uint8_t kXCrossed = 1;
-constexpr std::uint8_t kYCrossed = 2;
-
-class TorusTopology;
-
-class TorusRouting final : public RoutingFunction {
- public:
-  explicit TorusRouting(const TorusTopology* topo) : topo_(topo) {}
-  PortId Route(RouterId router, NodeId dst) const override;
-  PortDimension DimensionOf(PortId port) const override {
-    if (port == kEast || port == kWest) return PortDimension::kX;
-    if (port == kNorth || port == kSouth) return PortDimension::kY;
-    return PortDimension::kLocal;
-  }
-  std::uint8_t NextDatelineState(RouterId router, PortId out_port,
-                                 std::uint8_t state) const override;
-  VcRange AllowedVcRange(PortId out_port, std::uint8_t state,
-                         int vcs_per_class) const override;
-
- private:
-  const TorusTopology* topo_;
-};
-
 class TorusTopology final : public Topology {
  public:
   TorusTopology(int cols, int rows, int concentration)
-      : cols_(cols), rows_(rows), conc_(concentration), routing_(this) {
+      : cols_(cols), rows_(rows), conc_(concentration) {
     VIXNOC_CHECK(cols >= 3 && rows >= 3);  // wrap links distinct from direct
     VIXNOC_CHECK(concentration >= 1);
   }
@@ -67,8 +34,8 @@ class TorusTopology final : public Topology {
   int NumNodes() const override { return cols_ * rows_ * conc_; }
   int Radix() const override { return kFirstLocal + conc_; }
 
-  int Cols() const { return cols_; }
-  int Rows() const { return rows_; }
+  int Cols() const override { return cols_; }
+  int Rows() const override { return rows_; }
   int ColOf(RouterId r) const { return r % cols_; }
   int RowOf(RouterId r) const { return r / cols_; }
   RouterId RouterAt(int col, int row) const { return row * cols_ + col; }
@@ -102,8 +69,6 @@ class TorusTopology final : public Topology {
     return links;
   }
 
-  const RoutingFunction& Routing() const override { return routing_; }
-
   int RouterHops(NodeId src, NodeId dst) const override {
     const RouterId a = RouterOfNode(src);
     const RouterId b = RouterOfNode(dst);
@@ -114,64 +79,7 @@ class TorusTopology final : public Topology {
 
  private:
   int cols_, rows_, conc_;
-  TorusRouting routing_;
 };
-
-PortId TorusRouting::Route(RouterId router, NodeId dst) const {
-  const RouterId dr = topo_->RouterOfNode(dst);
-  const int x = topo_->ColOf(router), y = topo_->RowOf(router);
-  const int dx = topo_->ColOf(dr), dy = topo_->RowOf(dr);
-  const int cols = topo_->Cols(), rows = topo_->Rows();
-  if (dx != x) {
-    // Shortest way around the X ring. Exactly-half-way ties are split by
-    // destination parity — a deterministic choice that is consistent along
-    // the path (after one hop the distance is strictly minimal) yet
-    // balances tie traffic across both ring directions.
-    const int east_dist = (dx - x + cols) % cols;
-    const int west_dist = cols - east_dist;
-    if (east_dist != west_dist) return east_dist < west_dist ? kEast : kWest;
-    return (dst & 1) ? kEast : kWest;
-  }
-  if (dy != y) {
-    const int north_dist = (dy - y + rows) % rows;
-    const int south_dist = rows - north_dist;
-    if (north_dist != south_dist) {
-      return north_dist < south_dist ? kNorth : kSouth;
-    }
-    return (dst & 1) ? kNorth : kSouth;
-  }
-  return kFirstLocal + topo_->LocalIndexOfNode(dst);
-}
-
-std::uint8_t TorusRouting::NextDatelineState(RouterId router, PortId out_port,
-                                             std::uint8_t state) const {
-  const int col = topo_->ColOf(router);
-  const int row = topo_->RowOf(router);
-  switch (out_port) {
-    case kEast:
-      // The East ring's dateline is the wrap link col N-1 -> 0.
-      return col == topo_->Cols() - 1 ? (state | kXCrossed) : state;
-    case kWest:
-      // The West ring's dateline is the wrap link col 0 -> N-1.
-      return col == 0 ? (state | kXCrossed) : state;
-    case kNorth:
-      return row == topo_->Rows() - 1 ? (state | kYCrossed) : state;
-    case kSouth:
-      return row == 0 ? (state | kYCrossed) : state;
-    default:
-      return state;  // ejection
-  }
-}
-
-VcRange TorusRouting::AllowedVcRange(PortId out_port, std::uint8_t state,
-                                     int vcs_per_class) const {
-  if (out_port >= kFirstLocal) return VcRange{0, vcs_per_class};
-  VIXNOC_CHECK(vcs_per_class >= 2);
-  const std::uint8_t bit =
-      DimensionOf(out_port) == PortDimension::kX ? kXCrossed : kYCrossed;
-  const int half = vcs_per_class / 2;
-  return (state & bit) ? VcRange{half, vcs_per_class} : VcRange{0, half};
-}
 
 }  // namespace
 

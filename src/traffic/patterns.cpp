@@ -67,7 +67,8 @@ NodeId TornadoPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
 }
 
 NodeId HotspotPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
-  if (src != hotspot_ && rng.NextBool(hot_fraction_)) return hotspot_;
+  const NodeId hot = hotspot_ % num_nodes;  // clamp for small test networks
+  if (src != hot && rng.NextBool(hot_fraction_)) return hot;
   const auto pick = static_cast<NodeId>(rng.NextBounded(num_nodes - 1));
   return pick >= src ? pick + 1 : pick;
 }
@@ -85,6 +86,8 @@ bool ParsePatternKind(const std::string& text, PatternKind* out) {
     *out = PatternKind::kBitReverse;
   } else if (t == "tornado") {
     *out = PatternKind::kTornado;
+  } else if (t == "hotspot") {
+    *out = PatternKind::kHotspot;
   } else {
     return false;
   }
@@ -103,6 +106,11 @@ std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind) {
       return std::make_unique<BitReversePattern>();
     case PatternKind::kTornado:
       return std::make_unique<TornadoPattern>();
+    case PatternKind::kHotspot:
+      // Node 27 is row 3, col 3 of the 64-node mesh layout: off-center so
+      // DOR's X-then-Y paths concentrate on a few links (the stressor the
+      // adaptive arm is measured against); 15% hot traffic.
+      return std::make_unique<HotspotPattern>(27, 0.15);
   }
   VIXNOC_CHECK(false);
   return nullptr;

@@ -78,12 +78,15 @@ enum class PatternKind {
   kBitComplement,
   kBitReverse,
   kTornado,
+  /// Fixed hotspot (node 27 on the 64-node layouts, clamped modulo N
+  /// elsewhere) drawing 15% of the traffic — the adaptive-routing stressor.
+  kHotspot,
 };
 
 std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind);
 
 /// Case-insensitive parse of "uniform", "transpose", "bitcomp",
-/// "bitrev", "tornado". Returns false on unknown input.
+/// "bitrev", "tornado", "hotspot". Returns false on unknown input.
 bool ParsePatternKind(const std::string& text, PatternKind* out);
 
 }  // namespace vixnoc

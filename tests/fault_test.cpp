@@ -8,7 +8,8 @@
 
 #include "common/error.hpp"
 #include "fault/fault_model.hpp"
-#include "fault/fault_routing.hpp"
+#include "routing/dor.hpp"
+#include "routing/fault_aware.hpp"
 #include "sim/sweep.hpp"
 #include "topology/topology.hpp"
 
@@ -89,11 +90,12 @@ TEST(FaultModel, RejectsInvalidConfig) {
 
 TEST(FaultRouting, MatchesDorOnFaultFreeMesh) {
   auto topo = MakeMesh(4, 4);
+  const DorRouting dor(*topo);
   FaultAwareRouting detour(*topo, {});
   EXPECT_EQ(detour.NumUnreachablePairs(), 0u);
   for (RouterId r = 0; r < topo->NumRouters(); ++r) {
     for (NodeId dst = 0; dst < topo->NumNodes(); ++dst) {
-      EXPECT_EQ(detour.Route(r, dst), topo->Routing().Route(r, dst))
+      EXPECT_EQ(detour.Route(r, dst), dor.Route(r, dst))
           << "router " << r << " dst " << dst;
     }
   }
@@ -103,7 +105,7 @@ TEST(FaultRouting, DetoursAroundDeadLink) {
   auto topo = MakeMesh(4, 4);
   // Kill router 0's east link (the XY route 0 -> 1). A detour via the
   // other dimension must be found, and every pair stays reachable.
-  const PortId east = topo->Routing().Route(0, 3);  // node 3 is due east
+  const PortId east = DorRouting(*topo).Route(0, 3);  // node 3 is due east
   FaultAwareRouting detour(*topo, {{0, east}});
   EXPECT_EQ(detour.NumUnreachablePairs(), 0u);
   EXPECT_NE(detour.Route(0, 1), east);
@@ -198,7 +200,7 @@ TEST(FaultSim, TransientAndStallFaultsDegradeButComplete) {
 // single VC, so wormhole packets close a channel-dependency cycle and the
 // network wedges almost immediately under load.
 
-class RingRouting final : public RoutingFunction {
+class RingRouting final : public RoutingAlgorithm {
  public:
   explicit RingRouting(const Topology& mesh) : mesh_(&mesh) {
     static const RouterId kNext[4] = {1, 3, 0, 2};
@@ -211,12 +213,15 @@ class RingRouting final : public RoutingFunction {
   }
   PortId Route(RouterId router, NodeId dst) const override {
     if (mesh_->RouterOfNode(dst) == router) {
-      return mesh_->Routing().Route(router, dst);
+      return mesh_->EjectPortOfNode(dst);
     }
     return next_port_[router];
   }
   PortDimension DimensionOf(PortId port) const override {
-    return mesh_->Routing().DimensionOf(port);
+    // Mesh port convention: E/W then N/S then locals.
+    if (port <= 1) return PortDimension::kX;
+    if (port <= 3) return PortDimension::kY;
+    return PortDimension::kLocal;
   }
 
  private:
@@ -226,7 +231,7 @@ class RingRouting final : public RoutingFunction {
 
 class RingTopology final : public Topology {
  public:
-  RingTopology() : mesh_(MakeMesh(2, 2)), routing_(*mesh_) {}
+  RingTopology() : mesh_(MakeMesh(2, 2)) {}
   TopologyKind Kind() const override { return mesh_->Kind(); }
   int NumRouters() const override { return mesh_->NumRouters(); }
   int NumNodes() const override { return mesh_->NumNodes(); }
@@ -243,19 +248,23 @@ class RingTopology final : public Topology {
   std::vector<OutputLinkInfo> LinksFor(RouterId router) const override {
     return mesh_->LinksFor(router);
   }
-  const RoutingFunction& Routing() const override { return routing_; }
+  int Cols() const override { return mesh_->Cols(); }
+  int Rows() const override { return mesh_->Rows(); }
   int RouterHops(NodeId src, NodeId dst) const override {
     return mesh_->RouterHops(src, dst);
   }
 
  private:
   std::unique_ptr<Topology> mesh_;
-  RingRouting routing_;
 };
 
 TEST(Watchdog, FiresOnHandBuiltDeadlock) {
   NetworkSimConfig config;
   config.topology_factory = [] { return std::make_unique<RingTopology>(); };
+  config.routing_factory =
+      [](const Topology& topo) -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<RingRouting>(topo);
+  };
   config.num_vcs = 1;
   config.buffer_depth = 2;
   config.packet_size = 6;  // wormholes span multiple routers
@@ -331,6 +340,10 @@ TEST(FaultSweep, MixedFailureBatchCompletes) {
   points.push_back(invalid);  // 1: invalid
   NetworkSimConfig deadlock;
   deadlock.topology_factory = [] { return std::make_unique<RingTopology>(); };
+  deadlock.routing_factory =
+      [](const Topology& topo) -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<RingRouting>(topo);
+  };
   deadlock.num_vcs = 1;
   deadlock.buffer_depth = 2;
   deadlock.packet_size = 6;

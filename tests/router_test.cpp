@@ -9,7 +9,7 @@ namespace {
 
 // Standalone routing stub: a destination node id < radix names the output
 // port to take at *every* router, so tests can steer flits precisely.
-class PortIsDestRouting final : public RoutingFunction {
+class PortIsDestRouting final : public RoutingAlgorithm {
  public:
   explicit PortIsDestRouting(int radix) : radix_(radix) {}
   PortId Route(RouterId, NodeId dst) const override {

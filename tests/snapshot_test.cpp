@@ -534,7 +534,7 @@ TEST(SimCheckpoint, ValidationRejectsIncoherentKnobs) {
 // Deadlock post-mortem: the rolling pre-deadlock checkpoint replays into
 // the same deadlock, and the replay can run with tracing enabled.
 
-class RingRouting final : public RoutingFunction {
+class RingRouting final : public RoutingAlgorithm {
  public:
   explicit RingRouting(const Topology& mesh) : mesh_(&mesh) {
     static const RouterId kNext[4] = {1, 3, 0, 2};
@@ -547,12 +547,15 @@ class RingRouting final : public RoutingFunction {
   }
   PortId Route(RouterId router, NodeId dst) const override {
     if (mesh_->RouterOfNode(dst) == router) {
-      return mesh_->Routing().Route(router, dst);
+      return mesh_->EjectPortOfNode(dst);
     }
     return next_port_[router];
   }
   PortDimension DimensionOf(PortId port) const override {
-    return mesh_->Routing().DimensionOf(port);
+    // Mesh port convention: E/W then N/S then locals.
+    if (port <= 1) return PortDimension::kX;
+    if (port <= 3) return PortDimension::kY;
+    return PortDimension::kLocal;
   }
 
  private:
@@ -565,7 +568,7 @@ class RingRouting final : public RoutingFunction {
 /// cycle that wedges under load. Mirrors fault_test's watchdog fixture.
 class RingTopology final : public Topology {
  public:
-  RingTopology() : mesh_(MakeMesh(2, 2)), routing_(*mesh_) {}
+  RingTopology() : mesh_(MakeMesh(2, 2)) {}
   TopologyKind Kind() const override { return mesh_->Kind(); }
   int NumRouters() const override { return mesh_->NumRouters(); }
   int NumNodes() const override { return mesh_->NumNodes(); }
@@ -582,19 +585,23 @@ class RingTopology final : public Topology {
   std::vector<OutputLinkInfo> LinksFor(RouterId router) const override {
     return mesh_->LinksFor(router);
   }
-  const RoutingFunction& Routing() const override { return routing_; }
+  int Cols() const override { return mesh_->Cols(); }
+  int Rows() const override { return mesh_->Rows(); }
   int RouterHops(NodeId src, NodeId dst) const override {
     return mesh_->RouterHops(src, dst);
   }
 
  private:
   std::unique_ptr<Topology> mesh_;
-  RingRouting routing_;
 };
 
 NetworkSimConfig DeadlockConfig() {
   NetworkSimConfig config;
   config.topology_factory = [] { return std::make_unique<RingTopology>(); };
+  config.routing_factory =
+      [](const Topology& topo) -> std::unique_ptr<RoutingAlgorithm> {
+    return std::make_unique<RingRouting>(topo);
+  };
   config.num_vcs = 1;
   config.buffer_depth = 2;
   config.packet_size = 6;

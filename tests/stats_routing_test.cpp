@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "network/network.hpp"
+#include "routing/dor.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
@@ -84,7 +85,7 @@ TEST(Watchdog, ProgressCounterResetsOnTraffic) {
 
 TEST(YxRouting, DeliversEveryPair) {
   auto topo = MakeMesh(8, 8, 1, MeshRouteOrder::kYX);
-  const RoutingFunction& routing = topo->Routing();
+  const DorRouting routing(*topo);
   for (NodeId src = 0; src < 64; src += 3) {
     for (NodeId dst = 0; dst < 64; ++dst) {
       RouterId at = topo->RouterOfNode(src);
@@ -107,12 +108,12 @@ TEST(YxRouting, DeliversEveryPair) {
 
 TEST(YxRouting, YBeforeX) {
   auto topo = MakeMesh(8, 8, 1, MeshRouteOrder::kYX);
-  const RoutingFunction& routing = topo->Routing();
+  const DorRouting routing(*topo);
   // From router 0 = (0,0) to node 19 = (3,2): YX goes North first.
   EXPECT_EQ(routing.Route(0, 19), 2);  // North
   // XY (default) goes East first.
   auto xy = MakeMesh(8, 8, 1, MeshRouteOrder::kXY);
-  EXPECT_EQ(xy->Routing().Route(0, 19), 0);  // East
+  EXPECT_EQ(DorRouting(*xy).Route(0, 19), 0);  // East
 }
 
 TEST(YxRouting, NetworkDrainsWithoutDeadlock) {

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "routing/dor.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
@@ -82,7 +83,7 @@ TEST_P(TopologyTest, LinksAreSymmetric) {
 }
 
 TEST_P(TopologyTest, RoutingDeliversEveryPair) {
-  const RoutingFunction& routing = topo_->Routing();
+  const DorRouting routing(*topo_);
   for (NodeId src = 0; src < topo_->NumNodes(); ++src) {
     for (NodeId dst = 0; dst < topo_->NumNodes(); ++dst) {
       RouterId at = topo_->RouterOfNode(src);
@@ -109,7 +110,7 @@ TEST_P(TopologyTest, RoutingDeliversEveryPair) {
 
 TEST_P(TopologyTest, RoutingIsDimensionOrdered) {
   // Once a packet leaves the X dimension it never re-enters it.
-  const RoutingFunction& routing = topo_->Routing();
+  const DorRouting routing(*topo_);
   for (NodeId src = 0; src < topo_->NumNodes(); src += 7) {
     for (NodeId dst = 0; dst < topo_->NumNodes(); ++dst) {
       RouterId at = topo_->RouterOfNode(src);
@@ -131,7 +132,7 @@ TEST_P(TopologyTest, RoutingIsDimensionOrdered) {
 }
 
 TEST_P(TopologyTest, DimensionClassesPartitionPorts) {
-  const RoutingFunction& routing = topo_->Routing();
+  const DorRouting routing(*topo_);
   int x = 0, y = 0, local = 0;
   for (PortId p = 0; p < topo_->Radix(); ++p) {
     switch (routing.DimensionOf(p)) {
@@ -168,7 +169,7 @@ TEST(Mesh, CornerRouterHasTwoUnconnectedPorts) {
 
 TEST(Mesh, XyRouteExample) {
   auto topo = MakeTopology64(TopologyKind::kMesh);
-  const RoutingFunction& routing = topo->Routing();
+  const DorRouting routing(*topo);
   // Router 0 = (0,0); node 19 = (3,2): first hop must be East (port 0).
   EXPECT_EQ(routing.Route(0, 19), 0);
   // From router 3 = (3,0) to node 19: go North (port 2).

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "network/network.hpp"
+#include "routing/dor.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
@@ -63,7 +64,7 @@ TEST(Torus, MinimalHops) {
 
 TEST(Torus, RoutingDeliversEveryPairMinimally) {
   auto topo = MakeTorus(8, 8);
-  const RoutingFunction& routing = topo->Routing();
+  const DorRouting routing(*topo);
   for (NodeId src = 0; src < 64; src += 3) {
     for (NodeId dst = 0; dst < 64; ++dst) {
       RouterId at = topo->RouterOfNode(src);
@@ -85,7 +86,7 @@ TEST(Torus, RoutingDeliversEveryPairMinimally) {
 
 TEST(Torus, DatelineStateSetsOnWrapOnly) {
   auto topo = MakeTorus(8, 8);
-  const RoutingFunction& r = topo->Routing();
+  const DorRouting r(*topo);
   // East from col 3: no crossing.
   EXPECT_EQ(r.NextDatelineState(3, 0, 0), 0);
   // East from col 7 (router 7): crosses the X dateline.
@@ -101,7 +102,7 @@ TEST(Torus, DatelineStateSetsOnWrapOnly) {
 
 TEST(Torus, AllowedVcRangeSplitsByDimensionBit) {
   auto topo = MakeTorus(8, 8);
-  const RoutingFunction& r = topo->Routing();
+  const DorRouting r(*topo);
   // X port, not crossed: lower half.
   auto range = r.AllowedVcRange(0, 0, 6);
   EXPECT_EQ(range.lo, 0);

@@ -13,7 +13,7 @@
 namespace vixnoc {
 namespace {
 
-class PortIsDestRouting final : public RoutingFunction {
+class PortIsDestRouting final : public RoutingAlgorithm {
  public:
   PortId Route(RouterId, NodeId dst) const override { return dst % 5; }
   PortDimension DimensionOf(PortId port) const override {
