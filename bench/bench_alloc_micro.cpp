@@ -66,6 +66,9 @@ void BM_PacketChaining(benchmark::State& s) {
 void BM_Islip(benchmark::State& s) {
   RunAllocator(s, AllocScheme::kIslip, static_cast<int>(s.range(0)), 6);
 }
+void BM_Serenade(benchmark::State& s) {
+  RunAllocator(s, AllocScheme::kSerenade, static_cast<int>(s.range(0)), 6);
+}
 
 BENCHMARK(BM_InputFirst)->Arg(5)->Arg(8)->Arg(10);
 BENCHMARK(BM_Vix)->Arg(5)->Arg(8)->Arg(10);
@@ -74,6 +77,7 @@ BENCHMARK(BM_Wavefront)->Arg(5)->Arg(8)->Arg(10);
 BENCHMARK(BM_AugmentingPath)->Arg(5)->Arg(8)->Arg(10);
 BENCHMARK(BM_PacketChaining)->Arg(5)->Arg(8)->Arg(10);
 BENCHMARK(BM_Islip)->Arg(5)->Arg(8)->Arg(10);
+BENCHMARK(BM_Serenade)->Arg(5)->Arg(8)->Arg(10);
 
 }  // namespace
 }  // namespace vixnoc

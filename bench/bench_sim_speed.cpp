@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/switch_allocator.hpp"
 #include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
@@ -110,6 +111,46 @@ BENCHMARK(BM_CMesh_VIX);
 BENCHMARK(BM_FBfly_VIX);
 BENCHMARK(BM_Mesh_VIX_AdaptiveMin);
 
+// Gated arm (pass serenade=1): a saturated radix-64 single-router hot loop
+// over the SERENADE allocator — one Allocate() per state iteration is one
+// router cycle. Large-radix points are well off the 64-node mesh arms'
+// operating point, so this arm is opt-in; the trajectory check
+// (scripts/bench_trajectory.py) treats its absence as a skipped gated arm,
+// not a regression.
+void BM_SingleRouter_Serenade(benchmark::State& state) {
+  constexpr int kRadix = 64;
+  constexpr int kVcs = 4;
+  SwitchGeometry geom;
+  geom.num_inports = kRadix;
+  geom.num_outports = kRadix;
+  geom.num_vcs = kVcs;
+  geom.num_vins = VirtualInputsForScheme(AllocScheme::kSerenade, kVcs);
+  auto alloc = MakeSwitchAllocator(AllocScheme::kSerenade, geom,
+                                   ArbiterKind::kRoundRobin, 7);
+  Rng rng(17);
+  constexpr int kPool = 64;
+  std::vector<std::vector<SaRequest>> pool(kPool);
+  for (auto& reqs : pool) {
+    for (PortId in = 0; in < kRadix; ++in) {
+      for (VcId vc = 0; vc < kVcs; ++vc) {
+        if (rng.NextBool(0.7)) {
+          reqs.push_back(
+              {in, vc, static_cast<PortId>(rng.NextBounded(kRadix))});
+        }
+      }
+    }
+  }
+  std::vector<SaGrant> grants;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    alloc->Allocate(pool[i++ % kPool], &grants);
+    benchmark::DoNotOptimize(grants.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["router_cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
 /// Tees the console output while keeping every finished run for the JSON
 /// report.
 class CollectingReporter : public benchmark::ConsoleReporter {
@@ -156,7 +197,13 @@ int main(int argc, char** argv) {
   const int max_threads =
       ResolveThreadCount(static_cast<int>(args.GetInt("threads", 0)));
   const std::string json_path = args.GetString("json", "bench_results.json");
+  const bool serenade_arm = args.GetBool("serenade", false);
   args.CheckAllConsumed();
+
+  if (serenade_arm) {
+    benchmark::RegisterBenchmark("BM_SingleRouter_Serenade",
+                                 BM_SingleRouter_Serenade);
+  }
 
   bench::WarnIfDebugBuild("sim_speed");
   CollectingReporter reporter;

@@ -7,8 +7,12 @@
 //   $ ./build/examples/noc_explorer sweep=1 scheme=vix csv=sweep.csv
 //
 // Keys (all optional): topology=mesh|cmesh|fbfly scheme=if|wf|ap|vix|
-// ideal|pc|islip|sparoflo pattern=uniform|transpose|bitcomp|bitrev|tornado|
-// hotspot routing=dor|adaptive_min|fault_aware
+// ideal|pc|islip|sparoflo|serenade pattern=uniform|transpose|bitcomp|
+// bitrev|tornado|hotspot|incast routing=dor|adaptive_min|fault_aware
+// hotspot=<node> (hot node for pattern=hotspot, receiver for
+// pattern=incast; default derives an off-center node from the topology)
+// fanin=<M> (pattern=incast sender count; default all nodes but the
+// receiver)
 // rate=<packets/cycle/node> vcs= depth= packet= seed= warmup= measure=
 // drain= pipeline=3|5 sweep=0|1 csv=<path> threads=<N>
 // checkpoint=<path> checkpoint_every=<N> restore=<path>
@@ -101,6 +105,9 @@ int main(int argc, char** argv) {
                  RegisteredRoutingNamesJoined().c_str());
     return 2;
   }
+  config.hotspot_node =
+      static_cast<NodeId>(args.GetInt("hotspot", kInvalidNode));
+  config.incast_fanin = static_cast<int>(args.GetInt("fanin", 0));
   config.num_vcs = static_cast<int>(args.GetInt("vcs", 6));
   config.buffer_depth = static_cast<int>(args.GetInt("depth", 5));
   config.packet_size = static_cast<int>(args.GetInt("packet", 4));

@@ -45,24 +45,33 @@ echo "== tier1: ThreadSanitizer sweep_test (${PREFIX}-tsan) =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j --target sweep_test alloc_equiv_test \
-  routing_test
+  routing_test serenade_test
 "${PREFIX}-tsan/tests/sweep_test"
+# alloc_equiv_test now sweeps radixes 2..70 (multi-word rows included), so
+# the large-radix word-parallel paths run under the sanitizer too.
 "${PREFIX}-tsan/tests/alloc_equiv_test"
 # routing_test drives the adaptive arm through SweepRunner at 1/2/8
 # threads and the subprocess coordinator — the candidate-selection VA
 # path must be as race-free as the deterministic one.
 "${PREFIX}-tsan/tests/routing_test"
+# serenade_test pins the randomized allocator's determinism contract at
+# 1/2/8 threads and across the subprocess coordinator — the per-router
+# RNG streams must stay race-free and bitwise stable.
+"${PREFIX}-tsan/tests/serenade_test"
 
 echo "== tier1: ASan+UBSan fault/robustness tests (${PREFIX}-asan) =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
-  sweep_test alloc_equiv_test exec_test routing_test
+  sweep_test alloc_equiv_test exec_test routing_test serenade_test
 "${PREFIX}-asan/tests/fault_test"
 "${PREFIX}-asan/tests/robustness_test"
 "${PREFIX}-asan/tests/sweep_test"
 "${PREFIX}-asan/tests/alloc_equiv_test"
 "${PREFIX}-asan/tests/routing_test"
+# serenade_test under ASan+UBSan covers the knot-decomposition DFS, the
+# snapshot save/load path, and the checkpoint/restore plumbing.
+"${PREFIX}-asan/tests/serenade_test"
 # exec_test under ASan covers the fork/exec/pipe plumbing and the
 # coordinator's threads; the worker binary it spawns is the ASan build.
 "${PREFIX}-asan/tests/exec_test"

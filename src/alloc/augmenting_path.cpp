@@ -16,6 +16,13 @@ AugmentingPathAllocator::AugmentingPathAllocator(const SwitchGeometry& g,
   vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
   cell_vc_.Resize(g.num_inports * g.num_outports, g.num_vcs);
   visited_.Resize(g.num_outports);
+  const std::int64_t p = std::max(g.num_inports, g.num_outports);
+  work_limit_ = p * p * (p + 1);
+}
+
+void AugmentingPathAllocator::set_work_limit(std::int64_t limit) {
+  VIXNOC_CHECK(limit > 0);
+  work_limit_ = limit;
 }
 
 bool AugmentingPathAllocator::TryAugment(int in) {
@@ -31,6 +38,12 @@ bool AugmentingPathAllocator::TryAugment(int in) {
     if (out < 0) return false;
     visited_.Set(out);
     ++last_iterations_;
+    VIXNOC_REQUIRE(last_iterations_ <= work_limit_,
+                   "augmenting-path allocator exceeded its work bound "
+                   "(%d probes, limit %lld) on a %dx%d switch",
+                   last_iterations_,
+                   static_cast<long long>(work_limit_),
+                   geom_.num_inports, geom_.num_outports);
     if (match_of_out_[out] == -1 || TryAugment(match_of_out_[out])) {
       match_of_out_[out] = in;
       match_of_in_[in] = out;

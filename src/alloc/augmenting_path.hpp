@@ -42,10 +42,19 @@ class AugmentingPathAllocator final : public SwitchAllocator {
   /// call; exposed for the timing model (AP delay grows with iterations).
   int last_iterations() const { return last_iterations_; }
 
+  /// Upper bound on DFS probes per Allocate call. Kuhn's algorithm is
+  /// worst-case P augmentations x P^2 probes each, so the default
+  /// (P^3 + P^2) can never trip on a correct run; lowering it turns a
+  /// pathological large-radix blow-up into a recoverable SimError instead
+  /// of an apparent hang wedging a sweep point. Must be positive.
+  void set_work_limit(std::int64_t limit);
+  std::int64_t work_limit() const { return work_limit_; }
+
  private:
   bool TryAugment(int in);
 
   bool rotate_vcs_;
+  std::int64_t work_limit_ = 0;
 
   // request_ row `in`: bit `out` set if any VC at `in` requests `out`.
   RequestMatrix request_;

@@ -8,6 +8,7 @@
 #include "alloc/islip.hpp"
 #include "alloc/packet_chaining.hpp"
 #include "alloc/separable.hpp"
+#include "alloc/serenade.hpp"
 #include "alloc/sparoflo.hpp"
 #include "alloc/wavefront.hpp"
 
@@ -49,7 +50,8 @@ int VirtualInputsForScheme(AllocScheme scheme, int num_vcs) {
 
 std::unique_ptr<SwitchAllocator> MakeSwitchAllocator(AllocScheme scheme,
                                                      const SwitchGeometry& g,
-                                                     ArbiterKind kind) {
+                                                     ArbiterKind kind,
+                                                     std::uint64_t seed) {
   VIXNOC_REQUIRE(g.Valid(),
                  "invalid switch geometry: %d inports, %d outports, %d VCs, "
                  "%d virtual inputs (need positive sizes and num_vcs "
@@ -83,6 +85,8 @@ std::unique_ptr<SwitchAllocator> MakeSwitchAllocator(AllocScheme scheme,
       return std::make_unique<IslipAllocator>(g);
     case AllocScheme::kSparoflo:
       return std::make_unique<SparofloAllocator>(g, kind);
+    case AllocScheme::kSerenade:
+      return std::make_unique<SerenadeAllocator>(g, seed);
   }
   VIXNOC_CHECK(false);
   return nullptr;

@@ -165,12 +165,15 @@ bool GrantsAreLegal(const SwitchGeometry& geom,
                     const std::vector<SaRequest>& requests,
                     const std::vector<SaGrant>& grants);
 
-/// Factory covering every scheme in the paper's evaluation (§4.1).
-/// The geometry's num_vins must agree with the scheme (1 for IF/WF/AP/PC/
-/// iSLIP, 2 for kVix, num_vcs for kVixIdeal).
+/// Factory covering every scheme in the paper's evaluation (§4.1) plus the
+/// extension arms. The geometry's num_vins must agree with the scheme (1
+/// for IF/WF/AP/PC/iSLIP/SERENADE, 2 for kVix, num_vcs for kVixIdeal).
+/// `seed` feeds the per-instance RNG stream of randomized allocators
+/// (currently only kSerenade); deterministic schemes ignore it.
 std::unique_ptr<SwitchAllocator> MakeSwitchAllocator(
     AllocScheme scheme, const SwitchGeometry& geom,
-    ArbiterKind arbiter_kind = ArbiterKind::kRoundRobin);
+    ArbiterKind arbiter_kind = ArbiterKind::kRoundRobin,
+    std::uint64_t seed = 0);
 
 /// Number of virtual inputs the scheme requires per physical port.
 int VirtualInputsForScheme(AllocScheme scheme, int num_vcs);

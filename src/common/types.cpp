@@ -34,6 +34,8 @@ std::string ToString(AllocScheme scheme) {
       return "iSLIP";
     case AllocScheme::kSparoflo:
       return "SPAROFLO";
+    case AllocScheme::kSerenade:
+      return "SERENADE";
   }
   return "?";
 }
@@ -70,6 +72,8 @@ bool ParseAllocScheme(const std::string& text, AllocScheme* out) {
     *out = AllocScheme::kIslip;
   } else if (t == "sparoflo") {
     *out = AllocScheme::kSparoflo;
+  } else if (t == "serenade") {
+    *out = AllocScheme::kSerenade;
   } else {
     return false;
   }

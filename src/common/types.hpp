@@ -45,6 +45,7 @@ enum class AllocScheme {
   kPacketChaining,  ///< Packet Chaining, SameInput/anyVC scheme.
   kIslip,           ///< Iterative SLIP (extension; not in the paper's main plots).
   kSparoflo,        ///< SPAROFLO-style exposure without virtual inputs (§5).
+  kSerenade,        ///< SERENADE randomized knot-decomposition matching (extension).
 };
 
 /// Human-readable name used by benches and logs.
@@ -61,8 +62,8 @@ enum class TopologyKind {
 std::string ToString(TopologyKind kind);
 
 /// Case-insensitive parse of a scheme name ("if", "vix", "wavefront", "wf",
-/// "ap", "pc", "islip", "sparoflo", "vix-ideal", "ideal"). Returns false on
-/// unknown input.
+/// "ap", "pc", "islip", "sparoflo", "serenade", "vix-ideal", "ideal").
+/// Returns false on unknown input.
 bool ParseAllocScheme(const std::string& text, AllocScheme* out);
 
 /// Case-insensitive parse of "mesh" / "cmesh" / "fbfly".

@@ -88,17 +88,19 @@ void SaveNetworkSimConfig(SnapshotWriter& w, const NetworkSimConfig& c) {
   w.U64(c.measure);
   w.U64(c.drain);
   w.Str(c.routing);
+  w.I32(c.hotspot_node);
+  w.I32(c.incast_fanin);
 }
 
 NetworkSimConfig LoadNetworkSimConfig(SnapshotReader& r) {
   NetworkSimConfig c;
   c.topology = CheckedEnum(r.U8(), TopologyKind::kTorus, "topology");
-  c.scheme = CheckedEnum(r.U8(), AllocScheme::kSparoflo, "scheme");
+  c.scheme = CheckedEnum(r.U8(), AllocScheme::kSerenade, "scheme");
   c.num_vcs = r.I32();
   c.buffer_depth = r.I32();
   c.packet_size = r.I32();
   c.injection_rate = r.F64();
-  c.pattern = CheckedEnum(r.U8(), PatternKind::kHotspot, "pattern");
+  c.pattern = CheckedEnum(r.U8(), PatternKind::kIncast, "pattern");
   c.arbiter = CheckedEnum(r.U8(), ArbiterKind::kMatrix, "arbiter");
   const bool has_policy = r.B();
   const VcAssignPolicy policy =
@@ -147,6 +149,8 @@ NetworkSimConfig LoadNetworkSimConfig(SnapshotReader& r) {
   c.measure = r.U64();
   c.drain = r.U64();
   c.routing = r.Str();
+  c.hotspot_node = r.I32();
+  c.incast_fanin = r.I32();
   return c;
 }
 

@@ -54,8 +54,15 @@ Router::Router(RouterId id, const RouterConfig& config,
       !config_.ap_rotate_vcs) {
     allocator_ = std::make_unique<AugmentingPathAllocator>(geom, false);
   } else {
-    allocator_ =
-        MakeSwitchAllocator(config_.scheme, geom, config_.arbiter_kind);
+    // Randomized allocators get a distinct per-router stream derived from
+    // the VC seed with a mixing constant different from the vc_rng_ one
+    // below, so neither stream aliases the other. Deterministic schemes
+    // ignore the seed, keeping their historical behaviour bit-for-bit.
+    const std::uint64_t alloc_seed =
+        config_.vc_rng_seed +
+        0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(id_) + 1);
+    allocator_ = MakeSwitchAllocator(config_.scheme, geom,
+                                     config_.arbiter_kind, alloc_seed);
   }
   vc_view_scratch_.resize(config_.num_vcs);
   va_prefs_.reserve(total);

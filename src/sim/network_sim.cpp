@@ -128,6 +128,19 @@ void ValidateNetworkSimConfig(const NetworkSimConfig& config) {
   VIXNOC_REQUIRE(config.pipeline_stages == 3 || config.pipeline_stages == 5,
                  "pipeline_stages must be 3 or 5, got %d",
                  config.pipeline_stages);
+  VIXNOC_REQUIRE(config.hotspot_node >= kInvalidNode,
+                 "hotspot_node must be a node index or kInvalidNode, got %d",
+                 config.hotspot_node);
+  if (config.hotspot_node != kInvalidNode) {
+    VIXNOC_REQUIRE(config.pattern == PatternKind::kHotspot ||
+                       config.pattern == PatternKind::kIncast,
+                   "hotspot_node is only meaningful for pattern=hotspot or "
+                   "pattern=incast");
+  }
+  if (config.incast_fanin > 0) {
+    VIXNOC_REQUIRE(config.pattern == PatternKind::kIncast,
+                   "incast_fanin is only meaningful for pattern=incast");
+  }
   if (config.scheme == AllocScheme::kVix) {
     const int vins =
         config.vix_virtual_inputs > 0 ? config.vix_virtual_inputs : 2;
@@ -309,7 +322,10 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config) {
   Network net(topology, params);
   const int num_nodes = net.NumNodes();
 
-  auto pattern = MakePattern(config.pattern);
+  PatternOptions pattern_opts;
+  pattern_opts.hotspot_node = config.hotspot_node;
+  pattern_opts.incast_fanin = config.incast_fanin;
+  auto pattern = MakePattern(config.pattern, pattern_opts);
   Rng rng(config.seed);
   std::unique_ptr<InjectionProcess> injector;
   if (config.bursty) {
@@ -676,6 +692,10 @@ std::uint64_t NetworkSimConfigFingerprint(const NetworkSimConfig& c) {
       static_cast<std::uint64_t>(c.warmup),
       static_cast<std::uint64_t>(c.measure),
       static_cast<std::uint64_t>(c.drain),
+      static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(c.hotspot_node)),
+      static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(c.incast_fanin)),
   };
   for (const auto& [router, port] : c.faults.forced_link_down) {
     fields.push_back(static_cast<std::uint64_t>(router));

@@ -79,6 +79,12 @@ struct NetworkSimConfig {
   int packet_size = 4;    ///< paper §4.1: 512-bit packets on a 128-bit path
   double injection_rate = 0.05;  ///< packets/cycle/node (Bernoulli process)
   PatternKind pattern = PatternKind::kUniform;
+  /// kHotspot: the hot node; kIncast: the receiver. kInvalidNode (the
+  /// default) derives the off-center node from the topology — node 27 on
+  /// the 64-node layouts, preserving the historical sequences.
+  NodeId hotspot_node = kInvalidNode;
+  /// kIncast only: sender count (<= 0 = every node but the receiver).
+  int incast_fanin = 0;
   ArbiterKind arbiter = ArbiterKind::kRoundRobin;
   /// Overrides the scheme's default VC-assignment policy when set.
   std::optional<VcAssignPolicy> vc_policy;

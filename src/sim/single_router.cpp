@@ -29,7 +29,11 @@ SingleRouterResult RunSingleRouter(const SingleRouterConfig& config) {
   geom.num_outports = config.radix;
   geom.num_vcs = config.num_vcs;
   geom.num_vins = VirtualInputsForScheme(config.scheme, config.num_vcs);
-  auto allocator = MakeSwitchAllocator(config.scheme, geom, config.arbiter);
+  // Randomized allocators draw from a stream distinct from the traffic
+  // RNG below (same base seed, different mixing constant).
+  auto allocator =
+      MakeSwitchAllocator(config.scheme, geom, config.arbiter,
+                          config.seed + 0xd1b54a32d192ed03ull);
 
   Rng rng(config.seed);
 

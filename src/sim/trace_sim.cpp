@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/state_io.hpp"
+
 namespace vixnoc {
 
 PacketTrace GeneratePatternTrace(PatternKind pattern, double rate,
@@ -23,6 +27,10 @@ PacketTrace GeneratePatternTrace(PatternKind pattern, double rate,
 
 NetworkSimResult RunTraceSim(const NetworkSimConfig& config,
                              const PacketTrace& trace) {
+  VIXNOC_REQUIRE(config.checkpoint_every == 0 ||
+                     !config.checkpoint_path.empty(),
+                 "checkpoint_every=%llu needs a checkpoint_path",
+                 static_cast<unsigned long long>(config.checkpoint_every));
   auto topology = MakeTopology64(config.topology);
   NetworkParams params;
   params.router.radix = topology->Radix();
@@ -56,7 +64,75 @@ NetworkSimResult RunTraceSim(const NetworkSimConfig& config,
   std::uint64_t offered = 0;
   TraceReplayer replayer(trace);
 
-  for (Cycle t = 0; t < sim_end; ++t) {
+  // --- Checkpoint/restore ------------------------------------------------
+  // Same contract as RunNetworkSim: a checkpoint captures the state before
+  // any work of cycle `next`, so a restored run replays bitwise
+  // identically. The fingerprint folds the trace text into the config
+  // fingerprint: the trace *is* the injection process here, so restoring
+  // against different records must be rejected, not silently resumed.
+  const bool snapshots_wanted =
+      config.checkpoint_every > 0 || !config.restore_path.empty();
+  std::uint64_t trace_fp = 0;
+  if (snapshots_wanted) {
+    const std::string text = trace.ToText();
+    trace_fp = Fnv1a64(text.data(), text.size(),
+                       NetworkSimConfigFingerprint(config));
+  }
+  const auto serialize_sim = [&](Cycle next) {
+    SnapshotWriter w;
+    w.BeginSection("trace_sim");
+    w.U64(next);
+    w.U64(static_cast<std::uint64_t>(replayer.position()));
+    SaveRunningStat(w, latency);
+    SaveRunningStat(w, net_latency);
+    SaveHistogram(w, latency_hist);
+    w.U64(offered);
+    for (const NodeCounters& c : at_start) SaveNodeCounters(w, c);
+    for (const NodeCounters& c : at_end) SaveNodeCounters(w, c);
+    SaveRouterActivity(w, activity_snapshot);
+    w.EndSection();
+    w.BeginSection("network");
+    net.SaveState(w);
+    w.EndSection();
+    return w.Finish(trace_fp);
+  };
+
+  Cycle start_cycle = 0;
+  if (!config.restore_path.empty()) {
+    SnapshotReader r(ReadSnapshotFile(config.restore_path));
+    VIXNOC_REQUIRE(r.fingerprint() == trace_fp,
+                   "checkpoint '%s' was taken under a different trace-sim "
+                   "config or trace (fingerprint %016llx, this run is "
+                   "%016llx)",
+                   config.restore_path.c_str(),
+                   static_cast<unsigned long long>(r.fingerprint()),
+                   static_cast<unsigned long long>(trace_fp));
+    r.OpenSection("trace_sim");
+    start_cycle = r.U64();
+    VIXNOC_REQUIRE(start_cycle <= sim_end,
+                   "checkpoint resumes at cycle %llu, past the end of this "
+                   "run (%llu)",
+                   static_cast<unsigned long long>(start_cycle),
+                   static_cast<unsigned long long>(sim_end));
+    replayer.set_position(static_cast<std::size_t>(r.U64()));
+    LoadRunningStat(r, &latency);
+    LoadRunningStat(r, &net_latency);
+    LoadHistogram(r, &latency_hist);
+    offered = r.U64();
+    for (NodeCounters& c : at_start) LoadNodeCounters(r, &c);
+    for (NodeCounters& c : at_end) LoadNodeCounters(r, &c);
+    activity_snapshot = LoadRouterActivity(r);
+    r.CloseSection();
+    r.OpenSection("network");
+    net.LoadState(r);
+    r.CloseSection();
+  }
+
+  for (Cycle t = start_cycle; t < sim_end; ++t) {
+    if (config.checkpoint_every > 0 && t > 0 && t != start_cycle &&
+        t % config.checkpoint_every == 0) {
+      WriteSnapshotFile(config.checkpoint_path, serialize_sim(t));
+    }
     if (t == measure_start) {
       for (NodeId n = 0; n < num_nodes; ++n) at_start[n] = net.counters(n);
       net.ClearActivity();

@@ -19,6 +19,13 @@ PacketTrace GeneratePatternTrace(PatternKind pattern, double rate,
 /// ignored). Measurement uses config.warmup/measure as in RunNetworkSim;
 /// after the trace is exhausted the network drains fully (bounded by
 /// config.drain extra cycles past the last record).
+///
+/// Checkpoint/restore works exactly as in RunNetworkSim: with
+/// `checkpoint_every` > 0 the full state is written to `checkpoint_path`
+/// periodically, and `restore_path` resumes a run bitwise identically to
+/// one that never stopped. Checkpoints are stamped with the config
+/// fingerprint folded with a hash of the trace contents, so restoring
+/// under a different config *or a different trace* throws SimError.
 NetworkSimResult RunTraceSim(const NetworkSimConfig& config,
                              const PacketTrace& trace);
 

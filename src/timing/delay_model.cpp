@@ -64,6 +64,15 @@ double AugmentingPathDelayPs(int radix, int num_vcs) {
          kApStepPs * static_cast<double>(radix) * radix;
 }
 
+double SerenadeDelayPs(int radix, int num_vcs) {
+  // One propose/accept exchange to form the random matching, then
+  // ceil(log2 P) + 1 knotting rounds of pointer-jump exchanges, each
+  // charged as one output-arbitration chain (SERENADE's O(log N) depth).
+  VIXNOC_CHECK(radix >= 2 && num_vcs >= 1);
+  const double rounds = std::ceil(std::log2(static_cast<double>(radix))) + 1;
+  return SaDelayPs(radix, num_vcs, 1) + kApStepPs * rounds;
+}
+
 double RouterCyclePs(int radix, int num_vcs, int num_vins) {
   const StageDelays d = RouterStageDelays(radix, num_vcs, num_vins);
   return std::max({d.va_ps, d.sa_ps, d.xbar_ps});

@@ -47,6 +47,13 @@ double WavefrontDelayPs(int radix, int num_vcs);
 /// search. Far beyond a router cycle for any practical radix.
 double AugmentingPathDelayPs(int radix, int num_vcs);
 
+/// SERENADE randomized matching: one request/propose exchange (an output
+/// arbitration level) plus O(log2 P) parallel knotting rounds, each a
+/// pointer-jump exchange comparable to one arbitration level. This is the
+/// logarithmic scaling that keeps matching-quality allocation plausible at
+/// radix 16-64 where AP's serial augmentation is hopeless.
+double SerenadeDelayPs(int radix, int num_vcs);
+
 /// Router cycle time: the slowest pipeline stage (VA and SA dominate; the
 /// crossbar has slack — the core feasibility argument for VIX).
 double RouterCyclePs(int radix, int num_vcs, int num_vins);

@@ -1,5 +1,6 @@
 #include "traffic/patterns.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 
@@ -66,9 +67,36 @@ NodeId TornadoPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
   return AvoidSelf(src, ty * side + tx, num_nodes);
 }
 
+NodeId DefaultHotspotNode(int num_nodes) {
+  const int side = static_cast<int>(std::lround(std::sqrt(num_nodes)));
+  if (side >= 2 && side * side == num_nodes) {
+    const int d = side / 2 - 1;
+    if (d >= 0) return d * side + d;  // row d, col d: off-center
+  }
+  return num_nodes >= 2 ? num_nodes / 2 - 1 : 0;
+}
+
 NodeId HotspotPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
-  const NodeId hot = hotspot_ % num_nodes;  // clamp for small test networks
+  const NodeId hot = hotspot_ == kInvalidNode
+                         ? DefaultHotspotNode(num_nodes)
+                         : hotspot_ % num_nodes;  // clamp for small networks
   if (src != hot && rng.NextBool(hot_fraction_)) return hot;
+  const auto pick = static_cast<NodeId>(rng.NextBounded(num_nodes - 1));
+  return pick >= src ? pick + 1 : pick;
+}
+
+NodeId IncastPattern::Dest(NodeId src, int num_nodes, Rng& rng) const {
+  const NodeId recv = receiver_ == kInvalidNode
+                          ? DefaultHotspotNode(num_nodes)
+                          : receiver_ % num_nodes;
+  const int fan = fan_in_ <= 0 ? num_nodes - 1
+                               : std::min(fan_in_, num_nodes - 1);
+  if (src != recv) {
+    // Sender rank: position of src among nodes != recv, ascending.
+    const int rank = src < recv ? src : src - 1;
+    if (rank < fan) return recv;
+  }
+  // Background (and receiver) traffic: uniform over all nodes != src.
   const auto pick = static_cast<NodeId>(rng.NextBounded(num_nodes - 1));
   return pick >= src ? pick + 1 : pick;
 }
@@ -88,6 +116,8 @@ bool ParsePatternKind(const std::string& text, PatternKind* out) {
     *out = PatternKind::kTornado;
   } else if (t == "hotspot") {
     *out = PatternKind::kHotspot;
+  } else if (t == "incast") {
+    *out = PatternKind::kIncast;
   } else {
     return false;
   }
@@ -95,6 +125,11 @@ bool ParsePatternKind(const std::string& text, PatternKind* out) {
 }
 
 std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind) {
+  return MakePattern(kind, PatternOptions{});
+}
+
+std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind,
+                                            const PatternOptions& opts) {
   switch (kind) {
     case PatternKind::kUniform:
       return std::make_unique<UniformRandomPattern>();
@@ -107,10 +142,14 @@ std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind) {
     case PatternKind::kTornado:
       return std::make_unique<TornadoPattern>();
     case PatternKind::kHotspot:
-      // Node 27 is row 3, col 3 of the 64-node mesh layout: off-center so
-      // DOR's X-then-Y paths concentrate on a few links (the stressor the
-      // adaptive arm is measured against); 15% hot traffic.
-      return std::make_unique<HotspotPattern>(27, 0.15);
+      // Default hot node derives from the layout (27 — row 3, col 3 — on
+      // the 64-node mesh: off-center so DOR's X-then-Y paths concentrate
+      // on a few links, the stressor the adaptive arm is measured
+      // against); 15% hot traffic.
+      return std::make_unique<HotspotPattern>(opts.hotspot_node, 0.15);
+    case PatternKind::kIncast:
+      return std::make_unique<IncastPattern>(opts.hotspot_node,
+                                             opts.incast_fanin);
   }
   VIXNOC_CHECK(false);
   return nullptr;

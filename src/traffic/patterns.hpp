@@ -58,8 +58,16 @@ class TornadoPattern final : public TrafficPattern {
   std::string Name() const override { return "tornado"; }
 };
 
+/// The default hot node for a `num_nodes` network: row sqrt(N)/2 - 1,
+/// col sqrt(N)/2 - 1 on square layouts (node 27 on the 64-node mesh —
+/// off-center so DOR's X-then-Y paths concentrate on a few links), and
+/// N/2 - 1 on non-square node counts.
+NodeId DefaultHotspotNode(int num_nodes);
+
 /// A fraction of the traffic targets a fixed hotspot node; the rest is
-/// uniform random.
+/// uniform random. Passing kInvalidNode as the hotspot derives the
+/// off-center default from the network size (DefaultHotspotNode); an
+/// explicit node is clamped modulo N for small test networks.
 class HotspotPattern final : public TrafficPattern {
  public:
   HotspotPattern(NodeId hotspot, double hot_fraction)
@@ -72,21 +80,57 @@ class HotspotPattern final : public TrafficPattern {
   double hot_fraction_;
 };
 
+/// Datacenter-style incast: a fixed set of M sender nodes all target one
+/// receiver; every other node (and the receiver itself) sends uniform
+/// background traffic. The senders are the `fan_in` lowest-numbered nodes
+/// other than the receiver, so the sender set is a pure function of
+/// (receiver, fan_in, N). `receiver` = kInvalidNode derives the default
+/// node (DefaultHotspotNode); `fan_in` <= 0 means every node but the
+/// receiver sends to it.
+class IncastPattern final : public TrafficPattern {
+ public:
+  IncastPattern(NodeId receiver, int fan_in)
+      : receiver_(receiver), fan_in_(fan_in) {}
+  NodeId Dest(NodeId src, int num_nodes, Rng& rng) const override;
+  std::string Name() const override { return "incast"; }
+
+ private:
+  NodeId receiver_;
+  int fan_in_;
+};
+
 enum class PatternKind {
   kUniform,
   kTranspose,
   kBitComplement,
   kBitReverse,
   kTornado,
-  /// Fixed hotspot (node 27 on the 64-node layouts, clamped modulo N
-  /// elsewhere) drawing 15% of the traffic — the adaptive-routing stressor.
+  /// Fixed hotspot (derived off-center node — 27 on the 64-node layouts —
+  /// unless overridden) drawing 15% of the traffic — the adaptive-routing
+  /// stressor.
   kHotspot,
+  /// M-senders-to-1-receiver incast with uniform background traffic.
+  kIncast,
+};
+
+/// Per-pattern knobs beyond the kind itself. Defaults reproduce the
+/// historical behaviour for every pattern.
+struct PatternOptions {
+  /// kHotspot: the hot node; kIncast: the receiver. kInvalidNode derives
+  /// the off-center default from the network size.
+  NodeId hotspot_node = kInvalidNode;
+  /// kIncast only: number of sender nodes (<= 0: all nodes but the
+  /// receiver).
+  int incast_fanin = 0;
 };
 
 std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind);
+std::unique_ptr<TrafficPattern> MakePattern(PatternKind kind,
+                                            const PatternOptions& opts);
 
 /// Case-insensitive parse of "uniform", "transpose", "bitcomp",
-/// "bitrev", "tornado", "hotspot". Returns false on unknown input.
+/// "bitrev", "tornado", "hotspot", "incast". Returns false on unknown
+/// input.
 bool ParsePatternKind(const std::string& text, PatternKind* out);
 
 }  // namespace vixnoc

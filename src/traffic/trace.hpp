@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
 
 namespace vixnoc {
@@ -62,6 +63,13 @@ class TraceReplayer {
 
   bool Exhausted() const { return next_ == trace_.size(); }
   void Reset() { next_ = 0; }
+
+  /// Replay cursor — records already consumed — for checkpoint/restore.
+  std::size_t position() const { return next_; }
+  void set_position(std::size_t pos) {
+    VIXNOC_CHECK(pos <= trace_.size());
+    next_ = pos;
+  }
 
  private:
   const PacketTrace& trace_;

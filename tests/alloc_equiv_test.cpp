@@ -113,8 +113,12 @@ TEST_P(AllocEquivTest, RandomRequestMatricesMatchScalarReference) {
   g.num_outports = c.radix;
   g.num_vcs = c.vcs;
   g.num_vins = VirtualInputsForScheme(c.scheme, c.vcs);
-  auto fast = MakeSwitchAllocator(c.scheme, g, c.kind);
-  auto ref = ref::MakeRefAllocator(c.scheme, g, c.kind);
+  // Randomized schemes (SERENADE) must see the same seed on both sides;
+  // the deterministic schemes ignore it.
+  const std::uint64_t seed =
+      0x5e7e9adeull ^ (static_cast<std::uint64_t>(c.radix) << 16);
+  auto fast = MakeSwitchAllocator(c.scheme, g, c.kind, seed);
+  auto ref = ref::MakeRefAllocator(c.scheme, g, c.kind, seed);
   ASSERT_NE(ref, nullptr);
 
   std::mt19937_64 rng(0xA110Cu ^ (static_cast<std::uint64_t>(c.radix) << 8) ^
@@ -159,12 +163,16 @@ std::vector<EquivCase> AllCases() {
       AllocScheme::kInputFirst, AllocScheme::kVix, AllocScheme::kVixIdeal,
       AllocScheme::kWavefront,  AllocScheme::kAugmentingPath,
       AllocScheme::kIslip,      AllocScheme::kSparoflo,
+      AllocScheme::kSerenade,
   };
   for (int radix : radixes) {
     for (AllocScheme scheme : schemes) {
-      // Keep the >64 guard to two schemes so sanitizer runs stay fast.
+      // Keep the >64 guard to three schemes so sanitizer runs stay fast.
+      // SERENADE stays in: its k-th-set-bit proposal scan walks whole
+      // multi-word rows and needs the >64 coverage.
       if (radix > 64 && scheme != AllocScheme::kInputFirst &&
-          scheme != AllocScheme::kIslip) {
+          scheme != AllocScheme::kIslip &&
+          scheme != AllocScheme::kSerenade) {
         continue;
       }
       cases.push_back(EquivCase{scheme, radix, 4, ArbiterKind::kRoundRobin});

@@ -10,6 +10,7 @@
 #include "alloc/packet_chaining.hpp"
 #include "alloc/separable.hpp"
 #include "alloc/switch_allocator.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace vixnoc {
@@ -354,6 +355,43 @@ TEST(AugmentingPath, DeterministicallyFavorsLowInputs) {
     alloc->Allocate({{1, 0, 3}, {4, 0, 3}}, &grants);
     ASSERT_EQ(grants.size(), 1u);
     EXPECT_EQ(grants[0].in_port, 1);
+  }
+}
+
+TEST(AugmentingPath, DefaultWorkBoundNeverTripsOnDenseMatrices) {
+  // The default bound is P^2 * (P + 1), above Kuhn's worst case, so even
+  // an all-ones request matrix (the probe-heaviest input) must allocate.
+  auto alloc =
+      MakeSwitchAllocator(AllocScheme::kAugmentingPath, Geom(16, 2, 1));
+  auto* ap = static_cast<AugmentingPathAllocator*>(alloc.get());
+  EXPECT_EQ(ap->work_limit(), 16ll * 16 * 17);
+  std::vector<SaRequest> reqs;
+  for (PortId in = 0; in < 16; ++in) {
+    for (PortId out = 0; out < 16; ++out) reqs.push_back({in, 0, out});
+  }
+  std::vector<SaGrant> grants;
+  for (int t = 0; t < 20; ++t) {
+    ASSERT_NO_THROW(alloc->Allocate(reqs, &grants));
+    EXPECT_EQ(grants.size(), 16u);  // perfect matching exists
+  }
+}
+
+TEST(AugmentingPath, ExhaustedWorkBoundIsASimErrorNotAHang) {
+  auto alloc =
+      MakeSwitchAllocator(AllocScheme::kAugmentingPath, Geom(8, 2, 1));
+  auto* ap = static_cast<AugmentingPathAllocator*>(alloc.get());
+  ap->set_work_limit(3);  // trips on any nontrivial matrix
+  std::vector<SaRequest> reqs;
+  for (PortId in = 0; in < 8; ++in) {
+    for (PortId out = 0; out < 8; ++out) reqs.push_back({in, 0, out});
+  }
+  std::vector<SaGrant> grants;
+  try {
+    alloc->Allocate(reqs, &grants);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("work bound"), std::string::npos) << msg;
   }
 }
 

@@ -85,6 +85,8 @@ TEST(ParseEnums, AllocSchemes) {
   EXPECT_EQ(s, AllocScheme::kIslip);
   EXPECT_TRUE(ParseAllocScheme("sparoflo", &s));
   EXPECT_EQ(s, AllocScheme::kSparoflo);
+  EXPECT_TRUE(ParseAllocScheme("serenade", &s));
+  EXPECT_EQ(s, AllocScheme::kSerenade);
   EXPECT_FALSE(ParseAllocScheme("bogus", &s));
 }
 
@@ -113,6 +115,10 @@ TEST(ParseEnums, Patterns) {
   EXPECT_EQ(p, PatternKind::kBitReverse);
   EXPECT_TRUE(ParsePatternKind("tornado", &p));
   EXPECT_EQ(p, PatternKind::kTornado);
+  EXPECT_TRUE(ParsePatternKind("hotspot", &p));
+  EXPECT_EQ(p, PatternKind::kHotspot);
+  EXPECT_TRUE(ParsePatternKind("Incast", &p));
+  EXPECT_EQ(p, PatternKind::kIncast);
   EXPECT_FALSE(ParsePatternKind("nearest", &p));
 }
 

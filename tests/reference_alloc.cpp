@@ -389,9 +389,155 @@ void RefSparoflo::Allocate(const std::vector<SaRequest>& requests,
   }
 }
 
+// ---------------------------------------------------------------------------
+// SERENADE (scalar mirror of SerenadeAllocator::Allocate).
+
+RefSerenade::RefSerenade(const SwitchGeometry& g, std::uint64_t seed)
+    : RefAllocator(g), rng_(seed) {
+  prev_match_.assign(g.num_inports, -1);
+  vc_rr_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports, 0);
+  request_row_.assign(g.num_inports,
+                      std::vector<bool>(g.num_outports, false));
+  cell_vc_.assign(static_cast<std::size_t>(g.num_inports) * g.num_outports,
+                  std::vector<bool>(g.num_vcs, false));
+  prop_in_.resize(g.num_inports);
+  prop_out_.resize(g.num_outports);
+  prop_w_.resize(g.num_outports);
+  prev_out_.resize(g.num_outports);
+  match_in_.resize(g.num_inports);
+  in_seen_.resize(g.num_inports);
+  out_seen_.resize(g.num_outports);
+}
+
+int RefSerenade::EdgeWeight(int in, int out) const {
+  if (out < 0 || !request_row_[in][out]) return 0;
+  const auto& vcs =
+      cell_vc_[static_cast<std::size_t>(in) * geom_.num_outports + out];
+  int w = 0;
+  for (const bool b : vcs) w += b ? 1 : 0;
+  return w;
+}
+
+void RefSerenade::Allocate(const std::vector<SaRequest>& requests,
+                           std::vector<SaGrant>* grants) {
+  grants->clear();
+  for (auto& row : request_row_) std::fill(row.begin(), row.end(), false);
+  for (auto& vcs : cell_vc_) std::fill(vcs.begin(), vcs.end(), false);
+  for (const SaRequest& r : requests) {
+    request_row_[r.in_port][r.out_port] = true;
+    cell_vc_[static_cast<std::size_t>(r.in_port) * geom_.num_outports +
+             r.out_port][r.vc] = true;
+  }
+
+  // Phase 1 — randomized proposals, ascending input order, one bounded
+  // draw per requesting input; each output keeps its heaviest proposer
+  // (earliest on ties).
+  std::fill(prop_in_.begin(), prop_in_.end(), -1);
+  std::fill(prop_out_.begin(), prop_out_.end(), -1);
+  std::fill(prop_w_.begin(), prop_w_.end(), 0);
+  for (int in = 0; in < geom_.num_inports; ++in) {
+    int count = 0;
+    for (int o = 0; o < geom_.num_outports; ++o) {
+      count += request_row_[in][o] ? 1 : 0;
+    }
+    if (count == 0) continue;
+    const int k = static_cast<int>(
+        rng_.NextBounded(static_cast<std::uint64_t>(count)));
+    int out = -1;
+    int seen = 0;
+    for (int o = 0; o < geom_.num_outports; ++o) {
+      if (request_row_[in][o] && seen++ == k) {
+        out = o;
+        break;
+      }
+    }
+    const int w = EdgeWeight(in, out);
+    const int incumbent = prop_out_[out];
+    if (incumbent == -1 || w > prop_w_[out]) {
+      if (incumbent != -1) prop_in_[incumbent] = -1;
+      prop_in_[in] = out;
+      prop_out_[out] = in;
+      prop_w_[out] = w;
+    }
+  }
+
+  // Phase 2 — knot decomposition of previous matching union proposals.
+  // Component membership and per-component sums are traversal-order
+  // independent, so a plain scalar DFS lands on identical matchings.
+  std::fill(prev_out_.begin(), prev_out_.end(), -1);
+  for (int in = 0; in < geom_.num_inports; ++in) {
+    if (prev_match_[in] != -1) prev_out_[prev_match_[in]] = in;
+  }
+  std::fill(match_in_.begin(), match_in_.end(), -1);
+  std::fill(in_seen_.begin(), in_seen_.end(), false);
+  std::fill(out_seen_.begin(), out_seen_.end(), false);
+  std::vector<int> comp_in;
+  std::vector<int> stack;
+  for (int start = 0; start < geom_.num_inports; ++start) {
+    if (in_seen_[start]) continue;
+    comp_in.clear();
+    stack.assign(1, start);
+    in_seen_[start] = true;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      if (v >= 0) {
+        comp_in.push_back(v);
+        for (const int out : {prev_match_[v], prop_in_[v]}) {
+          if (out != -1 && !out_seen_[out]) {
+            out_seen_[out] = true;
+            stack.push_back(-(out + 1));
+          }
+        }
+      } else {
+        const int out = -v - 1;
+        for (const int in : {prev_out_[out], prop_out_[out]}) {
+          if (in != -1 && !in_seen_[in]) {
+            in_seen_[in] = true;
+            stack.push_back(in);
+          }
+        }
+      }
+    }
+    int sum_p = 0;
+    int sum_r = 0;
+    for (const int in : comp_in) {
+      sum_p += EdgeWeight(in, prev_match_[in]);
+      sum_r += EdgeWeight(in, prop_in_[in]);
+    }
+    const bool keep_r = sum_r >= sum_p;
+    for (const int in : comp_in) {
+      const int out = keep_r ? prop_in_[in] : prev_match_[in];
+      if (out != -1) match_in_[in] = out;
+    }
+  }
+  prev_match_ = match_in_;
+
+  // Phase 3 — grants with the rotating VC scan (first set VC at or after
+  // the pointer, wrapping).
+  for (int in = 0; in < geom_.num_inports; ++in) {
+    const int out = match_in_[in];
+    if (out == -1 || !request_row_[in][out]) continue;
+    const std::size_t cell =
+        static_cast<std::size_t>(in) * geom_.num_outports + out;
+    int& ptr = vc_rr_[cell];
+    VcId best = kInvalidVc;
+    for (int off = 0; off < geom_.num_vcs; ++off) {
+      const VcId vc = static_cast<VcId>((ptr + off) % geom_.num_vcs);
+      if (cell_vc_[cell][vc]) {
+        best = vc;
+        break;
+      }
+    }
+    ptr = (best + 1) % geom_.num_vcs;
+    grants->push_back(SaGrant{in, 0, best, out});
+  }
+}
+
 std::unique_ptr<RefAllocator> MakeRefAllocator(AllocScheme scheme,
                                                const SwitchGeometry& g,
-                                               ArbiterKind kind) {
+                                               ArbiterKind kind,
+                                               std::uint64_t seed) {
   switch (scheme) {
     case AllocScheme::kInputFirst:
     case AllocScheme::kVix:
@@ -405,6 +551,8 @@ std::unique_ptr<RefAllocator> MakeRefAllocator(AllocScheme scheme,
       return std::make_unique<RefIslip>(g);
     case AllocScheme::kSparoflo:
       return std::make_unique<RefSparoflo>(g, kind);
+    case AllocScheme::kSerenade:
+      return std::make_unique<RefSerenade>(g, seed);
     default:
       return nullptr;
   }

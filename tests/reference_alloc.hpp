@@ -9,10 +9,12 @@
 // require identical grants at every cycle, not just on the first one.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "alloc/switch_allocator.hpp"
+#include "common/rng.hpp"
 
 namespace vixnoc::ref {
 
@@ -192,10 +194,42 @@ class RefSparoflo final : public RefAllocator {
   std::vector<std::unique_ptr<RefArbiter>> conflict_arbiters_;
 };
 
+// Scalar SERENADE mirror. Unlike the other references this one is not a
+// pre-rewrite retention — SERENADE was born word-parallel — but it plays
+// the same role: nested-loop logic with plain vectors, consuming the
+// identical RNG draw sequence (one bounded draw per requesting input, in
+// ascending input order), so the bitmask kernel's proposal selection, knot
+// decomposition, and VC rotation are pinned grant-for-grant.
+class RefSerenade final : public RefAllocator {
+ public:
+  RefSerenade(const SwitchGeometry& g, std::uint64_t seed);
+  void Allocate(const std::vector<SaRequest>& requests,
+                std::vector<SaGrant>* grants) override;
+
+ private:
+  int EdgeWeight(int in, int out) const;
+
+  Rng rng_;
+  std::vector<int> prev_match_;
+  std::vector<int> vc_rr_;
+  std::vector<std::vector<bool>> request_row_;
+  std::vector<std::vector<bool>> cell_vc_;
+  std::vector<int> prop_in_;
+  std::vector<int> prop_out_;
+  std::vector<int> prop_w_;
+  std::vector<int> prev_out_;
+  std::vector<int> match_in_;
+  std::vector<bool> in_seen_;
+  std::vector<bool> out_seen_;
+};
+
 /// Factory mirroring MakeSwitchAllocator for the schemes with bitmask
-/// kernels (separable IF/VIX/VIX-ideal, wavefront, AP, iSLIP, SPAROFLO).
+/// kernels (separable IF/VIX/VIX-ideal, wavefront, AP, iSLIP, SPAROFLO,
+/// SERENADE). `seed` only matters for the randomized schemes and must
+/// match the seed handed to MakeSwitchAllocator.
 std::unique_ptr<RefAllocator> MakeRefAllocator(AllocScheme scheme,
                                                const SwitchGeometry& g,
-                                               ArbiterKind kind);
+                                               ArbiterKind kind,
+                                               std::uint64_t seed = 0);
 
 }  // namespace vixnoc::ref

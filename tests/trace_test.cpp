@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/error.hpp"
 #include "sim/trace_sim.hpp"
 #include "traffic/trace.hpp"
 
@@ -110,6 +111,76 @@ TEST(TraceSim, MatchesBernoulliSimStatistically) {
   const auto replay = RunTraceSim(config, trace);
   EXPECT_NEAR(replay.accepted_ppc, live.accepted_ppc, 0.004);
   EXPECT_NEAR(replay.avg_latency, live.avg_latency, live.avg_latency * 0.1);
+}
+
+void ExpectTraceBitwiseEqual(const NetworkSimResult& a,
+                             const NetworkSimResult& b) {
+  EXPECT_EQ(a.accepted_ppc, b.accepted_ppc);
+  EXPECT_EQ(a.accepted_fpc, b.accepted_fpc);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.avg_net_latency, b.avg_net_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.activity.xbar_traversals, b.activity.xbar_traversals);
+  EXPECT_EQ(a.activity.buffer_writes, b.activity.buffer_writes);
+}
+
+TEST(TraceSim, CheckpointRestoreMidRunIsBitwiseEquivalent) {
+  const PacketTrace trace = GeneratePatternTrace(
+      PatternKind::kUniform, 0.05, 64, 4'000, 4, 13);
+  NetworkSimConfig config;
+  // SERENADE makes this the strongest restore test available: the
+  // allocator RNG cursor must ride through the snapshot too.
+  config.scheme = AllocScheme::kSerenade;
+  config.warmup = 1'000;
+  config.measure = 2'500;
+  config.drain = 1'500;
+  const auto uninterrupted = RunTraceSim(config, trace);
+  ASSERT_GT(uninterrupted.packets_measured, 0u);
+
+  const std::string path = ::testing::TempDir() + "/trace_midrun.ckpt";
+  NetworkSimConfig writing = config;
+  writing.checkpoint_path = path;
+  writing.checkpoint_every = 1'000;
+  const auto checkpointed = RunTraceSim(writing, trace);
+  ExpectTraceBitwiseEqual(uninterrupted, checkpointed);
+
+  NetworkSimConfig resumed = config;
+  resumed.restore_path = path;
+  const auto restored = RunTraceSim(resumed, trace);
+  ExpectTraceBitwiseEqual(uninterrupted, restored);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSim, RestoreRejectsADifferentTrace) {
+  const PacketTrace trace = GeneratePatternTrace(
+      PatternKind::kUniform, 0.05, 64, 4'000, 4, 13);
+  NetworkSimConfig config;
+  config.warmup = 1'000;
+  config.measure = 2'500;
+  config.drain = 1'500;
+  const std::string path = ::testing::TempDir() + "/trace_reject.ckpt";
+  NetworkSimConfig writing = config;
+  writing.checkpoint_path = path;
+  writing.checkpoint_every = 1'000;
+  RunTraceSim(writing, trace);
+
+  // Same config, different records: the trace hash in the fingerprint
+  // must refuse the resume instead of silently replaying wrong traffic.
+  const PacketTrace other = GeneratePatternTrace(
+      PatternKind::kUniform, 0.05, 64, 4'000, 4, 14);
+  NetworkSimConfig resumed = config;
+  resumed.restore_path = path;
+  EXPECT_THROW(RunTraceSim(resumed, other), SimError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSim, CheckpointEveryWithoutPathThrows) {
+  PacketTrace trace;
+  trace.Add({0, 0, 1, 1});
+  NetworkSimConfig config;
+  config.checkpoint_every = 100;  // no checkpoint_path
+  EXPECT_THROW(RunTraceSim(config, trace), SimError);
 }
 
 TEST(TraceSim, SchemesComparedOnIdenticalTraffic) {

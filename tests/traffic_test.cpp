@@ -120,7 +120,85 @@ INSTANTIATE_TEST_SUITE_P(All, PatternKindTest,
                                            PatternKind::kTranspose,
                                            PatternKind::kBitComplement,
                                            PatternKind::kBitReverse,
-                                           PatternKind::kTornado));
+                                           PatternKind::kTornado,
+                                           PatternKind::kHotspot,
+                                           PatternKind::kIncast));
+
+// ---------------------------------------------------------------------------
+// Hotspot node derivation and the incast pattern.
+
+TEST(Hotspot, DefaultNodeDerivesFromTopologySize) {
+  // Square layouts: off-center (side/2 - 1, side/2 - 1). The 64-node value
+  // is pinned to 27 — the historical hardcode — so goldens are untouched.
+  EXPECT_EQ(DefaultHotspotNode(64), 27);
+  EXPECT_EQ(DefaultHotspotNode(16), 5);    // 4x4: (1,1)
+  EXPECT_EQ(DefaultHotspotNode(256), 119); // 16x16: (7,7)
+  // Non-square: N/2 - 1.
+  EXPECT_EQ(DefaultHotspotNode(8), 3);
+  EXPECT_EQ(DefaultHotspotNode(2), 0);
+}
+
+TEST(Hotspot, DerivedDefaultIsUsedWhenNodeIsUnset) {
+  HotspotPattern derived(kInvalidNode, 1.0);
+  Rng rng(3);
+  // hot_fraction 1.0: every non-hotspot source targets the hot node.
+  EXPECT_EQ(derived.Dest(0, 64, rng), 27);
+  EXPECT_EQ(derived.Dest(0, 16, rng), 5);
+}
+
+TEST(Incast, SendersTargetReceiverOthersSendBackground) {
+  // Receiver 10, fan-in 4: senders are the 4 lowest-numbered nodes
+  // excluding the receiver, i.e. 0..3.
+  IncastPattern p(/*receiver=*/10, /*fan_in=*/4);
+  Rng rng(4);
+  for (NodeId src : {0, 1, 2, 3}) {
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(p.Dest(src, 64, rng), 10);
+  }
+  // Non-senders (including the receiver) draw uniform background and may
+  // hit any node but themselves.
+  std::map<NodeId, int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId d = p.Dest(5, 64, rng);
+    EXPECT_NE(d, 5);
+    ++seen[d];
+  }
+  EXPECT_GT(seen.size(), 40u);  // spread, not concentrated
+  for (int i = 0; i < 200; ++i) EXPECT_NE(p.Dest(10, 64, rng), 10);
+}
+
+TEST(Incast, SenderSetSkipsOverTheReceiver) {
+  // Receiver 1, fan-in 3: senders are 0, 2, 3 (rank skips the receiver).
+  IncastPattern p(1, 3);
+  Rng rng(5);
+  for (NodeId src : {0, 2, 3}) {
+    for (int i = 0; i < 30; ++i) EXPECT_EQ(p.Dest(src, 16, rng), 1);
+  }
+  bool node4_always_hot = true;
+  for (int i = 0; i < 200; ++i) {
+    if (p.Dest(4, 16, rng) != 1) node4_always_hot = false;
+  }
+  EXPECT_FALSE(node4_always_hot);
+}
+
+TEST(Incast, NonPositiveFanInMeansAllToOne) {
+  IncastPattern p(kInvalidNode, 0);  // derived receiver, everyone sends
+  Rng rng(6);
+  for (NodeId src = 0; src < 64; ++src) {
+    if (src == 27) continue;
+    EXPECT_EQ(p.Dest(src, 64, rng), 27);
+  }
+  EXPECT_NE(p.Dest(27, 64, rng), 27);
+}
+
+TEST(Incast, FactoryThreadsOptionsThrough) {
+  PatternOptions opts;
+  opts.hotspot_node = 7;
+  opts.incast_fanin = 2;
+  auto p = MakePattern(PatternKind::kIncast, opts);
+  Rng rng(7);
+  EXPECT_EQ(p->Dest(0, 64, rng), 7);
+  EXPECT_EQ(p->Dest(1, 64, rng), 7);
+}
 
 }  // namespace
 }  // namespace vixnoc
