@@ -1,0 +1,215 @@
+// Extension: what does simulation-as-a-service cost, and what does it buy?
+//
+// Spins up an in-process vixnocd daemon (Unix socket + content-addressed
+// result store + SweepRunner pool) and measures the three properties the
+// service layer claims:
+//
+//   1. cold batch    — a Fig-8-shaped sweep computed through the daemon;
+//                      the baseline everything below is compared against;
+//   2. warm hits     — the same points re-requested one by one: pure
+//                      store hits, so the request rate is the service
+//                      overhead (frame codec + socket + store probe) with
+//                      zero simulation in it;
+//   3. single-flight — N concurrent clients ask for the SAME missing
+//                      point while the computation is artificially held
+//                      open; the daemon must simulate it exactly once and
+//                      coalesce everyone else onto that result.
+//
+// Flags: threads=N   daemon compute pool (default 0 = auto)
+//        clients=N   concurrent clients for the single-flight demo
+//                    (default 8)
+//        delay_ms=MS artificial compute hold for the single-flight demo
+//                    (default 300; must exceed client connect+request skew)
+//        json=PATH   machine-readable results (default bench_results.json)
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+#include "sim/network_sim.hpp"
+
+using namespace vixnoc;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgMap args = ArgMap::Parse(argc, argv);
+  if (args.GetBool("help", false)) {
+    std::printf(
+        "usage: bench_ext_service [threads=N] [clients=N] [delay_ms=MS] "
+        "[json=PATH]\n");
+    return 0;
+  }
+  const int threads = static_cast<int>(args.GetInt("threads", 0));
+  const int clients = static_cast<int>(args.GetInt("clients", 8));
+  const int delay_ms = static_cast<int>(args.GetInt("delay_ms", 300));
+  const std::string json_path = args.GetString("json", "bench_results.json");
+  args.CheckAllConsumed();
+  bench::WarnIfDebugBuild("ext_service");
+
+  bench::Banner("ext_service",
+                "simulation-as-a-service: store-hit overhead and "
+                "single-flight coalescing through a live vixnocd");
+
+  const std::string tmp = "/tmp/vixnoc_bench_service." +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::filesystem::create_directories(tmp);
+
+  // Fig-8-shaped batch: 4 schemes x 2 rates, short windows.
+  std::vector<NetworkSimConfig> points;
+  for (AllocScheme scheme :
+       {AllocScheme::kInputFirst, AllocScheme::kWavefront,
+        AllocScheme::kAugmentingPath, AllocScheme::kVix}) {
+    for (double rate : {0.08, 0.12}) {
+      NetworkSimConfig c;
+      c.scheme = scheme;
+      c.injection_rate = rate;
+      c.warmup = 2'000;
+      c.measure = 6'000;
+      c.drain = 1'000;
+      points.push_back(c);
+    }
+  }
+
+  // --- Phases 1+2: cold batch, then warm per-point store hits. ---
+  double cold_wall = 0.0, warm_wall = 0.0;
+  std::uint64_t hit_requests = 0;
+  bool all_hits = true;
+  {
+    DaemonConfig dc;
+    dc.socket_path = tmp + "/vixd.sock";
+    dc.store_dir = tmp + "/store";
+    dc.threads = threads;
+    SimDaemon daemon(dc);
+    daemon.Start();
+    SimClient client(dc.socket_path, 10.0);
+
+    auto start = std::chrono::steady_clock::now();
+    const std::vector<PointReply> cold = client.Batch(points);
+    cold_wall = Seconds(start);
+    for (const PointReply& r : cold) {
+      if (r.status != ServeStatus::kOk) {
+        std::fprintf(stderr, "cold point failed: %s\n", r.message.c_str());
+        return 1;
+      }
+    }
+    std::printf("cold batch:  %zu points in %.2fs (%.1f points/s)\n",
+                points.size(), cold_wall,
+                static_cast<double>(points.size()) / cold_wall);
+
+    start = std::chrono::steady_clock::now();
+    while ((warm_wall = Seconds(start)) < 0.5) {
+      for (const NetworkSimConfig& c : points) {
+        const PointReply r = client.Point(c);
+        all_hits = all_hits && r.status == ServeStatus::kOk &&
+                   r.source == ServeSource::kStore;
+        ++hit_requests;
+      }
+    }
+    std::printf("warm hits:   %llu requests in %.2fs (%.0f req/s, %s)\n",
+                static_cast<unsigned long long>(hit_requests), warm_wall,
+                static_cast<double>(hit_requests) / warm_wall,
+                all_hits ? "all served from store" : "NOT ALL FROM STORE");
+    daemon.Stop();
+  }
+  const double hit_rps = static_cast<double>(hit_requests) / warm_wall;
+  const double cold_seconds_per_point =
+      cold_wall / static_cast<double>(points.size());
+  bench::Note("a warm store hit costs " +
+              std::to_string(1.0 / hit_rps * 1e3) +
+              " ms vs " + std::to_string(cold_seconds_per_point * 1e3) +
+              " ms to simulate the point (" +
+              std::to_string(cold_seconds_per_point * hit_rps) +
+              "x cheaper)");
+
+  // --- Phase 3: single-flight. N clients, one missing point, the
+  // completion path held open for delay_ms so every client arrives while
+  // the computation is in flight. ---
+  std::uint64_t sf_computed = 0, sf_coalesced = 0, sf_store = 0;
+  {
+    DaemonConfig dc;
+    dc.socket_path = tmp + "/vixd_sf.sock";
+    dc.store_dir = tmp + "/store_sf";
+    dc.threads = threads;
+    dc.test_compute_delay_ms = delay_ms;
+    SimDaemon daemon(dc);
+    daemon.Start();
+
+    NetworkSimConfig missing;
+    missing.scheme = AllocScheme::kVix;
+    missing.injection_rate = 0.1;
+    missing.warmup = 500;
+    missing.measure = 1'500;
+    missing.drain = 500;
+
+    std::vector<std::thread> pool;
+    std::vector<ServeSource> sources(static_cast<std::size_t>(clients));
+    for (int i = 0; i < clients; ++i) {
+      pool.emplace_back([&, i] {
+        SimClient c(dc.socket_path, 10.0);
+        const PointReply r = c.PointWithRetry(missing);
+        sources[static_cast<std::size_t>(i)] =
+            r.status == ServeStatus::kOk ? r.source : ServeSource::kComputed;
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const DaemonStats s = daemon.stats();
+    sf_computed = s.computed_points;
+    sf_coalesced = s.coalesced_points;
+    sf_store = s.store_hits;
+    std::printf(
+        "single-flight: %d clients, 1 missing point -> %llu simulated, "
+        "%llu coalesced, %llu store hits\n",
+        clients, static_cast<unsigned long long>(sf_computed),
+        static_cast<unsigned long long>(sf_coalesced),
+        static_cast<unsigned long long>(sf_store));
+    daemon.Stop();
+  }
+  bench::Claim("simulations run for N concurrent identical requests", 1.0,
+               static_cast<double>(sf_computed));
+
+  int rc = 0;
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(
+          f,
+          "{\n  \"bench\": \"ext_service\",\n  \"build\": %s,\n"
+          "  \"points\": %zu,\n  \"cold_wall_seconds\": %s,\n"
+          "  \"hit_requests\": %llu,\n  \"hit_requests_per_second\": %s,\n"
+          "  \"all_store_hits\": %s,\n"
+          "  \"single_flight\": {\"clients\": %d, \"computed\": %llu, "
+          "\"coalesced\": %llu, \"store_hits\": %llu}\n}\n",
+          bench::BuildFlagsJson().c_str(), points.size(),
+          bench::Num(cold_wall).c_str(),
+          static_cast<unsigned long long>(hit_requests),
+          bench::Num(hit_rps).c_str(), all_hits ? "true" : "false", clients,
+          static_cast<unsigned long long>(sf_computed),
+          static_cast<unsigned long long>(sf_coalesced),
+          static_cast<unsigned long long>(sf_store));
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  std::filesystem::remove_all(tmp);
+  return rc;
+}

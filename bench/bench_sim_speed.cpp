@@ -15,9 +15,11 @@
 // Flags: threads=N (sweep worker cap, default all cores), plus the usual
 // --benchmark_* flags for the micro section.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +31,8 @@
 #include "exec/coordinator.hpp"
 #include "network/network.hpp"
 #include "routing/registry.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
 #include "sim/sweep.hpp"
 #include "topology/topology.hpp"
 
@@ -198,6 +202,7 @@ int main(int argc, char** argv) {
       ResolveThreadCount(static_cast<int>(args.GetInt("threads", 0)));
   const std::string json_path = args.GetString("json", "bench_results.json");
   const bool serenade_arm = args.GetBool("serenade", false);
+  const bool service_arm = args.GetBool("service", false);
   args.CheckAllConsumed();
 
   if (serenade_arm) {
@@ -309,6 +314,62 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Gated service arm (pass service=1): the same batch served by an
+  // in-process vixnocd daemon over its Unix socket. The first batch is
+  // cold (every point computed and stored); the following per-point
+  // requests are pure store hits, so their request rate isolates the
+  // service-path overhead — frame encode/decode, socket round-trip, store
+  // probe — with zero simulation in it. The trajectory gate tracks the
+  // hit rate as the "service_hits" arm.
+  double service_cold_wall = 0.0;
+  double service_hit_rps = 0.0;
+  std::uint64_t service_hit_requests = 0;
+  bool service_all_hits = false;
+  if (service_arm) {
+    const std::string tmp = "/tmp/vixnoc_sim_speed_service." +
+                            std::to_string(static_cast<long>(::getpid()));
+    std::filesystem::create_directories(tmp);
+    DaemonConfig dc;
+    dc.socket_path = tmp + "/vixd.sock";
+    dc.store_dir = tmp + "/store";
+    dc.threads = max_threads;
+    SimDaemon daemon(dc);
+    daemon.Start();
+    {
+      SimClient client(dc.socket_path, 10.0);
+      auto start = std::chrono::steady_clock::now();
+      client.Batch(points);
+      service_cold_wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      service_all_hits = true;
+      start = std::chrono::steady_clock::now();
+      double warm_wall = 0.0;
+      while (warm_wall < 0.5) {  // enough hit round-trips to smooth timing
+        for (const NetworkSimConfig& c : points) {
+          const PointReply reply = client.Point(c);
+          service_all_hits = service_all_hits &&
+                             reply.status == ServeStatus::kOk &&
+                             reply.source == ServeSource::kStore;
+          ++service_hit_requests;
+        }
+        warm_wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      }
+      service_hit_rps = static_cast<double>(service_hit_requests) / warm_wall;
+      std::printf(
+          "  service: cold batch %.2fs, %llu hit requests at %.0f req/s "
+          "(%s)\n",
+          service_cold_wall,
+          static_cast<unsigned long long>(service_hit_requests),
+          service_hit_rps,
+          service_all_hits ? "all store hits" : "NOT ALL STORE HITS");
+    }
+    daemon.Stop();
+    std::filesystem::remove_all(tmp);
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -326,8 +387,20 @@ int main(int argc, char** argv) {
                    Num(r.real_ns_per_cycle).c_str(),
                    i + 1 < reporter.results.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n");
+    if (service_arm) {
+      std::fprintf(f,
+                   "  \"service\": {\"points\": %zu, "
+                   "\"cold_wall_seconds\": %s, \"hit_requests\": %llu, "
+                   "\"hit_requests_per_second\": %s, "
+                   "\"all_store_hits\": %s},\n",
+                   points.size(), Num(service_cold_wall).c_str(),
+                   static_cast<unsigned long long>(service_hit_requests),
+                   Num(service_hit_rps).c_str(),
+                   service_all_hits ? "true" : "false");
+    }
     std::fprintf(f,
-                 "  ],\n  \"sweep\": {\n"
+                 "  \"sweep\": {\n"
                  "    \"points\": %zu,\n"
                  "    \"network_cycles\": %llu,\n"
                  "    \"deterministic_across_threads\": %s,\n"

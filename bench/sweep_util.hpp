@@ -9,6 +9,17 @@
 //   std::vector<NetworkSimResult> results = sweep.Run(points);
 //   ...print tables / claims...
 //   sweep.Finish();   // summary line + JSON
+//
+// Execution backends (mutually exclusive where noted):
+//   default            in-process SweepRunner thread pool
+//   checkpoint=DIR     same, backed by the content-addressed result store
+//                      at DIR — interrupted benches resume, and any bench
+//                      pointed at the same DIR shares completed points
+//   isolate=process    crash-isolated subprocess execution (composable
+//                      with checkpoint=)
+//   server=SOCK        points are served by a running vixnocd daemon over
+//                      its Unix socket (exclusive with checkpoint= and
+//                      isolate=process — the daemon owns its own store)
 #pragma once
 
 #include <chrono>
@@ -21,8 +32,11 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "exec/coordinator.hpp"
+#include "server/client.hpp"
 #include "sim/sweep.hpp"
+#include "store/result_store.hpp"
 #include "traffic/patterns.hpp"
 
 namespace vixnoc::bench {
@@ -48,23 +62,25 @@ class SweepHarness {
     Init(args, default_json, extra_usage);
   }
 
-  int threads() const { return runner_->num_threads(); }
+  int threads() const {
+    // server= mode has no local pool; report the requested key (0 = auto)
+    // so the summary/JSON stay truthful about local compute.
+    return runner_ != nullptr ? runner_->num_threads() : threads_;
+  }
 
   /// Runs one batch of points in parallel; may be called repeatedly. Wall
   /// clock and per-point records accumulate across calls. With
-  /// `checkpoint=DIR`, each batch caches its completed points under
-  /// `DIR/batch_<k>/` — re-running an interrupted bench resumes from the
-  /// cache and produces results bitwise identical to a straight run.
+  /// `checkpoint=DIR`, completed points land in the content-addressed
+  /// result store at DIR (keyed by config fingerprint, not batch index) —
+  /// re-running an interrupted bench resumes from the store and produces
+  /// results bitwise identical to a straight run.
   std::vector<NetworkSimResult> Run(
       const std::vector<NetworkSimConfig>& points) {
-    const std::string batch_dir =
-        checkpoint_dir_.empty()
-            ? std::string()
-            : checkpoint_dir_ + "/batch_" + std::to_string(batches_);
-    ++batches_;
     const auto start = std::chrono::steady_clock::now();
     std::vector<NetworkSimResult> results;
-    if (isolate_process_) {
+    if (client_ != nullptr) {
+      results = RunViaServer(points);
+    } else if (isolate_process_) {
       // Crash-isolated path: points run in vixnoc_sweep_worker
       // subprocesses with classification, retries and graceful
       // degradation (exec/coordinator.hpp). Results are merged in
@@ -74,12 +90,13 @@ class SweepHarness {
       policy.num_workers = threads_;
       policy.point_timeout_seconds = point_timeout_;
       policy.max_retries = retries_;
-      policy.checkpoint_dir = batch_dir;
+      policy.cache = store_;
       SweepCoordinator coordinator(policy);
       SweepExecResult exec = coordinator.Run(points);
       results = std::move(exec.results);
       resumed_points_ += exec.cached_points;
       defective_cache_points_ += exec.defective_cache_points;
+      deduped_points_ += exec.deduped_points;
       exec_.crashes += exec.crashes;
       exec_.timeouts += exec.timeouts;
       exec_.bad_frames += exec.bad_frames;
@@ -98,10 +115,10 @@ class SweepHarness {
       exec_points_.insert(exec_points_.end(), exec.points.begin(),
                           exec.points.end());
     } else {
-      if (!batch_dir.empty()) runner_->SetCheckpointDir(batch_dir);
       results = runner_->Run(points);
       resumed_points_ += runner_->resumed_points();
       defective_cache_points_ += runner_->defective_cache_points();
+      deduped_points_ += runner_->deduped_points();
     }
     wall_seconds_ += std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
@@ -132,15 +149,30 @@ class SweepHarness {
       return 1;
     }
     // Checkpoint provenance: whether this file was produced with a point
-    // cache, how many points came from it rather than fresh runs, and how
-    // many cache entries were found defective and re-run.
-    std::string provenance;
+    // cache, how many points came from it rather than fresh runs, how
+    // many cache entries were found defective and re-run, and how many
+    // duplicate in-batch points were satisfied by copying a canonical
+    // slot's result instead of re-simulating.
+    std::string provenance =
+        "  \"deduped_points\": " + std::to_string(deduped_points_) + ",\n";
     if (!checkpoint_dir_.empty()) {
-      provenance = "  \"checkpoint_dir\": \"" + EscapeJson(checkpoint_dir_) +
-                   "\",\n  \"resumed_points\": " +
-                   std::to_string(resumed_points_) +
-                   ",\n  \"defective_cache_points\": " +
-                   std::to_string(defective_cache_points_) + ",\n";
+      provenance += "  \"checkpoint_dir\": \"" + EscapeJson(checkpoint_dir_) +
+                    "\",\n  \"resumed_points\": " +
+                    std::to_string(resumed_points_) +
+                    ",\n  \"defective_cache_points\": " +
+                    std::to_string(defective_cache_points_) + ",\n";
+    }
+    if (client_ != nullptr) {
+      // Service provenance: which vixnocd daemon served the sweep and how
+      // each point was satisfied (store hit / fresh compute / coalesced
+      // onto another client's in-flight computation).
+      provenance += "  \"server\": {\"socket\": \"" +
+                    EscapeJson(client_->socket_path()) +
+                    "\", \"store_hits\": " + std::to_string(server_hits_) +
+                    ", \"computed\": " + std::to_string(server_computed_) +
+                    ", \"coalesced\": " + std::to_string(server_coalesced_) +
+                    ", \"retries\": " + std::to_string(server_retries_) +
+                    "},\n";
     }
     if (isolate_process_) {
       // Process-isolation provenance: how the batch was executed at the
@@ -271,14 +303,19 @@ class SweepHarness {
     if (args.GetBool("help", false)) {
       std::printf(
           "usage: bench_%s [threads=N] [json=PATH] [checkpoint=DIR]\n"
-          "       [isolate=thread|process] [point_timeout=S] [retries=N]%s\n"
+          "       [server=SOCK] [isolate=thread|process] [point_timeout=S] "
+          "[retries=N]%s\n"
           "  threads=N       worker threads (or subprocesses) for the sweep\n"
           "                  (default 0 = $VIXNOC_THREADS if set, else all "
           "cores)\n"
           "  json=PATH       machine-readable results file\n"
           "                  (default %s; json= disables)\n"
-          "  checkpoint=DIR  cache completed points under DIR; re-running\n"
-          "                  after an interruption resumes from the cache\n"
+          "  checkpoint=DIR  content-addressed result store at DIR;\n"
+          "                  re-running after an interruption resumes, and\n"
+          "                  benches sharing DIR share completed points\n"
+          "  server=SOCK     send every point to the vixnocd daemon at\n"
+          "                  SOCK instead of simulating locally (exclusive\n"
+          "                  with checkpoint= and isolate=process)\n"
           "  isolate=MODE    'thread' (default) runs points in-process;\n"
           "                  'process' runs each point in a\n"
           "                  vixnoc_sweep_worker subprocess so a crashing\n"
@@ -294,6 +331,7 @@ class SweepHarness {
     threads_ = static_cast<int>(args.GetInt("threads", 0));
     json_path_ = args.GetString("json", default_json);
     checkpoint_dir_ = args.GetString("checkpoint", "");
+    server_socket_ = args.GetString("server", "");
     const std::string isolate = args.GetString("isolate", "thread");
     if (isolate != "thread" && isolate != "process") {
       std::fprintf(stderr, "isolate=%s is not 'thread' or 'process'\n",
@@ -301,22 +339,76 @@ class SweepHarness {
       std::exit(2);
     }
     isolate_process_ = isolate == "process";
+    if (!server_socket_.empty() &&
+        (!checkpoint_dir_.empty() || isolate_process_)) {
+      std::fprintf(stderr,
+                   "server= is mutually exclusive with checkpoint= and "
+                   "isolate=process (the daemon owns its own store)\n");
+      std::exit(2);
+    }
     point_timeout_ = args.GetDouble("point_timeout", 0.0);
     retries_ = static_cast<int>(args.GetInt("retries", 2));
-    runner_ = std::make_unique<SweepRunner>(threads_);
+    if (!server_socket_.empty()) {
+      try {
+        client_ = std::make_unique<SimClient>(server_socket_, 10.0);
+      } catch (const SimError& e) {
+        std::fprintf(stderr, "cannot reach vixnocd at %s: %s\n",
+                     server_socket_.c_str(), e.what());
+        std::exit(1);
+      }
+    } else {
+      if (!checkpoint_dir_.empty()) {
+        store_ = std::make_shared<ResultStore>(checkpoint_dir_);
+      }
+      runner_ = std::make_unique<SweepRunner>(threads_);
+      if (store_ != nullptr) runner_->SetCache(store_);
+    }
     WarnIfDebugBuild(bench_name_);
+  }
+
+  std::vector<NetworkSimResult> RunViaServer(
+      const std::vector<NetworkSimConfig>& points) {
+    std::vector<NetworkSimResult> results(points.size());
+    std::vector<PointReply> replies = client_->Batch(points);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      // Daemon-at-capacity slots are re-asked individually with the
+      // daemon's own backoff hint.
+      while (replies[i].status == ServeStatus::kRetryAfter) {
+        ++server_retries_;
+        replies[i] = client_->PointWithRetry(points[i]);
+        if (server_retries_ > 10'000) break;  // daemon permanently saturated
+      }
+      const PointReply& r = replies[i];
+      if (r.status != ServeStatus::kOk) {
+        results[i].outcome.status = SimStatus::kExecFailure;
+        results[i].outcome.message = "daemon: " + r.message;
+        continue;
+      }
+      results[i] = std::move(replies[i].result);
+      server_hits_ += r.source == ServeSource::kStore;
+      server_computed_ += r.source == ServeSource::kComputed;
+      server_coalesced_ += r.source == ServeSource::kCoalesced;
+    }
+    return results;
   }
 
   std::string bench_name_;
   std::string json_path_;
   std::string checkpoint_dir_;
+  std::string server_socket_;
   int threads_ = 0;
   bool isolate_process_ = false;
   double point_timeout_ = 0.0;
   int retries_ = 2;
-  std::size_t batches_ = 0;
   std::size_t resumed_points_ = 0;
   std::uint64_t defective_cache_points_ = 0;
+  std::size_t deduped_points_ = 0;
+  std::uint64_t server_hits_ = 0;
+  std::uint64_t server_computed_ = 0;
+  std::uint64_t server_coalesced_ = 0;
+  std::uint64_t server_retries_ = 0;
+  std::shared_ptr<ResultStore> store_;
+  std::unique_ptr<SimClient> client_;
   std::unique_ptr<SweepRunner> runner_;
   double wall_seconds_ = 0.0;
   std::uint64_t sim_cycles_ = 0;

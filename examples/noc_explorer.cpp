@@ -17,6 +17,13 @@
 // drain= pipeline=3|5 sweep=0|1 csv=<path> threads=<N>
 // checkpoint=<path> checkpoint_every=<N> restore=<path>
 // isolate=thread|process point_timeout=<seconds> retries=<N>
+// server=<socket>
+//
+// server=SOCK sends every point to a running vixnocd daemon instead of
+// simulating locally: hits in the daemon's content-addressed store come
+// back without any computation, misses are computed once daemon-side no
+// matter how many clients ask. Mutually exclusive with checkpoint= and
+// isolate=process (the daemon owns the cache and the compute pool).
 //
 // threads=N sets the SweepRunner worker count for sweep=1 (default 0 =
 // $VIXNOC_THREADS if set, else all cores); results are identical to a
@@ -42,11 +49,13 @@
 #include <utility>
 #include <vector>
 
+#include "app/sim_config_args.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "exec/coordinator.hpp"
-#include "routing/registry.hpp"
+#include "server/client.hpp"
 #include "sim/sweep.hpp"
+#include "store/result_store.hpp"
 
 using namespace vixnoc;
 
@@ -90,33 +99,7 @@ int main(int argc, char** argv) {
   (void)args.GetString("config", "");  // consumed above
 
   NetworkSimConfig config;
-  if (!ParseTopologyKind(args.GetString("topology", "mesh"),
-                         &config.topology) ||
-      !ParseAllocScheme(args.GetString("scheme", "vix"), &config.scheme) ||
-      !ParsePatternKind(args.GetString("pattern", "uniform"),
-                        &config.pattern)) {
-    std::fprintf(stderr, "unrecognized topology/scheme/pattern name\n");
-    return 2;
-  }
-  config.routing = args.GetString("routing", "dor");
-  if (!IsRegisteredRouting(config.routing)) {
-    std::fprintf(stderr, "routing=%s is not a registered plugin (%s)\n",
-                 config.routing.c_str(),
-                 RegisteredRoutingNamesJoined().c_str());
-    return 2;
-  }
-  config.hotspot_node =
-      static_cast<NodeId>(args.GetInt("hotspot", kInvalidNode));
-  config.incast_fanin = static_cast<int>(args.GetInt("fanin", 0));
-  config.num_vcs = static_cast<int>(args.GetInt("vcs", 6));
-  config.buffer_depth = static_cast<int>(args.GetInt("depth", 5));
-  config.packet_size = static_cast<int>(args.GetInt("packet", 4));
-  config.injection_rate = args.GetDouble("rate", 0.1);
-  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
-  config.warmup = static_cast<Cycle>(args.GetInt("warmup", 5'000));
-  config.measure = static_cast<Cycle>(args.GetInt("measure", 15'000));
-  config.drain = static_cast<Cycle>(args.GetInt("drain", 2'000));
-  config.pipeline_stages = static_cast<int>(args.GetInt("pipeline", 3));
+  if (!SimConfigFromArgs(args, &config)) return 2;
   const bool sweep = args.GetBool("sweep", false);
   const std::string csv_path = args.GetString("csv", "");
   const int threads =
@@ -130,6 +113,13 @@ int main(int argc, char** argv) {
   }
   const double point_timeout = args.GetDouble("point_timeout", 0.0);
   const int retries = static_cast<int>(args.GetInt("retries", 2));
+  const std::string server = args.GetString("server", "");
+  if (!server.empty() && (!checkpoint.empty() || isolate == "process")) {
+    std::fprintf(stderr,
+                 "server= is mutually exclusive with checkpoint= and "
+                 "isolate=process (the daemon owns cache and compute)\n");
+    return 2;
+  }
   config.checkpoint_every =
       static_cast<Cycle>(args.GetInt("checkpoint_every", 0));
   config.restore_path = args.GetString("restore", "");
@@ -156,7 +146,32 @@ int main(int argc, char** argv) {
       points.push_back(config);
     }
     std::vector<NetworkSimResult> results;
-    if (isolate == "process") {
+    if (!server.empty()) {
+      SimClient client(server, 10.0);
+      const std::vector<PointReply> replies = client.Batch(points);
+      std::size_t hits = 0, computed = 0, coalesced = 0;
+      results.resize(points.size());
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        PointReply reply = replies[i];
+        while (reply.status == ServeStatus::kRetryAfter) {
+          reply = client.PointWithRetry(points[i]);
+        }
+        if (reply.status != ServeStatus::kOk) {
+          std::fprintf(stderr, "point %zu failed daemon-side: %s\n", i,
+                       reply.message.c_str());
+          results[i].outcome.status = SimStatus::kExecFailure;
+          results[i].outcome.message = reply.message;
+          continue;
+        }
+        results[i] = std::move(reply.result);
+        hits += reply.source == ServeSource::kStore;
+        computed += reply.source == ServeSource::kComputed;
+        coalesced += reply.source == ServeSource::kCoalesced;
+      }
+      std::printf("served by %s: %zu store hits, %zu computed, "
+                  "%zu coalesced\n",
+                  server.c_str(), hits, computed, coalesced);
+    } else if (isolate == "process") {
       ExecPolicy policy;
       policy.num_workers = threads;
       policy.point_timeout_seconds = point_timeout;
@@ -188,7 +203,9 @@ int main(int argc, char** argv) {
       }
     } else {
       SweepRunner runner(threads);
-      if (!checkpoint.empty()) runner.SetCheckpointDir(checkpoint);
+      if (!checkpoint.empty()) {
+        runner.SetCache(std::make_shared<ResultStore>(checkpoint));
+      }
       results = runner.Run(points);
       if (runner.resumed_points() > 0) {
         std::printf("resumed %zu/%zu points from %s\n",
@@ -205,6 +222,16 @@ int main(int argc, char** argv) {
       PrintResult(points[i], results[i]);
       if (csv) csv->AddRow(CsvRow(points[i], results[i]));
     }
+  } else if (!server.empty()) {
+    SimClient client(server, 10.0);
+    const PointReply reply = client.PointWithRetry(config);
+    if (reply.status != ServeStatus::kOk) {
+      std::fprintf(stderr, "daemon-side failure: %s\n",
+                   reply.message.c_str());
+      return 1;
+    }
+    PrintResult(config, reply.result);
+    if (csv) csv->AddRow(CsvRow(config, reply.result));
   } else {
     const auto r = RunNetworkSim(config);
     PrintResult(config, r);

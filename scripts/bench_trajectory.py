@@ -31,12 +31,13 @@ import json
 import sys
 
 # Arms that only run when explicitly enabled on the bench command line
-# (e.g. `bench_sim_speed serenade=1`). Their absence from a results file is
-# a skipped run, not a regression. sweep_process additionally vanishes on
-# hosts without the vixnoc_sweep_worker binary next to the bench, so it is
-# treated the same way. Every other committed arm is mandatory: missing
-# means the bench silently lost coverage, and the check fails.
-GATED_ARMS = {"BM_SingleRouter_Serenade", "sweep_process"}
+# (e.g. `bench_sim_speed serenade=1` or `service=1`). Their absence from a
+# results file is a skipped run, not a regression. sweep_process
+# additionally vanishes on hosts without the vixnoc_sweep_worker binary
+# next to the bench, so it is treated the same way. Every other committed
+# arm is mandatory: missing means the bench silently lost coverage, and
+# the check fails.
+GATED_ARMS = {"BM_SingleRouter_Serenade", "sweep_process", "service_hits"}
 
 
 def load_results(path):
@@ -59,6 +60,12 @@ def load_results(path):
             arms["sweep_process"] = run["network_cycles_per_second"]
         elif run.get("threads") == 1:
             arms["sweep_serial"] = run["network_cycles_per_second"]
+    # Service arm (bench_sim_speed service=1): warm-path request rate of
+    # the vixnocd daemon serving pure store hits over its Unix socket —
+    # the protocol + store-probe overhead with zero simulation in it.
+    service = data.get("service")
+    if service is not None:
+        arms["service_hits"] = service["hit_requests_per_second"]
     if not arms:
         sys.exit(f"{path}: no arms found (empty micro and sweep sections)")
     return arms, data.get("build")

@@ -25,7 +25,12 @@
 #     isolate=process vs in-process — with a field-by-field JSON compare
 #     of every result row: crash isolation must not change a single
 #     number;
-#  8. perf smoke gate: bench_sim_speed compared against the committed
+#  8. service gate: a real vixnocd daemon is started on a Unix socket and
+#     the same sweep is run twice through vixnoc_client — run 2 must be
+#     served 100% from the content-addressed result store with every
+#     result field identical to run 1, and the daemon must drain to a
+#     clean exit 0 on the shutdown frame;
+#  9. perf smoke gate: bench_sim_speed compared against the committed
 #     trajectory (BENCH_sim_speed.json) via scripts/bench_trajectory.py;
 #     the trajectory includes the sweep_process arm, so subprocess-mode
 #     throughput is gated alongside the in-process arms.
@@ -45,7 +50,7 @@ echo "== tier1: ThreadSanitizer sweep_test (${PREFIX}-tsan) =="
 cmake -B "${PREFIX}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=thread
 cmake --build "${PREFIX}-tsan" -j --target sweep_test alloc_equiv_test \
-  routing_test serenade_test
+  routing_test serenade_test store_test server_test
 "${PREFIX}-tsan/tests/sweep_test"
 # alloc_equiv_test now sweeps radixes 2..70 (multi-word rows included), so
 # the large-radix word-parallel paths run under the sanitizer too.
@@ -58,12 +63,18 @@ cmake --build "${PREFIX}-tsan" -j --target sweep_test alloc_equiv_test \
 # 1/2/8 threads and across the subprocess coordinator — the per-router
 # RNG streams must stay race-free and bitwise stable.
 "${PREFIX}-tsan/tests/serenade_test"
+# store_test hammers the result store from concurrent writers; server_test
+# drives the daemon's accept/conn/compute threads, single-flight map and
+# drain logic — the whole service layer must be race-free.
+"${PREFIX}-tsan/tests/store_test"
+"${PREFIX}-tsan/tests/server_test"
 
 echo "== tier1: ASan+UBSan fault/robustness tests (${PREFIX}-asan) =="
 cmake -B "${PREFIX}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DVIXNOC_SANITIZE=address,undefined
 cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
-  sweep_test alloc_equiv_test exec_test routing_test serenade_test
+  sweep_test alloc_equiv_test exec_test routing_test serenade_test \
+  store_test server_test
 "${PREFIX}-asan/tests/fault_test"
 "${PREFIX}-asan/tests/robustness_test"
 "${PREFIX}-asan/tests/sweep_test"
@@ -75,6 +86,12 @@ cmake --build "${PREFIX}-asan" -j --target fault_test robustness_test \
 # exec_test under ASan covers the fork/exec/pipe plumbing and the
 # coordinator's threads; the worker binary it spawns is the ASan build.
 "${PREFIX}-asan/tests/exec_test"
+# store_test/server_test under ASan+UBSan cover the snapshot container
+# codec on hostile bytes (every truncation/corruption), the socket frame
+# plumbing, and the daemon teardown paths; the vixnocd binary server_test
+# SIGTERMs is the ASan build.
+"${PREFIX}-asan/tests/store_test"
+"${PREFIX}-asan/tests/server_test"
 
 echo "== tier1: telemetry gate (${PREFIX}) =="
 # telemetry_test asserts (a) telemetry-off results are bitwise identical to
@@ -129,7 +146,10 @@ if [ -x "${BENCH}" ] && command -v python3 >/dev/null 2>&1; then
   "${BENCH}" "json=${CKPT_DIR}/straight.json" >/dev/null
   "${BENCH}" "json=${CKPT_DIR}/first.json" \
     "checkpoint=${CKPT_DIR}/bench_cache" >/dev/null
-  rm -f "${CKPT_DIR}"/bench_cache/batch_0/point_2.ckpt
+  # Evict one entry from the content-addressed store so the re-run has to
+  # recompute exactly that point while resuming all the others.
+  EVICT="$(find "${CKPT_DIR}/bench_cache" -name '*.res' | sort | head -n 1)"
+  rm -f "${EVICT}"
   "${BENCH}" "json=${CKPT_DIR}/resumed.json" \
     "checkpoint=${CKPT_DIR}/bench_cache" >/dev/null
   python3 - "${CKPT_DIR}/straight.json" "${CKPT_DIR}/resumed.json" <<'EOF'
@@ -206,6 +226,51 @@ print(f"isolate=process results identical to in-process ({len(a)} points, "
 EOF
 else
   echo "bench_ext_telemetry or python3 not found; skipping sweep compare"
+fi
+
+echo "== tier1: service gate (${PREFIX}) =="
+# A real vixnocd daemon serves the same sweep twice: run 1 populates the
+# content-addressed store, run 2 must be answered entirely from it with
+# every result field identical, and the shutdown frame must drain the
+# daemon to a clean exit 0 with the socket unlinked.
+VIXNOCD="${PREFIX}/src/app/vixnocd"
+VIXCLIENT="${PREFIX}/src/app/vixnoc_client"
+SVC_DIR="${PREFIX}/service_gate"
+rm -rf "${SVC_DIR}" && mkdir -p "${SVC_DIR}"
+if [ -x "${VIXNOCD}" ] && [ -x "${VIXCLIENT}" ] \
+    && command -v python3 >/dev/null 2>&1; then
+  "${VIXNOCD}" "socket=${SVC_DIR}/vixd.sock" "store=${SVC_DIR}/store" \
+    threads=4 >"${SVC_DIR}/daemon.log" 2>&1 &
+  VIXNOCD_PID=$!
+  trap 'kill "${VIXNOCD_PID}" 2>/dev/null || true' EXIT
+  SWEEP=(sweep "socket=${SVC_DIR}/vixd.sock" warmup=500 measure=1500 \
+    drain=500)
+  "${VIXCLIENT}" "${SWEEP[@]}" "json=${SVC_DIR}/run1.json" >/dev/null
+  "${VIXCLIENT}" "${SWEEP[@]}" "json=${SVC_DIR}/run2.json" >/dev/null
+  "${VIXCLIENT}" shutdown "socket=${SVC_DIR}/vixd.sock" >/dev/null
+  wait "${VIXNOCD_PID}"
+  trap - EXIT
+  [ ! -e "${SVC_DIR}/vixd.sock" ] || { echo "socket not unlinked"; exit 1; }
+  python3 - "${SVC_DIR}/run1.json" "${SVC_DIR}/run2.json" <<'EOF'
+import json, sys
+run1 = json.load(open(sys.argv[1]))
+run2 = json.load(open(sys.argv[2]))
+assert run1["errors"] == 0 and run2["errors"] == 0, "daemon-side errors"
+assert run2["points"] > 0, "empty sweep"
+assert run2["store_hits"] == run2["points"] and run2["computed"] == 0, (
+    f"run 2 must be 100% store hits: {run2['store_hits']}/{run2['points']} "
+    f"hits, {run2['computed']} computed")
+a, b = run1["results"], run2["results"]
+assert len(a) == len(b), f"point count differs: {len(a)} vs {len(b)}"
+for i, (ra, rb) in enumerate(zip(a, b)):
+    for key in sorted((set(ra) | set(rb)) - {"source"}):
+        assert ra.get(key) == rb.get(key), (
+            f"point {i} field {key!r}: {ra.get(key)!r} != {rb.get(key)!r}")
+print(f"service gate: run 2 served {run2['store_hits']}/{run2['points']} "
+      "points from the store, results identical; daemon drained to exit 0")
+EOF
+else
+  echo "vixnocd/vixnoc_client/python3 not found; skipping service gate"
 fi
 
 echo "== tier1: perf smoke gate (${PREFIX}) =="

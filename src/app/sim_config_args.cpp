@@ -1,0 +1,42 @@
+#include "app/sim_config_args.hpp"
+
+#include <cstdio>
+
+#include "common/types.hpp"
+#include "routing/registry.hpp"
+#include "traffic/patterns.hpp"
+
+namespace vixnoc {
+
+bool SimConfigFromArgs(const ArgMap& args, NetworkSimConfig* config) {
+  if (!ParseTopologyKind(args.GetString("topology", "mesh"),
+                         &config->topology) ||
+      !ParseAllocScheme(args.GetString("scheme", "vix"), &config->scheme) ||
+      !ParsePatternKind(args.GetString("pattern", "uniform"),
+                        &config->pattern)) {
+    std::fprintf(stderr, "unrecognized topology/scheme/pattern name\n");
+    return false;
+  }
+  config->routing = args.GetString("routing", "dor");
+  if (!IsRegisteredRouting(config->routing)) {
+    std::fprintf(stderr, "routing=%s is not a registered plugin (%s)\n",
+                 config->routing.c_str(),
+                 RegisteredRoutingNamesJoined().c_str());
+    return false;
+  }
+  config->hotspot_node =
+      static_cast<NodeId>(args.GetInt("hotspot", kInvalidNode));
+  config->incast_fanin = static_cast<int>(args.GetInt("fanin", 0));
+  config->num_vcs = static_cast<int>(args.GetInt("vcs", 6));
+  config->buffer_depth = static_cast<int>(args.GetInt("depth", 5));
+  config->packet_size = static_cast<int>(args.GetInt("packet", 4));
+  config->injection_rate = args.GetDouble("rate", 0.1);
+  config->seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  config->warmup = static_cast<Cycle>(args.GetInt("warmup", 5'000));
+  config->measure = static_cast<Cycle>(args.GetInt("measure", 15'000));
+  config->drain = static_cast<Cycle>(args.GetInt("drain", 2'000));
+  config->pipeline_stages = static_cast<int>(args.GetInt("pipeline", 3));
+  return true;
+}
+
+}  // namespace vixnoc

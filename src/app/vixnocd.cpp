@@ -1,0 +1,89 @@
+// vixnocd: the simulation-as-a-service daemon.
+//
+//   $ vixnocd socket=/run/vixnocd.sock store=/var/cache/vixnoc
+//
+// Keys: socket=PATH (required)   Unix-domain socket to listen on
+//       store=DIR   (required)   content-addressed result store root
+//       threads=N                compute pool size (0 = auto)
+//       queue=N                  max distinct in-flight computations
+//                                before misses get retry-after (default 64)
+//       max_store_bytes=B        store GC bound (0 = unbounded)
+//       retry_after=S            backpressure retry hint in seconds
+//       test_compute_delay_ms=MS test-only compute slowdown (see daemon.hpp)
+//
+// The daemon serves store hits immediately, coalesces concurrent identical
+// requests (single-flight), and computes misses on a SweepRunner pool.
+// SIGTERM/SIGINT drain in-flight points — their replies are still
+// delivered — before the process exits 0. `vixnoc_client shutdown` does
+// the same over the socket.
+#include <csignal>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "server/daemon.hpp"
+
+using namespace vixnoc;
+
+namespace {
+
+SimDaemon* g_daemon = nullptr;
+
+// Async-signal-safe: RequestStop is a single relaxed atomic store.
+void OnTerminate(int) {
+  if (g_daemon != nullptr) g_daemon->RequestStop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgMap args = ArgMap::Parse(argc, argv);
+  DaemonConfig config;
+  config.socket_path = args.GetString("socket", "");
+  config.store_dir = args.GetString("store", "");
+  config.threads = static_cast<int>(args.GetInt("threads", 0));
+  config.max_queue = static_cast<std::size_t>(args.GetInt("queue", 64));
+  config.store_max_bytes =
+      static_cast<std::uint64_t>(args.GetInt("max_store_bytes", 0));
+  config.retry_after_seconds = args.GetDouble("retry_after", 0.05);
+  config.test_compute_delay_ms =
+      static_cast<int>(args.GetInt("test_compute_delay_ms", 0));
+  args.CheckAllConsumed();
+  if (config.socket_path.empty() || config.store_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: vixnocd socket=PATH store=DIR [threads=N] [queue=N] "
+                 "[max_store_bytes=B] [retry_after=S]\n");
+    return 2;
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);  // dead clients surface as EPIPE
+
+  try {
+    SimDaemon daemon(config);
+    g_daemon = &daemon;
+    std::signal(SIGTERM, OnTerminate);
+    std::signal(SIGINT, OnTerminate);
+    daemon.Start();
+    std::fprintf(stderr,
+                 "vixnocd: serving on %s (store %s, %d threads, queue %zu)\n",
+                 config.socket_path.c_str(), config.store_dir.c_str(),
+                 daemon.config().threads > 0 ? daemon.config().threads
+                                             : ResolveThreadCount(0),
+                 config.max_queue);
+    daemon.Wait();
+    const DaemonStats s = daemon.stats();
+    std::fprintf(stderr,
+                 "vixnocd: drained and exiting (%llu requests, %llu served: "
+                 "%llu store hits / %llu computed / %llu coalesced)\n",
+                 static_cast<unsigned long long>(s.requests),
+                 static_cast<unsigned long long>(s.points_served),
+                 static_cast<unsigned long long>(s.store_hits),
+                 static_cast<unsigned long long>(s.computed_points),
+                 static_cast<unsigned long long>(s.coalesced_points));
+    g_daemon = nullptr;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "vixnocd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

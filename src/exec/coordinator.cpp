@@ -19,10 +19,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <unordered_map>
+
 #include "common/check.hpp"
 #include "common/error.hpp"
 #include "exec/exec_protocol.hpp"
 #include "sim/sweep.hpp"
+#include "store/result_store.hpp"
 
 namespace vixnoc {
 
@@ -221,17 +224,14 @@ SweepExecResult SweepCoordinator::Run(
   out.points.resize(n);
   if (n == 0) return out;
 
-  if (!policy_.checkpoint_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(policy_.checkpoint_dir, ec);
-    VIXNOC_REQUIRE(!ec, "cannot create sweep checkpoint directory '%s': %s",
-                   policy_.checkpoint_dir.c_str(), ec.message().c_str());
+  // checkpoint_dir= compatibility shim: mount a content-addressed
+  // ResultStore at the named directory. The ResultStore constructor throws
+  // SimError when the directory is unusable — same contract the old
+  // index-keyed cache had.
+  if (!policy_.cache && !policy_.checkpoint_dir.empty()) {
+    policy_.cache = std::make_shared<ResultStore>(policy_.checkpoint_dir);
   }
-  const auto cache_path = [this](std::size_t index) {
-    if (policy_.checkpoint_dir.empty()) return std::string();
-    return policy_.checkpoint_dir + "/point_" + std::to_string(index) +
-           ".ckpt";
-  };
+  PointCache* const cache = policy_.cache.get();
 
   // Shared scheduler state. Result slots are per-index so writes never
   // alias, but everything is mutated under one lock anyway — the costs
@@ -244,29 +244,47 @@ SweepExecResult SweepCoordinator::Run(
   bool spawn_broken = false;
   std::vector<std::size_t> fallback;  // runs in-process after the pool
 
-  // Pre-pass: serve cached points, and route points a worker cannot
-  // execute (a live topology_factory has no wire form) straight to the
-  // in-process path.
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::string path = cache_path(i);
-    if (!path.empty()) {
-      const PointCacheStatus cache =
-          TryLoadPointCache(path, configs[i], &out.results[i]);
-      if (cache == PointCacheStatus::kHit) {
-        out.points[i].from_cache = true;
-        ++out.cached_points;
+  // Pre-pass: serve cached points, route points a worker cannot execute
+  // (a live topology_factory has no wire form) straight to the in-process
+  // path, and collapse within-batch duplicates (same NetworkSimResultKey)
+  // onto one canonical dispatch each — the duplicates' slots are fanned
+  // out from the canonical result once everything completes.
+  std::vector<std::pair<std::size_t, std::size_t>> dups;  // (dup, canonical)
+  {
+    std::unordered_map<std::uint64_t, std::size_t> first_by_key;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cache != nullptr) {
+        const PointCacheStatus status = cache->Load(configs[i], &out.results[i]);
+        if (status == PointCacheStatus::kHit) {
+          out.points[i].from_cache = true;
+          ++out.cached_points;
+          continue;
+        }
+        if (status == PointCacheStatus::kDefective) {
+          ++out.defective_cache_points;
+        }
+      }
+      if (configs[i].topology_factory) {
+        out.points[i].failure_detail =
+            "topology_factory cannot cross a process boundary";
+        fallback.push_back(i);
         continue;
       }
-      if (cache == PointCacheStatus::kDefective) ++out.defective_cache_points;
+      // Factory-free configs are safe to dedupe; routing_factory configs
+      // are not (the key only hashes factory presence).
+      if (!configs[i].routing_factory) {
+        const auto [it, inserted] =
+            first_by_key.try_emplace(NetworkSimResultKey(configs[i]), i);
+        if (!inserted) {
+          dups.emplace_back(i, it->second);
+          out.points[i].deduped = true;
+          ++out.deduped_points;
+          continue;
+        }
+      }
+      queue.push_back(Item{i, 0, Clock::now()});
+      ++outstanding;
     }
-    if (configs[i].topology_factory) {
-      out.points[i].failure_detail =
-          "topology_factory cannot cross a process boundary";
-      fallback.push_back(i);
-      continue;
-    }
-    queue.push_back(Item{i, 0, Clock::now()});
-    ++outstanding;
   }
 
   if (policy_.worker_path.empty()) {
@@ -493,17 +511,8 @@ SweepExecResult SweepCoordinator::Run(
 
       if (failure == ExecFailure::kNone) {
         // Success. Cache best-effort (the cache is an accelerator, never a
-        // correctness input), then publish the slot.
-        const std::string path = cache_path(item.index);
-        if (!path.empty()) {
-          try {
-            WritePointCache(path, pf.config, result);
-          } catch (const SimError& e) {
-            std::fprintf(stderr,
-                         "vixnoc: warning: cannot cache point %zu: %s\n",
-                         item.index, e.what());
-          }
-        }
+        // correctness input; Put is non-throwing), then publish the slot.
+        if (cache != nullptr) cache->Put(pf.config, result);
         std::lock_guard<std::mutex> lock(mu);
         out.results[item.index] = std::move(result);
         out.points[item.index].isolated = true;
@@ -567,21 +576,15 @@ SweepExecResult SweepCoordinator::Run(
       out.results[index] = res[k];
       out.points[index].in_process_fallback = true;
       ++out.fallback_points;
-      const std::string path = cache_path(index);
-      // Cache completed simulations only — mirroring SweepRunner, which
-      // never caches exception slots.
-      if (!path.empty() &&
-          res[k].outcome.status != SimStatus::kInvariantViolation &&
-          !configs[index].topology_factory) {
-        try {
-          WritePointCache(path, configs[index], out.results[index]);
-        } catch (const SimError& e) {
-          std::fprintf(stderr,
-                       "vixnoc: warning: cannot cache point %zu: %s\n", index,
-                       e.what());
-        }
-      }
+      // Put itself skips exception slots and factory configs.
+      if (cache != nullptr) cache->Put(configs[index], out.results[index]);
     }
+  }
+
+  // Fan deduplicated slots out from their canonical results (which by now
+  // all exist — worker, fallback, or final error slot alike).
+  for (const auto& [dup, canon] : dups) {
+    out.results[dup] = out.results[canon];
   }
   return out;
 }

@@ -33,10 +33,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/network_sim.hpp"
+#include "sim/sweep.hpp"
 
 namespace vixnoc {
 
@@ -57,8 +59,11 @@ std::string ToString(ExecFailure failure);
 /// how many process-level attempts it took, and what the last failure was.
 struct ExecStatus {
   bool isolated = false;     ///< completed inside a worker subprocess
-  bool from_cache = false;   ///< served from the per-point checkpoint cache
+  bool from_cache = false;   ///< served from the point cache / result store
   bool in_process_fallback = false;  ///< ran on the in-process path
+  /// Within-batch duplicate of an earlier point (same NetworkSimResultKey):
+  /// its slot was fanned out from the canonical point's result.
+  bool deduped = false;
   int attempts = 0;          ///< subprocess attempts dispatched
   ExecFailure last_failure = ExecFailure::kNone;
   std::string failure_detail;       ///< e.g. "signal 11 (Segmentation fault)"
@@ -94,8 +99,16 @@ struct ExecPolicy {
   double backoff_initial_seconds = 0.05;
   double backoff_multiplier = 2.0;
   double backoff_max_seconds = 2.0;
-  /// Per-point result cache directory (SweepRunner-compatible
-  /// point_<i>.ckpt files); empty disables caching.
+  /// Per-point result cache shared with SweepRunner (normally a
+  /// content-addressed ResultStore, store/result_store.hpp). Consulted in
+  /// a pre-pass before any worker dispatch; completed points are written
+  /// back best-effort. Null disables caching (unless checkpoint_dir is
+  /// set).
+  std::shared_ptr<PointCache> cache;
+  /// Compatibility shim for the pre-store `checkpoint_dir=` surface: when
+  /// set and `cache` is null, Run constructs a ResultStore rooted here.
+  /// Entries are content-keyed (`<fp[0:2]>/<fp>.res`), not the old
+  /// point_<i>.ckpt index files.
   std::string checkpoint_dir;
 };
 
@@ -113,8 +126,9 @@ struct SweepExecResult {
   std::uint64_t workers_spawned = 0;
   std::uint64_t exhausted_points = 0;  ///< final kExecFailure error slots
   std::uint64_t fallback_points = 0;   ///< completed in-process
-  std::uint64_t cached_points = 0;     ///< served from the checkpoint cache
+  std::uint64_t cached_points = 0;     ///< served from the point cache
   std::uint64_t defective_cache_points = 0;
+  std::uint64_t deduped_points = 0;    ///< within-batch duplicate slots
 };
 
 /// Resolves the worker binary: $VIXNOC_SWEEP_WORKER if set, else a

@@ -1,0 +1,133 @@
+// Wire protocol between vixnoc_client and the vixnocd daemon.
+//
+// The service speaks the same length-prefixed snapshot-container frames as
+// the sweep worker protocol (exec/exec_protocol.hpp): every payload is a
+// snapshot container, so magic/version/per-section checksums validate each
+// frame for free, and the container's fingerprint slot authenticates the
+// content in both directions. Four request kinds and their replies:
+//
+//   point    := section "vixd_point"    { config }            fp = result key
+//   batch    := section "vixd_batch"   { count, configs... }  fp = key fold
+//   stats    := section "vixd_stats"    {}                    fp = control
+//   shutdown := section "vixd_shutdown" {}                    fp = control
+//
+//   reply(point)    := section "vixd_reply"   { status, source, retry_after,
+//                                               message, key [, result] }
+//   reply(batch)    := section "vixd_breply"  { count, replies... }
+//   reply(stats)    := section "vixd_dstats"  { counters... }
+//   reply(shutdown) := section "vixd_bye"     {}
+//
+// The fingerprint slot of a point request/reply is NetworkSimResultKey —
+// the *result* content key (evolution fingerprint + observation knobs),
+// not the bare evolution fingerprint, because the daemon dedupes and
+// stores by what the client will actually receive. Clients verify the
+// reply key against the config they asked about; the daemon verifies
+// request payloads the same way. Configs carrying live factory callbacks
+// cannot cross the socket (same rule as the worker protocol).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+
+namespace vixnoc {
+
+/// Container fingerprint for payload-free control frames (stats/shutdown).
+std::uint64_t ControlFrameFingerprint();
+
+enum class RequestKind : std::uint8_t {
+  kPoint,
+  kBatch,
+  kStats,
+  kShutdown,
+};
+
+std::string ToString(RequestKind kind);
+
+/// A decoded client request. configs holds one entry for kPoint, any
+/// number for kBatch, none for control kinds.
+struct Request {
+  RequestKind kind = RequestKind::kStats;
+  std::vector<NetworkSimConfig> configs;
+};
+
+std::string EncodePointRequest(const NetworkSimConfig& config);
+std::string EncodeBatchRequest(const std::vector<NetworkSimConfig>& configs);
+std::string EncodeStatsRequest();
+std::string EncodeShutdownRequest();
+
+/// Decodes any request frame payload, validating the container fingerprint
+/// against the recomputed result key(s). Throws SimError on malformed or
+/// unrecognized payloads.
+Request DecodeRequest(const std::string& payload);
+
+/// How a served point was satisfied.
+enum class ServeStatus : std::uint8_t {
+  kOk,          ///< result holds the point's NetworkSimResult
+  kRetryAfter,  ///< daemon at capacity (or draining); retry after the hint
+  kError,       ///< invalid request; message explains
+};
+
+enum class ServeSource : std::uint8_t {
+  kNone,       ///< not served (retry-after / error)
+  kStore,      ///< hit in the content-addressed result store
+  kComputed,   ///< this request triggered the simulation
+  kCoalesced,  ///< joined another request's in-flight simulation
+};
+
+std::string ToString(ServeStatus status);
+std::string ToString(ServeSource source);
+
+struct PointReply {
+  ServeStatus status = ServeStatus::kError;
+  ServeSource source = ServeSource::kNone;
+  double retry_after_seconds = 0.0;
+  std::string message;
+  /// NetworkSimResultKey of the config this reply answers; clients verify
+  /// it against their own recomputation.
+  std::uint64_t result_key = 0;
+  NetworkSimResult result;  ///< valid only when status == kOk
+};
+
+std::string EncodePointReply(const PointReply& reply);
+PointReply DecodePointReply(const std::string& payload);  ///< throws SimError
+
+std::string EncodeBatchReply(const std::vector<PointReply>& replies);
+std::vector<PointReply> DecodeBatchReply(const std::string& payload);
+
+/// Daemon-side counters served by the stats request. The store_* fields
+/// mirror the underlying ResultStore's own stats.
+struct DaemonStats {
+  std::uint64_t requests = 0;
+  std::uint64_t point_requests = 0;
+  std::uint64_t batch_requests = 0;
+  std::uint64_t points_served = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t computed_points = 0;
+  std::uint64_t coalesced_points = 0;
+  std::uint64_t retry_after_replies = 0;
+  std::uint64_t error_replies = 0;
+  std::uint64_t inflight = 0;  ///< snapshot at reply time
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t active_connections = 0;  ///< snapshot at reply time
+  std::uint64_t store_entries_written = 0;
+  std::uint64_t store_bytes_written = 0;
+  std::uint64_t store_defective = 0;
+  std::uint64_t store_gc_evicted = 0;
+};
+
+std::string EncodeStatsReply(const DaemonStats& stats);
+DaemonStats DecodeStatsReply(const std::string& payload);  ///< throws SimError
+
+std::string EncodeShutdownReply();
+/// Throws SimError when the payload is not a shutdown acknowledgment.
+void DecodeShutdownReply(const std::string& payload);
+
+/// Is this reply payload a point reply (vs batch/stats/bye)? Lets a client
+/// surface a daemon-side decode error (sent as an error PointReply) for
+/// any request kind.
+bool IsPointReply(const std::string& payload);
+
+}  // namespace vixnoc

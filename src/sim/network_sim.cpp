@@ -704,6 +704,20 @@ std::uint64_t NetworkSimConfigFingerprint(const NetworkSimConfig& c) {
   return Fnv1a64(fields.data(), fields.size() * sizeof(std::uint64_t));
 }
 
+std::uint64_t NetworkSimResultKey(const NetworkSimConfig& c) {
+  const std::uint64_t fields[] = {
+      NetworkSimConfigFingerprint(c),
+      static_cast<std::uint64_t>(c.telemetry.enabled),
+      static_cast<std::uint64_t>(c.telemetry.window_cycles),
+      static_cast<std::uint64_t>(c.telemetry.max_windows),
+      c.telemetry.trace_sample_period,
+      static_cast<std::uint64_t>(c.telemetry.max_trace_events),
+      Fnv1a64(c.deadlock_checkpoint_path.data(),
+              c.deadlock_checkpoint_path.size()),
+  };
+  return Fnv1a64(fields, sizeof(fields));
+}
+
 void SaveNetworkSimResult(SnapshotWriter& w, const NetworkSimResult& r) {
   w.F64(r.offered_ppc);
   w.F64(r.accepted_ppc);

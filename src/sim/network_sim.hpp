@@ -229,6 +229,17 @@ NetworkSimResult RunNetworkSim(const NetworkSimConfig& config);
 /// geometry checks catch most mismatches).
 std::uint64_t NetworkSimConfigFingerprint(const NetworkSimConfig& config);
 
+/// Content key identifying the *result* a config produces, used by the
+/// content-addressed ResultStore and for request dedup/coalescing. It is
+/// the evolution fingerprint folded with the observation knobs that change
+/// the result payload without changing simulated state: the telemetry
+/// config (a telemetry-on run carries a populated TelemetrySummary) and
+/// deadlock_checkpoint_path (recorded in SimOutcome::checkpoint_path).
+/// checkpoint_path/checkpoint_every/restore_path stay excluded — the
+/// restore contract guarantees a resumed run's result is bitwise identical
+/// to an uninterrupted one. Same factory caveat as the fingerprint.
+std::uint64_t NetworkSimResultKey(const NetworkSimConfig& config);
+
 /// Full-fidelity (de)serialization of a finished result — metrics,
 /// outcome, timeline and telemetry — used by SweepRunner's per-point
 /// result cache to resume partially completed sweeps.

@@ -3,12 +3,12 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/error.hpp"
-#include "snapshot/snapshot.hpp"
 
 namespace vixnoc {
 
@@ -52,46 +52,6 @@ int ResolveThreadCount(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-PointCacheStatus TryLoadPointCache(const std::string& path,
-                                   const NetworkSimConfig& config,
-                                   NetworkSimResult* out) {
-  std::error_code ec;
-  if (!std::filesystem::exists(path, ec) || ec) return PointCacheStatus::kMiss;
-  try {
-    SnapshotReader r(ReadSnapshotFile(path));
-    if (r.fingerprint() != NetworkSimConfigFingerprint(config)) {
-      std::fprintf(stderr,
-                   "vixnoc: warning: sweep cache entry '%s' was written "
-                   "under a different config (fingerprint %016llx, this "
-                   "point is %016llx); re-running the point\n",
-                   path.c_str(),
-                   static_cast<unsigned long long>(r.fingerprint()),
-                   static_cast<unsigned long long>(
-                       NetworkSimConfigFingerprint(config)));
-      return PointCacheStatus::kDefective;
-    }
-    r.OpenSection("result");
-    *out = LoadNetworkSimResult(r);
-    r.CloseSection();
-    return PointCacheStatus::kHit;
-  } catch (const SimError& e) {
-    std::fprintf(stderr,
-                 "vixnoc: warning: defective sweep cache entry '%s' (%s); "
-                 "re-running the point\n",
-                 path.c_str(), e.what());
-    return PointCacheStatus::kDefective;
-  }
-}
-
-void WritePointCache(const std::string& path, const NetworkSimConfig& config,
-                     const NetworkSimResult& result) {
-  SnapshotWriter w;
-  w.BeginSection("result");
-  SaveNetworkSimResult(w, result);
-  w.EndSection();
-  WriteSnapshotFile(path, w.Finish(NetworkSimConfigFingerprint(config)));
-}
-
 SweepRunner::SweepRunner(int num_threads) {
   const int n = ResolveThreadCount(num_threads);
   workers_.reserve(n);
@@ -109,87 +69,101 @@ SweepRunner::~SweepRunner() {
   for (std::thread& w : workers_) w.join();
 }
 
+void SweepRunner::SetCache(std::shared_ptr<PointCache> cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VIXNOC_CHECK(batch_ == nullptr);  // not against a batch in flight
+  cache_ = std::move(cache);
+}
+
+NetworkSimResult SweepRunner::ExecutePoint(const NetworkSimConfig& config) {
+  // A throwing point (invalid config, SimError) must not escape the
+  // worker thread — that would std::terminate the process and wedge
+  // Run() waiting on a slot that never completes. It becomes a failed
+  // result instead, and the pool stays usable for later work.
+  try {
+    return RunNetworkSim(config);
+  } catch (const SimError& e) {
+    NetworkSimResult result;
+    result.outcome.status = SimStatus::kInvariantViolation;
+    result.outcome.message = e.what();
+    return result;
+  } catch (const std::exception& e) {
+    NetworkSimResult result;
+    result.outcome.status = SimStatus::kInvariantViolation;
+    result.outcome.message = std::string("unexpected exception: ") + e.what();
+    return result;
+  }
+}
+
 void SweepRunner::WorkerLoop() {
   for (;;) {
-    std::size_t index;
-    const NetworkSimConfig* config;
+    std::size_t pos = 0;
+    Job job;
+    bool have_job = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] {
-        return stop_ || (batch_ != nullptr && next_ < batch_->size());
+        return stop_ || !jobs_.empty() ||
+               (batch_ != nullptr && next_ < work_.size());
       });
-      if (stop_) return;
-      index = next_++;
-      config = &(*batch_)[index];
-    }
-
-    // With a checkpoint directory, a cached result from an earlier
-    // (interrupted) run of the same batch satisfies the point without
-    // simulating. Any defect in the cache file — truncated, corrupted, or
-    // written under a different config — falls through to a normal run
-    // with a warning and a defective_cache_points() tick; the cache is an
-    // accelerator, never a correctness input.
-    const std::string cache_path = PointCachePath(index);
-    if (!cache_path.empty()) {
-      NetworkSimResult cached;
-      const PointCacheStatus cache =
-          TryLoadPointCache(cache_path, *config, &cached);
-      if (cache == PointCacheStatus::kHit) {
-        std::lock_guard<std::mutex> lock(mu_);
-        (*results_)[index] = std::move(cached);
-        ++resumed_;
-        ++done_;
-        if (progress_) progress_(done_, batch_->size());
-        if (done_ == batch_->size()) done_cv_.notify_all();
+      if (batch_ != nullptr && next_ < work_.size()) {
+        pos = next_++;
+      } else if (!jobs_.empty()) {
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+        have_job = true;
+      } else if (stop_) {
+        // Pending Submit jobs were drained above before honoring stop.
+        return;
+      } else {
         continue;
       }
-      if (cache == PointCacheStatus::kDefective) {
+    }
+
+    if (have_job) {
+      // The job runs unlocked; its callback owns whatever synchronization
+      // the submitter needs.
+      job.done(ExecutePoint(job.config));
+      continue;
+    }
+
+    const std::size_t index = work_[pos];
+    const NetworkSimConfig& config = (*batch_)[index];
+
+    // With a cache attached, a result stored by any earlier run of the
+    // same point satisfies it without simulating. Any defect in the
+    // entry — truncated, corrupted, or written under a different key —
+    // falls through to a normal run with a warning and a
+    // defective_cache_points() tick; the cache is an accelerator, never
+    // a correctness input.
+    bool from_cache = false;
+    NetworkSimResult result;
+    if (cache_) {
+      const PointCacheStatus cache = cache_->Load(config, &result);
+      if (cache == PointCacheStatus::kHit) {
+        from_cache = true;
+      } else if (cache == PointCacheStatus::kDefective) {
         std::lock_guard<std::mutex> lock(mu_);
         ++defective_;
       }
     }
 
-    // The point runs unlocked: RunNetworkSim touches only its own state.
-    // A throwing point (invalid config, SimError) must not escape the
-    // worker thread — that would std::terminate the process and wedge
-    // Run() waiting on a slot that never completes. It becomes a failed
-    // result instead, and the pool stays usable for later batches.
-    NetworkSimResult result;
-    try {
-      result = RunNetworkSim(*config);
-      if (!cache_path.empty()) WritePointCache(cache_path, *config, result);
-    } catch (const SimError& e) {
-      result = NetworkSimResult{};
-      result.outcome.status = SimStatus::kInvariantViolation;
-      result.outcome.message = e.what();
-    } catch (const std::exception& e) {
-      result = NetworkSimResult{};
-      result.outcome.status = SimStatus::kInvariantViolation;
-      result.outcome.message = std::string("unexpected exception: ") + e.what();
+    if (!from_cache) {
+      // The point runs unlocked: RunNetworkSim touches only its own state.
+      result = ExecutePoint(config);
+      if (cache_) cache_->Put(config, result);  // non-throwing by contract
     }
 
     {
       std::lock_guard<std::mutex> lock(mu_);
       (*results_)[index] = std::move(result);
+      if (from_cache) ++resumed_;
       ++done_;
-      if (progress_) progress_(done_, batch_->size());
-      if (done_ == batch_->size()) done_cv_.notify_all();
+      done_points_ += satisfies_[pos];
+      if (progress_) progress_(done_points_, batch_->size());
+      if (done_ == work_.size()) done_cv_.notify_all();
     }
   }
-}
-
-void SweepRunner::SetCheckpointDir(std::string dir) {
-  VIXNOC_CHECK(!dir.empty());
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  VIXNOC_REQUIRE(!ec, "cannot create sweep checkpoint directory '%s': %s",
-                 dir.c_str(), ec.message().c_str());
-  checkpoint_dir_ = std::move(dir);
-}
-
-std::string SweepRunner::PointCachePath(std::size_t index) const {
-  if (checkpoint_dir_.empty()) return {};
-  return checkpoint_dir_ + "/point_" + std::to_string(index) + ".ckpt";
 }
 
 std::vector<NetworkSimResult> SweepRunner::Run(
@@ -197,29 +171,89 @@ std::vector<NetworkSimResult> SweepRunner::Run(
   std::vector<NetworkSimResult> results(configs.size());
   if (configs.empty()) return results;
 
+  // Within-batch dedup: identical points (same NetworkSimResultKey) are
+  // simulated once and fanned out to every slot afterwards. Configs with
+  // live factory callbacks are exempt — the key only hashes factory
+  // *presence*, so two different factories would collide.
+  const std::size_t n = configs.size();
+  std::vector<std::size_t> canonical(n);
+  std::vector<std::size_t> work;
+  std::vector<std::size_t> satisfies;
+  std::vector<std::size_t> work_pos(n, n);
+  {
+    std::unordered_map<std::uint64_t, std::size_t> first_by_key;
+    first_by_key.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      canonical[i] = i;
+      if (!configs[i].topology_factory && !configs[i].routing_factory) {
+        const auto [it, inserted] =
+            first_by_key.try_emplace(NetworkSimResultKey(configs[i]), i);
+        if (!inserted) {
+          canonical[i] = it->second;
+          continue;
+        }
+      }
+      work_pos[i] = work.size();
+      work.push_back(i);
+      satisfies.push_back(1);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (canonical[i] != i) ++satisfies[work_pos[canonical[i]]];
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     VIXNOC_CHECK(batch_ == nullptr);  // one batch at a time
     batch_ = &configs;
     results_ = &results;
+    work_ = std::move(work);
+    satisfies_ = std::move(satisfies);
     next_ = 0;
     done_ = 0;
+    done_points_ = 0;
     resumed_ = 0;
     defective_ = 0;
+    deduped_ = n - work_.size();
   }
   work_cv_.notify_all();
 
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return done_ == configs.size(); });
+    done_cv_.wait(lock, [&] { return done_ == work_.size(); });
     batch_ = nullptr;
     results_ = nullptr;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (canonical[i] != i) results[i] = results[canonical[i]];
   }
   return results;
 }
 
+void SweepRunner::Submit(NetworkSimConfig config,
+                         std::function<void(NetworkSimResult)> done) {
+  VIXNOC_CHECK(done != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(Job{std::move(config), std::move(done)});
+  }
+  work_cv_.notify_one();
+}
+
 std::vector<NetworkSimResult> RunSweep(
     const std::vector<NetworkSimConfig>& configs, int num_threads) {
+  if (num_threads == 0) {
+    // The common auto-threaded call reuses one process-wide pool: callers
+    // that loop over RunSweep (benches, the coordinator's in-process
+    // fallback) stop paying a full thread spawn/join per call. Run() takes
+    // one batch at a time, so concurrent callers are serialized here. The
+    // pool joins its workers in its static destructor at exit.
+    static SweepRunner shared(0);
+    static std::mutex shared_mu;
+    std::lock_guard<std::mutex> lock(shared_mu);
+    return shared.Run(configs);
+  }
   SweepRunner runner(num_threads);
   return runner.Run(configs);
 }

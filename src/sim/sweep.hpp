@@ -17,7 +17,9 @@
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -43,28 +45,34 @@ inline constexpr int kMaxThreadCount = 1024;
 /// warning.
 int ResolveThreadCount(int requested = 0);
 
-/// Shared per-point result-cache access, used by SweepRunner and the
-/// process-isolation SweepCoordinator (exec/coordinator.hpp) so both
-/// speak the same point_<i>.ckpt format.
+/// Outcome of probing a per-point result cache.
 enum class PointCacheStatus {
-  kMiss,       ///< no cache file: run the point
+  kMiss,       ///< no cache entry: run the point
   kHit,        ///< *out holds the cached result
-  kDefective,  ///< file exists but is unreadable, corrupt, or was written
-               ///< under a different config fingerprint — re-run the point
+  kDefective,  ///< entry exists but is unreadable, corrupt, or was written
+               ///< under a different result key — re-run the point
 };
 
-/// Loads `path` if it exists and matches `config`'s fingerprint. A
-/// defective entry logs one warning on stderr naming the file and the
-/// defect; the caller decides whether to count it (SweepRunner and
-/// SweepCoordinator both surface the tally as provenance).
-PointCacheStatus TryLoadPointCache(const std::string& path,
-                                   const NetworkSimConfig& config,
-                                   NetworkSimResult* out);
-
-/// Writes `result` to `path` (atomic tmp+rename), stamped with `config`'s
-/// fingerprint. Throws SimError on I/O failure.
-void WritePointCache(const std::string& path, const NetworkSimConfig& config,
-                     const NetworkSimResult& result);
+/// Abstract per-point result cache consulted by SweepRunner and the
+/// process-isolation SweepCoordinator (exec/coordinator.hpp). The one
+/// production implementation is the content-addressed ResultStore
+/// (store/result_store.hpp); the interface lives here so the sim layer
+/// does not depend on the store library.
+///
+/// Contract: Load returns kHit only when the cached result is the exact
+/// result `config` would produce (implementations key on
+/// NetworkSimResultKey and must validate on read — a defective entry
+/// warns and reports kDefective, never poisons). Put must not throw: a
+/// cache is an accelerator, and a full disk must not fail a sweep.
+/// Implementations must be safe for concurrent calls from many threads.
+class PointCache {
+ public:
+  virtual ~PointCache() = default;
+  virtual PointCacheStatus Load(const NetworkSimConfig& config,
+                                NetworkSimResult* out) = 0;
+  virtual void Put(const NetworkSimConfig& config,
+                   const NetworkSimResult& result) = 0;
+};
 
 class SweepRunner {
  public:
@@ -80,32 +88,41 @@ class SweepRunner {
 
   /// Called after each point completes, with the number of finished points
   /// and the batch size. Invoked from worker threads under the runner's
-  /// lock: keep it cheap (progress printing is fine).
+  /// lock: keep it cheap (progress printing is fine). A deduplicated
+  /// group of identical points reports all its slots the moment its one
+  /// simulation completes.
   using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
   void SetProgress(ProgressFn fn) { progress_ = std::move(fn); }
 
-  /// Per-point result caching, making a killed sweep resumable. When set
-  /// (before Run; creates the directory), every completed point i writes
-  /// its full NetworkSimResult to `<dir>/point_<i>.ckpt`, stamped with
-  /// that point's config fingerprint. On a later Run over the same batch,
-  /// a point whose cache file exists and matches its config's fingerprint
-  /// is loaded instead of re-run — and because cached results were
+  /// Per-point result caching, making a killed sweep resumable and letting
+  /// independent sweeps share work. Set before Run (not thread-safe against
+  /// a batch in flight). Every completed point stores its NetworkSimResult
+  /// under its content key; a later Run over any batch containing the same
+  /// point — same batch re-run, reordered grid, a different bench entirely
+  /// — loads it instead of re-simulating. Because cached results were
   /// produced by the same deterministic RunNetworkSim, a resumed sweep's
-  /// results are bitwise identical to an uninterrupted one. An unreadable
-  /// or mismatched cache file falls back to running the point, with a
-  /// warning naming the file and a tick of defective_cache_points().
-  void SetCheckpointDir(std::string dir);
+  /// results are bitwise identical to an uninterrupted one. A defective
+  /// cache entry falls back to running the point, with a warning and a
+  /// tick of defective_cache_points().
+  void SetCache(std::shared_ptr<PointCache> cache);
 
-  /// Points of the most recent Run that were satisfied from the checkpoint
-  /// directory's cache instead of being simulated.
+  /// Points of the most recent Run that were satisfied from the cache
+  /// instead of being simulated.
   std::size_t resumed_points() const { return resumed_; }
 
   /// Points of the most recent Run whose cache entry existed but was
-  /// defective (unreadable, corrupt, or fingerprint-mismatched) and was
-  /// therefore ignored. A nonzero count means the cache directory is
-  /// stale or damaged — results are still correct (the points re-ran),
-  /// but the resume was not as cheap as it looked.
+  /// defective (unreadable, corrupt, or key-mismatched) and was therefore
+  /// ignored. A nonzero count means the cache is stale or damaged —
+  /// results are still correct (the points re-ran), but the resume was
+  /// not as cheap as it looked.
   std::size_t defective_cache_points() const { return defective_; }
+
+  /// Points of the most recent Run that were within-batch duplicates of an
+  /// earlier point (same NetworkSimResultKey): simulated once, with the
+  /// result fanned out to every duplicate slot. Configs carrying live
+  /// factory callbacks never dedupe (the key only records factory
+  /// presence, not identity).
+  std::size_t deduped_points() const { return deduped_; }
 
   /// Runs every point and blocks until all complete. results[i] is the
   /// point configs[i] would produce through a direct RunNetworkSim call.
@@ -113,36 +130,65 @@ class SweepRunner {
   /// std::exception) does not kill the worker or wedge the batch: its slot
   /// comes back with outcome.status == SimStatus::kInvariantViolation and
   /// the exception message, the remaining points run normally, and the
-  /// pool accepts further batches.
+  /// pool accepts further batches. Only one Run may be in flight at a
+  /// time; async Submit jobs interleave freely with a running batch.
   std::vector<NetworkSimResult> Run(
       const std::vector<NetworkSimConfig>& configs);
 
+  /// Asynchronous single-point execution on the same pool, for callers
+  /// (the vixnocd daemon) that schedule points one at a time rather than
+  /// in batches. `done` is invoked exactly once from a worker thread with
+  /// the point's result (error slots follow Run's convention); it must not
+  /// block the worker for long and must not re-enter Run on the same
+  /// thread. Submitted jobs do not consult the cache — single-point
+  /// callers manage their own store probe (the daemon serves hits without
+  /// touching the pool). Jobs still pending at destruction are drained,
+  /// not dropped: the destructor completes all submitted work first.
+  void Submit(NetworkSimConfig config,
+              std::function<void(NetworkSimResult)> done);
+
  private:
+  struct Job {
+    NetworkSimConfig config;
+    std::function<void(NetworkSimResult)> done;
+  };
+
   void WorkerLoop();
-  /// Cache path for point `index`; empty when caching is off.
-  std::string PointCachePath(std::size_t index) const;
+  /// RunNetworkSim with Run's exception-to-error-slot convention.
+  static NetworkSimResult ExecutePoint(const NetworkSimConfig& config);
 
   std::vector<std::thread> workers_;
-  std::string checkpoint_dir_;
+  std::shared_ptr<PointCache> cache_;
   std::size_t resumed_ = 0;
   std::size_t defective_ = 0;
+  std::size_t deduped_ = 0;
 
   std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for a batch / shutdown
+  std::condition_variable work_cv_;  // workers wait for work / shutdown
   std::condition_variable done_cv_;  // Run waits for batch completion
   bool stop_ = false;
 
-  // Current batch (valid while batch_ != nullptr).
+  // Current batch (valid while batch_ != nullptr). work_ holds the indices
+  // actually simulated (one per dedup group, in submission order);
+  // satisfies_[pos] is how many batch slots work_[pos] stands for.
   const std::vector<NetworkSimConfig>* batch_ = nullptr;
   std::vector<NetworkSimResult>* results_ = nullptr;
-  std::size_t next_ = 0;  // next unclaimed point index
-  std::size_t done_ = 0;  // completed points
+  std::vector<std::size_t> work_;
+  std::vector<std::size_t> satisfies_;
+  std::size_t next_ = 0;         // next unclaimed position in work_
+  std::size_t done_ = 0;         // completed work items
+  std::size_t done_points_ = 0;  // batch slots satisfied (for progress)
+
+  std::deque<Job> jobs_;  // pending async Submit work
 
   ProgressFn progress_;
 };
 
-/// One-shot convenience: construct a SweepRunner, run the batch, tear the
-/// pool down. `num_threads` follows ResolveThreadCount's convention.
+/// One-shot convenience. With `num_threads` == 0 (the default) the batch
+/// runs on a lazily created process-wide shared pool — callers that loop
+/// over RunSweep no longer pay a thread-pool spawn/join per call. An
+/// explicit thread count still gets a dedicated pool of exactly that size
+/// (the determinism tests pin results across specific counts).
 std::vector<NetworkSimResult> RunSweep(
     const std::vector<NetworkSimConfig>& configs, int num_threads = 0);
 

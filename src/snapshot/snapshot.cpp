@@ -1,7 +1,10 @@
 #include "snapshot/snapshot.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+
+#include <unistd.h>
 
 #include "common/check.hpp"
 #include "common/error.hpp"
@@ -337,7 +340,14 @@ std::vector<bool> SnapshotReader::VecBool() {
 }
 
 void WriteSnapshotFile(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
+  // The tmp name is unique per process and per call: concurrent writers
+  // racing the same destination (e.g. two store processes computing the
+  // same content-addressed key) each stage their own complete file and
+  // the final rename decides — neither can observe the other's torn
+  // intermediate state.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     throw SimError("cannot open checkpoint file " + tmp + " for writing");

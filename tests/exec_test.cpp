@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "exec/exec_protocol.hpp"
 #include "sim/sweep.hpp"
 #include "snapshot/snapshot.hpp"
+#include "store/result_store.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
@@ -366,10 +368,10 @@ TEST(SweepCoordinatorTest, CheckpointCacheServesCompletedPoints) {
     EXPECT_EQ(Bytes(second.results[i]), Bytes(first.results[i]));
   }
 
-  // Interop: SweepRunner speaks the same point_<i>.ckpt format, so the
+  // Interop: SweepRunner reads the same content-addressed store, so the
   // in-process path resumes from a coordinator-written cache too.
   SweepRunner runner(2);
-  runner.SetCheckpointDir(dir);
+  runner.SetCache(std::make_shared<ResultStore>(dir));
   const std::vector<NetworkSimResult> resumed = runner.Run(points);
   EXPECT_EQ(runner.resumed_points(), points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {

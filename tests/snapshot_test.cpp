@@ -18,6 +18,7 @@
 #include "network/network.hpp"
 #include "sim/sweep.hpp"
 #include "snapshot/snapshot.hpp"
+#include "store/result_store.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
@@ -652,8 +653,8 @@ TEST(DeadlockPostMortem, RollingCheckpointReplaysIntoTheSameDeadlock) {
 }
 
 // ---------------------------------------------------------------------------
-// Sweep resume: a killed sweep re-run over the same checkpoint directory
-// only simulates the missing points, and the merged results are bitwise
+// Sweep resume: a killed sweep re-run over the same result store only
+// simulates the missing points, and the merged results are bitwise
 // identical to an uninterrupted sweep.
 
 TEST(SweepResume, CachedPointsAreLoadedNotRerun) {
@@ -670,7 +671,7 @@ TEST(SweepResume, CachedPointsAreLoadedNotRerun) {
   std::filesystem::remove_all(dir);
   {
     SweepRunner first(2);
-    first.SetCheckpointDir(dir);
+    first.SetCache(std::make_shared<ResultStore>(dir));
     const std::vector<NetworkSimResult> r1 = first.Run(points);
     EXPECT_EQ(first.resumed_points(), 0u);
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -679,16 +680,17 @@ TEST(SweepResume, CachedPointsAreLoadedNotRerun) {
   }
 
   // Simulate an interrupted sweep: two results lost, one corrupted.
-  ASSERT_TRUE(std::filesystem::remove(dir + "/point_1.ckpt"));
-  ASSERT_TRUE(std::filesystem::remove(dir + "/point_4.ckpt"));
-  std::string damaged = Slurp(dir + "/point_2.ckpt");
+  auto store = std::make_shared<ResultStore>(dir);
+  ASSERT_TRUE(std::filesystem::remove(store->EntryPath(points[1])));
+  ASSERT_TRUE(std::filesystem::remove(store->EntryPath(points[4])));
+  std::string damaged = Slurp(store->EntryPath(points[2]));
   damaged[damaged.size() / 2] ^= 0x08;
-  Spit(dir + "/point_2.ckpt", damaged);
+  Spit(store->EntryPath(points[2]), damaged);
 
   SweepRunner second(2);
-  second.SetCheckpointDir(dir);
+  second.SetCache(store);
   const std::vector<NetworkSimResult> r2 = second.Run(points);
-  EXPECT_EQ(second.resumed_points(), 3u);  // 0, 3, 5 from cache
+  EXPECT_EQ(second.resumed_points(), 3u);  // 0, 3, 5 from the store
   for (std::size_t i = 0; i < points.size(); ++i) {
     ExpectResultsIdentical(straight[i], r2[i]);
   }
@@ -705,12 +707,13 @@ TEST(SweepResume, StaleCacheFromDifferentConfigIsIgnored) {
   std::filesystem::remove_all(dir);
   {
     SweepRunner first(1);
-    first.SetCheckpointDir(dir);
+    first.SetCache(std::make_shared<ResultStore>(dir));
     (void)first.Run({a});
   }
-  // Same slot, different config: the fingerprint mismatch forces a re-run.
+  // Different config -> different result key -> different entry path: b
+  // misses even though a's entry sits in the same store.
   SweepRunner second(1);
-  second.SetCheckpointDir(dir);
+  second.SetCache(std::make_shared<ResultStore>(dir));
   const std::vector<NetworkSimResult> rb = second.Run({b});
   EXPECT_EQ(second.resumed_points(), 0u);
   ExpectResultsIdentical(RunNetworkSim(b), rb[0]);

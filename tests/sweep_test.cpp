@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 
 #include <unistd.h>
 
+#include "store/result_store.hpp"
 #include "topology/topology.hpp"
 
 namespace vixnoc {
@@ -258,28 +260,41 @@ TEST(ResolveThreadCountTest, OversizedValuesAreCapped) {
   EXPECT_EQ(ResolveThreadCount(kMaxThreadCount + 1), kMaxThreadCount);
 }
 
-// A corrupt cache entry must be re-run (with a warning naming the file)
+// A corrupt store entry must be re-run (with a warning naming the file)
 // and counted in defective_cache_points(), never silently treated as a
-// miss. Valid entries keep resuming.
+// miss. Valid entries keep resuming. Unlike TestBatch(), these configs
+// carry no topology_factory: the content-addressed store only caches
+// configs whose result key is unambiguous, and a factory's key records
+// presence alone.
 TEST(SweepRunnerTest, DefectiveCacheEntriesAreCountedAndRerun) {
-  const std::vector<NetworkSimConfig> points = TestBatch();
+  std::vector<NetworkSimConfig> points;
+  for (int i = 0; i < 5; ++i) {
+    NetworkSimConfig c;
+    c.scheme = AllocScheme::kVix;
+    c.injection_rate = 0.04 + 0.02 * i;
+    c.warmup = 300;
+    c.measure = 900;
+    c.drain = 300;
+    points.push_back(c);
+  }
   const std::string dir = testing::TempDir() + "vixnoc_sweep_defective_" +
                           std::to_string(::getpid());
   std::filesystem::remove_all(dir);
 
+  auto store = std::make_shared<ResultStore>(dir);
   SweepRunner runner(2);
-  runner.SetCheckpointDir(dir);
+  runner.SetCache(store);
   const std::vector<NetworkSimResult> first = runner.Run(points);
   EXPECT_EQ(runner.defective_cache_points(), 0u);
 
   // Corrupt one entry (truncate) and garbage another (bad magic).
   {
-    std::ofstream trunc(dir + "/point_1.ckpt",
+    std::ofstream trunc(store->EntryPath(points[1]),
                         std::ios::binary | std::ios::trunc);
     trunc << "vix";
   }
   {
-    std::ofstream garbage(dir + "/point_3.ckpt",
+    std::ofstream garbage(store->EntryPath(points[3]),
                           std::ios::binary | std::ios::trunc);
     garbage << std::string(256, 'Z');
   }
@@ -293,8 +308,9 @@ TEST(SweepRunnerTest, DefectiveCacheEntriesAreCountedAndRerun) {
     ExpectIdentical(first[i], second[i]);
   }
 
-  // The re-run repaired the cache in place; a third run resumes fully and
-  // the defective counter resets per Run().
+  // The re-run repaired the store in place (defective entries are
+  // unlinked on detection so the recompute's Put rewrites them); a third
+  // run resumes fully and the defective counter resets per Run().
   const std::vector<NetworkSimResult> third = runner.Run(points);
   EXPECT_EQ(runner.defective_cache_points(), 0u);
   EXPECT_EQ(runner.resumed_points(), points.size());
